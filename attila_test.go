@@ -1,0 +1,177 @@
+package attila_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"attila"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	g, err := attila.New(attila.BaselineUnified(), 128, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := attila.DefaultWorkloadParams()
+	p.Frames = 1
+	res, err := g.RunWorkload("simple", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 || len(res.Frames) != 1 || res.FPS <= 0 {
+		t.Fatalf("result: %+v", res)
+	}
+}
+
+func TestFacadeStats(t *testing.T) {
+	g, err := attila.New(attila.CaseStudy(2, attila.ScheduleWindow), 128, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := attila.DefaultWorkloadParams()
+	p.Frames = 1
+	if _, err := g.RunWorkload("ut2004", p); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := g.Stat("MC.readBytes")
+	if !ok || v <= 0 {
+		t.Fatalf("MC.readBytes: %v %v", v, ok)
+	}
+	if _, ok := g.Stat("no.such.stat"); ok {
+		t.Fatal("bogus stat found")
+	}
+	if len(g.StatNames()) < 50 {
+		t.Fatalf("too few stats: %d", len(g.StatNames()))
+	}
+	var csv bytes.Buffer
+	if err := g.WriteStatsCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "cycle,") {
+		t.Fatal("CSV header missing")
+	}
+}
+
+func TestTraceCaptureAndReplay(t *testing.T) {
+	g, err := attila.New(attila.BaselineUnified(), 128, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := attila.DefaultWorkloadParams()
+	p.Frames = 2
+	cmds, err := g.BuildWorkload("spinner", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := attila.CaptureTrace(&buf, "spinner", 128, 96, 2, cmds); err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.RunTrace(bytes.NewReader(buf.Bytes()), 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frames) != 2 {
+		t.Fatalf("frames: %d", len(res.Frames))
+	}
+	// Verification against the reference renderer (Figure 10).
+	refFrames, err := attila.RenderReference(cmds, 64<<20, 128, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range refFrames {
+		if diff, _ := attila.DiffFrames(res.Frames[i], refFrames[i]); diff != 0 {
+			t.Fatalf("frame %d diverges from reference: %d px", i, diff)
+		}
+	}
+}
+
+func TestTraceSizeMismatchRejected(t *testing.T) {
+	g, _ := attila.New(attila.BaselineUnified(), 128, 96)
+	cmds, _ := g.BuildWorkload("spinner", attila.DefaultWorkloadParams())
+	var buf bytes.Buffer
+	_ = attila.CaptureTrace(&buf, "x", 64, 64, 1, cmds)
+	if _, err := g.RunTrace(bytes.NewReader(buf.Bytes()), 0, -1); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestWorkloadsListed(t *testing.T) {
+	ws := attila.Workloads()
+	want := map[string]bool{"simple": true, "ut2004": true, "doom3": true, "spinner": true}
+	for _, w := range ws {
+		delete(want, w)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing workloads: %v", want)
+	}
+}
+
+// Determinism: the same workload on the same configuration must give
+// identical cycle counts and bit-identical frames.
+func TestDeterminism(t *testing.T) {
+	run := func() (int64, []*attila.Frame) {
+		g, err := attila.New(attila.CaseStudy(2, attila.ScheduleWindow), 128, 96)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := attila.DefaultWorkloadParams()
+		p.Frames = 1
+		res, err := g.RunWorkload("doom3", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles, res.Frames
+	}
+	c1, f1 := run()
+	c2, f2 := run()
+	if c1 != c2 {
+		t.Fatalf("cycle counts differ: %d vs %d", c1, c2)
+	}
+	if diff, _ := attila.DiffFrames(f1[0], f2[0]); diff != 0 {
+		t.Fatalf("frames differ: %d px", diff)
+	}
+}
+
+// Hot start on the timing simulator: simulating only frame 2 of a
+// trace must produce the same image as frame 2 of the full run
+// (paper §4: frames are independent).
+func TestHotStartMatchesFullRun(t *testing.T) {
+	build := func() (*attila.GPU, []byte) {
+		g, err := attila.New(attila.BaselineUnified(), 128, 96)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := attila.DefaultWorkloadParams()
+		p.Frames = 3
+		cmds, err := g.BuildWorkload("spinner", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := attila.CaptureTrace(&buf, "spinner", 128, 96, 3, cmds); err != nil {
+			t.Fatal(err)
+		}
+		return g, buf.Bytes()
+	}
+	gFull, tr := build()
+	full, err := gFull.RunTrace(bytes.NewReader(tr), 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gHot, _ := build()
+	hot, err := gHot.RunTrace(bytes.NewReader(tr), 2, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hot.Frames) != 1 || len(full.Frames) != 3 {
+		t.Fatalf("frames: hot %d full %d", len(hot.Frames), len(full.Frames))
+	}
+	if diff, maxd := attila.DiffFrames(full.Frames[2], hot.Frames[0]); diff != 0 {
+		t.Fatalf("hot-start frame differs: %d px (max %d)", diff, maxd)
+	}
+	if hot.Cycles >= full.Cycles {
+		t.Fatalf("hot start (%d cycles) not cheaper than full run (%d)", hot.Cycles, full.Cycles)
+	}
+}

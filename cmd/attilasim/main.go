@@ -1,0 +1,189 @@
+// Command attilasim runs a captured trace through the cycle-level
+// timing simulator: the top-level simulator binary of the ATTILA
+// framework (paper §3-4). It prints performance results and can dump
+// the per-interval statistics CSV, the rendered frames, a signal
+// trace for cmd/sigtrace, and verify the output against the
+// functional reference renderer.
+//
+// Usage:
+//
+//	attilasim -trace doom3.attila -config casestudy -tus 2 -stats stats.csv -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"attila/internal/core"
+	"attila/internal/gpu"
+	"attila/internal/refrender"
+	"attila/internal/trace"
+)
+
+func main() {
+	in := flag.String("trace", "", "input trace file")
+	preset := flag.String("config", "baseline-unified", "config preset: baseline|baseline-unified|casestudy|embedded|highend")
+	tus := flag.Int("tus", 0, "override texture unit count (casestudy sweep)")
+	shaders := flag.Int("shaders", 0, "override shader unit count")
+	rops := flag.Int("rops", 0, "override ROP pair count")
+	sched := flag.String("sched", "window", "shader scheduling: window|inorder")
+	start := flag.Int("start", 0, "hot start frame")
+	end := flag.Int("end", -1, "end frame (exclusive, -1 = all)")
+	statsOut := flag.String("stats", "", "write interval statistics CSV to file")
+	summaryOut := flag.String("summary", "", "write cumulative statistics to file")
+	framesOut := flag.String("frames", "", "directory for PPM frame dumps")
+	sigOut := flag.String("sigtrace", "", "write a signal trace file (large!)")
+	verify := flag.Bool("verify", false, "compare frames against the functional reference")
+	maxCycles := flag.Int64("max-cycles", 2_000_000_000, "cycle budget")
+	flag.Parse()
+
+	if *in == "" {
+		fatal(fmt.Errorf("need -trace (generate one with tracegen)"))
+	}
+
+	mode := gpu.ScheduleWindow
+	if *sched == "inorder" {
+		mode = gpu.ScheduleInOrderQueue
+	}
+	var cfg gpu.Config
+	switch *preset {
+	case "baseline":
+		cfg = gpu.Baseline()
+	case "baseline-unified":
+		cfg = gpu.BaselineUnified()
+	case "casestudy":
+		cfg = gpu.CaseStudy(3, mode)
+	case "embedded":
+		cfg = gpu.Embedded()
+	case "highend":
+		cfg = gpu.HighEnd()
+	default:
+		fatal(fmt.Errorf("unknown config preset %q", *preset))
+	}
+	cfg.Schedule = mode
+	if *tus > 0 {
+		cfg.NumTextureUnits = *tus
+	}
+	if *shaders > 0 {
+		cfg.NumShaders = *shaders
+	}
+	if *rops > 0 {
+		cfg.NumROPs = *rops
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		fatal(err)
+	}
+	hdr := r.Header()
+	cmds, err := r.ReadAll(*start, *end)
+	if err != nil {
+		fatal(err)
+	}
+
+	pipe, err := gpu.New(cfg, hdr.Width, hdr.Height)
+	if err != nil {
+		fatal(err)
+	}
+	var sigWriter *core.SigTraceWriter
+	if *sigOut != "" {
+		sf, err := os.Create(*sigOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer sf.Close()
+		sigWriter = core.NewSigTraceWriter(sf)
+		pipe.TraceSignals(sigWriter)
+	}
+
+	fmt.Printf("%s\n", pipe)
+	fmt.Printf("trace %s: %s %dx%d, frames %d..%v\n", *in, hdr.Label, hdr.Width, hdr.Height, *start, *end)
+	if err := pipe.Run(cmds, *maxCycles); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("simulated %d cycles, %d frames, %.2f fps at %d MHz\n",
+		pipe.Cycles(), len(pipe.Frames()), pipe.FPS(), cfg.ClockMHz)
+
+	if sigWriter != nil {
+		if err := sigWriter.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote signal trace to", *sigOut)
+	}
+	if *statsOut != "" {
+		writeTo(*statsOut, pipe.DumpCSV)
+	}
+	if *summaryOut != "" {
+		writeTo(*summaryOut, pipe.DumpStats)
+	}
+	if *framesOut != "" {
+		if err := os.MkdirAll(*framesOut, 0o755); err != nil {
+			fatal(err)
+		}
+		for i, fr := range pipe.Frames() {
+			path := filepath.Join(*framesOut, fmt.Sprintf("frame%03d.ppm", *start+i))
+			of, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := fr.WritePPM(of); err != nil {
+				of.Close()
+				fatal(err)
+			}
+			of.Close()
+			fmt.Println("wrote", path)
+		}
+	}
+	if *verify {
+		ref := refrender.New(cfg.GPUMemBytes, hdr.Width, hdr.Height)
+		if err := ref.Execute(cmds); err != nil {
+			fatal(err)
+		}
+		refFrames := ref.Frames()
+		simFrames := pipe.Frames()
+		if len(refFrames) != len(simFrames) {
+			fatal(fmt.Errorf("verify: frame counts %d vs %d", len(simFrames), len(refFrames)))
+		}
+		bad := 0
+		for i := range simFrames {
+			diff, maxd := gpu.DiffFrames(simFrames[i], refFrames[i])
+			if diff != 0 {
+				fmt.Printf("verify: frame %d differs in %d pixels (max delta %d)\n", i, diff, maxd)
+				bad++
+			}
+		}
+		if bad == 0 {
+			fmt.Println("verify: all frames match the functional reference bit-exactly")
+		} else {
+			os.Exit(1)
+		}
+	}
+}
+
+func writeTo(path string, fn func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "attilasim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,168 @@
+// Command experiments reproduces the paper's tables and figures (§5
+// and the §2.2 scaling studies) and prints the same rows/series the
+// paper reports. See EXPERIMENTS.md for recorded outcomes.
+//
+// Usage:
+//
+//	experiments -exp fig7 [-width 192 -height 144 -frames 2]
+//	experiments -exp all -out results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"attila/internal/experiments"
+	"attila/internal/gpu"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1|table2|fig7|fig8|fig9|fig10|scaling|embedded|ablation|all")
+	width := flag.Int("width", 192, "render width")
+	height := flag.Int("height", 144, "render height")
+	frames := flag.Int("frames", 2, "frames per trace")
+	aniso := flag.Int("aniso", 8, "max anisotropy (paper: 8)")
+	out := flag.String("out", "", "directory for PPM frame dumps (fig10)")
+	flag.Parse()
+
+	p := experiments.DefaultRunParams()
+	p.Width, p.Height, p.Frames, p.Aniso = *width, *height, *frames, *aniso
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("== %s ==\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("table1", func() error {
+		experiments.Table1(os.Stdout, gpu.Baseline())
+		return nil
+	})
+	run("table2", func() error {
+		experiments.Table2(os.Stdout, gpu.Baseline())
+		return nil
+	})
+	run("fig7", func() error {
+		rows, err := experiments.Fig7(p, os.Stdout)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s %-8s %-4s %12s %8s %12s\n", "trace", "sched", "TUs", "cycles", "fps", "degradation")
+		for _, r := range rows {
+			fmt.Printf("%-8s %-8s %-4d %12d %8.2f %+11.1f%%\n",
+				r.Workload, r.Mode, r.TUs, r.Cycles, r.FPS, r.Degradation)
+		}
+		return nil
+	})
+	run("fig8", func() error {
+		rows, series, err := experiments.Fig8(p, os.Stdout)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s %-4s %10s %14s %12s\n", "trace", "TUs", "hit rate", "tex bytes", "bytes/cycle")
+		for _, r := range rows {
+			fmt.Printf("%-8s %-4d %9.2f%% %14.0f %12.3f\n",
+				r.Workload, r.TUs, r.HitRate*100, r.TexMemBytes, r.BytesPerCycle)
+		}
+		if series != nil {
+			fmt.Println("\ntexture cache hit rate per 10K cycles (doom3, 3 TUs):")
+			for i := range series.Cycle {
+				fmt.Printf("  %10d %6.2f%%\n", series.Cycle[i], series.HitRate[i]*100)
+			}
+		}
+		return nil
+	})
+	run("fig9", func() error {
+		series, err := experiments.Fig9(p, os.Stdout)
+		if err != nil {
+			return err
+		}
+		for _, s := range series {
+			fmt.Printf("\n%s: avg shader %.0f%%, texture %.0f%%, ROP %.0f%%, memory %.0f%%\n",
+				s.Config.Label, s.AvgShader*100, s.AvgTexture*100, s.AvgROP*100, s.AvgMemory*100)
+			fmt.Printf("  %10s %8s %8s %8s %8s\n", "cycle", "shader", "texture", "rop", "memory")
+			for i := range s.Cycle {
+				fmt.Printf("  %10d %7.0f%% %7.0f%% %7.0f%% %7.0f%%\n",
+					s.Cycle[i], s.Shader[i]*100, s.Texture[i]*100, s.ROP[i]*100, s.Memory[i]*100)
+			}
+		}
+		return nil
+	})
+	run("fig10", func() error {
+		res, err := experiments.Fig10(p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("simulator vs reference: %d differing pixels (max channel delta %d)\n",
+			res.DiffPixels, res.MaxDelta)
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				return err
+			}
+			for _, d := range []struct {
+				path  string
+				frame *gpu.Frame
+			}{
+				{filepath.Join(*out, "fig10-sim.ppm"), res.SimFrame},
+				{filepath.Join(*out, "fig10-ref.ppm"), res.RefFrame},
+			} {
+				f, err := os.Create(d.path)
+				if err != nil {
+					return err
+				}
+				if err := d.frame.WritePPM(f); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", d.path)
+			}
+		}
+		return nil
+	})
+	run("scaling", func() error {
+		rows, err := experiments.Scaling(p, os.Stdout)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14s %-8s %12s %8s\n", "config", "model", "cycles", "fps")
+		for _, r := range rows {
+			model := "split"
+			if r.Unified {
+				model = "unified"
+			}
+			fmt.Printf("%-14s %-8s %12d %8.2f\n", r.Config, model, r.Cycles, r.FPS)
+		}
+		return nil
+	})
+	run("embedded", func() error {
+		row, err := experiments.Embedded(p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("embedded GPU on %s: %d cycles, %.2f fps at %d MHz\n",
+			row.Workload, row.Cycles, row.FPS, gpu.Embedded().ClockMHz)
+		return nil
+	})
+	run("ablation", func() error {
+		rows, err := experiments.Ablation(p, os.Stdout)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-16s %12s %8s  %s\n", "variant", "cycles", "vs base", "detail")
+		for _, r := range rows {
+			fmt.Printf("%-16s %12d %+7.1f%%  %s\n", r.Name, r.Cycles, r.RelPct, r.Details)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,136 @@
+// Command sigtrace is the Signal Trace Visualizer (paper §3-4): it
+// renders signal trace files produced by attilasim -sigtrace as ASCII
+// activity timelines, one row per signal, for debugging simulator
+// performance — where the pipeline bubbles and bottlenecks are.
+//
+// Usage:
+//
+//	sigtrace -in run.sig [-buckets 100] [-signal FGen.Tiles] [-follow 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"attila/internal/core"
+)
+
+func main() {
+	in := flag.String("in", "", "signal trace file from attilasim -sigtrace")
+	buckets := flag.Int("buckets", 100, "timeline resolution (columns)")
+	signal := flag.String("signal", "", "only show signals containing this substring")
+	follow := flag.Uint64("follow", 0, "print the full event path of one object id (and its descendants)")
+	flag.Parse()
+
+	if *in == "" {
+		fatal(fmt.Errorf("need -in"))
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	recs, err := core.ReadSigTrace(f)
+	if err != nil {
+		fatal(err)
+	}
+	if len(recs) == 0 {
+		fmt.Println("empty trace")
+		return
+	}
+
+	if *follow != 0 {
+		followObject(recs, *follow)
+		return
+	}
+
+	minC, maxC := recs[0].Cycle, recs[0].Cycle
+	for _, r := range recs {
+		if r.Cycle < minC {
+			minC = r.Cycle
+		}
+		if r.Cycle > maxC {
+			maxC = r.Cycle
+		}
+	}
+	span := maxC - minC + 1
+	counts := map[string][]int{}
+	totals := map[string]int{}
+	for _, r := range recs {
+		if *signal != "" && !strings.Contains(r.Signal, *signal) {
+			continue
+		}
+		row, ok := counts[r.Signal]
+		if !ok {
+			row = make([]int, *buckets)
+			counts[r.Signal] = row
+		}
+		b := int((r.Cycle - minC) * int64(*buckets) / span)
+		if b >= *buckets {
+			b = *buckets - 1
+		}
+		row[b]++
+		totals[r.Signal]++
+	}
+
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("cycles %d..%d (%d per column)\n\n", minC, maxC, span/int64(*buckets)+1)
+	shades := []byte(" .:-=+*#%@")
+	width := 0
+	for _, n := range names {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	for _, n := range names {
+		row := counts[n]
+		peak := 0
+		for _, c := range row {
+			if c > peak {
+				peak = c
+			}
+		}
+		var sb strings.Builder
+		for _, c := range row {
+			idx := 0
+			if peak > 0 {
+				idx = c * (len(shades) - 1) / peak
+			}
+			sb.WriteByte(shades[idx])
+		}
+		fmt.Printf("%-*s |%s| %d objects\n", width, n, sb.String(), totals[n])
+	}
+}
+
+// followObject prints the pipeline journey of one object and the
+// objects derived from it (the multilevel id hierarchy of §3).
+func followObject(recs []core.SigTraceRecord, id uint64) {
+	family := map[uint64]bool{id: true}
+	// Two passes pick up children of children (fragments of a
+	// triangle, memory accesses of a fragment).
+	for pass := 0; pass < 3; pass++ {
+		for _, r := range recs {
+			if family[r.Parent] {
+				family[r.ID] = true
+			}
+		}
+	}
+	for _, r := range recs {
+		if family[r.ID] {
+			fmt.Printf("%10d  %-30s id=%d parent=%d %s\n", r.Cycle, r.Signal, r.ID, r.Parent, r.Tag)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sigtrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+// Command tracegen generates synthetic workload traces (the stand-in
+// for capturing real applications with GLInterceptor, paper §4).
+//
+// Usage:
+//
+//	tracegen -workload doom3 -frames 4 -out doom3.attila
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"attila/internal/mem"
+	"attila/internal/trace"
+	"attila/internal/workload"
+)
+
+func main() {
+	name := flag.String("workload", "simple", "workload: "+strings.Join(workload.Names(), "|"))
+	out := flag.String("out", "", "output trace file (default <workload>.attila)")
+	width := flag.Int("width", 256, "render width")
+	height := flag.Int("height", 192, "render height")
+	frames := flag.Int("frames", 2, "frames to generate")
+	aniso := flag.Int("aniso", 8, "max anisotropy")
+	seed := flag.Int64("seed", 1, "procedural content seed")
+	flag.Parse()
+
+	if *out == "" {
+		*out = *name + ".attila"
+	}
+	p := workload.Params{Width: *width, Height: *height, Frames: *frames, Aniso: *aniso, Seed: *seed}
+	// Object memory starts above the framebuffer plan of the target
+	// resolution, matching what a pipeline of the same size reserves.
+	alloc := mem.NewAllocator(uint32(3*((*width+7)/8*((*height+7)/8)*256)+1<<20), 192<<20)
+	cmds, hdr, err := workload.Build(*name, alloc, p)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f, hdr)
+	if err != nil {
+		fatal(err)
+	}
+	if err := w.WriteCommands(cmds); err != nil {
+		fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %s %dx%d, %d frames, %d commands\n",
+		*out, hdr.Label, hdr.Width, hdr.Height, hdr.Frames, len(cmds))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

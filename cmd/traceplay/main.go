@@ -1,0 +1,78 @@
+// Command traceplay is the GLPlayer equivalent (paper §4): it replays
+// a captured trace through the functional reference renderer to
+// validate the trace and dump golden frames, without any timing
+// simulation.
+//
+// Usage:
+//
+//	traceplay -trace doom3.attila -out frames/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"attila/internal/refrender"
+	"attila/internal/trace"
+)
+
+func main() {
+	in := flag.String("trace", "", "input trace file")
+	out := flag.String("out", "", "directory for PPM frame dumps (optional)")
+	start := flag.Int("start", 0, "hot start frame")
+	end := flag.Int("end", -1, "end frame (exclusive, -1 = all)")
+	memMB := flag.Int("mem", 192, "GPU memory to emulate (MB)")
+	flag.Parse()
+
+	if *in == "" {
+		fatal(fmt.Errorf("need -trace"))
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		fatal(err)
+	}
+	hdr := r.Header()
+	fmt.Printf("trace %s: %s %dx%d, %d frames\n", *in, hdr.Label, hdr.Width, hdr.Height, hdr.Frames)
+	cmds, err := r.ReadAll(*start, *end)
+	if err != nil {
+		fatal(err)
+	}
+	ref := refrender.New(*memMB<<20, hdr.Width, hdr.Height)
+	if err := ref.Execute(cmds); err != nil {
+		fatal(err)
+	}
+	frames := ref.Frames()
+	fmt.Printf("rendered %d frames functionally\n", len(frames))
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+		for i, fr := range frames {
+			path := filepath.Join(*out, fmt.Sprintf("frame%03d.ppm", *start+i))
+			of, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := fr.WritePPM(of); err != nil {
+				of.Close()
+				fatal(err)
+			}
+			if err := of.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Println("wrote", path)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "traceplay:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,41 @@
+// Embedded: run the paper's low-end embedded GPU configuration ([2]
+// in §2.2) — a single unified shader doing all vertex and fragment
+// work, one narrow memory channel — on a small animated scene, and
+// compare it against the baseline to show how far the same
+// architecture scales down.
+//
+//	go run ./examples/embedded
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"attila"
+)
+
+func main() {
+	const w, h = 160, 120 // QQVGA-class embedded display
+	params := attila.DefaultWorkloadParams()
+	params.Frames = 3
+	params.Aniso = 1
+
+	run := func(label string, cfg attila.Config) {
+		g, err := attila.New(cfg, w, h)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := g.RunWorkload("spinner", params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		perFrame := res.Cycles / int64(len(res.Frames))
+		fmt.Printf("%-18s %d shaders, %d ROPs, %d ch x %2d B/cyc @ %3d MHz: %8d cycles/frame, %6.1f fps\n",
+			label, cfg.NumShaders, cfg.NumROPs, cfg.Memory.Channels,
+			cfg.Memory.ChannelBW, cfg.ClockMHz, perFrame, res.FPS)
+	}
+
+	run("embedded", attila.Embedded())
+	run("baseline-unified", attila.BaselineUnified())
+	run("highend", attila.HighEnd())
+}

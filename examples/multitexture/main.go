@@ -1,0 +1,55 @@
+// Multitexture: render the UT2004-like lightmapped terrain workload
+// and sweep the texture unit count 3..1 — a miniature of the paper's
+// §5 case study — printing the performance degradation and texture
+// cache behaviour.
+//
+//	go run ./examples/multitexture
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"attila"
+)
+
+func main() {
+	const w, h = 256, 192
+	params := attila.DefaultWorkloadParams()
+	params.Frames = 1
+
+	fmt.Println("UT2004-like terrain, thread-window scheduling:")
+	fmt.Printf("%4s %12s %10s %12s %14s\n", "TUs", "cycles", "fps", "tex hit", "tex bytes")
+	var base int64
+	for _, tus := range []int{3, 2, 1} {
+		g, err := attila.New(attila.CaseStudy(tus, attila.ScheduleWindow), w, h)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := g.RunWorkload("ut2004", params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var hits, misses, bytes float64
+		for i := 0; i < tus; i++ {
+			hv, _ := g.Stat(fmt.Sprintf("TexCache%d.hits", i))
+			mv, _ := g.Stat(fmt.Sprintf("TexCache%d.misses", i))
+			bv, _ := g.Stat(fmt.Sprintf("MC.TexCache%d.readBytes", i))
+			hits += hv
+			misses += mv
+			bytes += bv
+		}
+		hitRate := 0.0
+		if hits+misses > 0 {
+			hitRate = hits / (hits + misses)
+		}
+		if tus == 3 {
+			base = res.Cycles
+		}
+		fmt.Printf("%4d %12d %10.1f %11.2f%% %14.0f", tus, res.Cycles, res.FPS, hitRate*100, bytes)
+		if base > 0 && tus != 3 {
+			fmt.Printf("   (%+.1f%% cycles vs 3 TU)", 100*(float64(res.Cycles)-float64(base))/float64(base))
+		}
+		fmt.Println()
+	}
+}

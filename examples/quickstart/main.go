@@ -1,0 +1,50 @@
+// Quickstart: build a GPU with the baseline unified configuration,
+// render the "simple" workload (a colored triangle over a textured
+// floor), print the headline statistics and dump the frame as a PPM.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"attila"
+)
+
+func main() {
+	const w, h = 256, 192
+	g, err := attila.New(attila.BaselineUnified(), w, h)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	params := attila.DefaultWorkloadParams()
+	params.Frames = 1
+	res, err := g.RunWorkload("simple", params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("simulated %d cycles for %d frame(s): %.1f fps at 600 MHz\n",
+		res.Cycles, len(res.Frames), res.FPS)
+	for _, name := range []string{
+		"FGen.fragments", "HZ.culledTiles", "TexCache0.hits", "TexCache0.misses",
+		"MC.readBytes", "MC.writeBytes",
+	} {
+		if v, ok := g.Stat(name); ok {
+			fmt.Printf("  %-20s %12.0f\n", name, v)
+		}
+	}
+
+	out, err := os.Create("quickstart.ppm")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer out.Close()
+	if err := res.Frames[0].WritePPM(out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote quickstart.ppm")
+}

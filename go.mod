@@ -1,0 +1,3 @@
+module attila
+
+go 1.22

@@ -1,0 +1,148 @@
+package core
+
+import "fmt"
+
+// Signal models a wire between two boxes. A signal is created with a
+// bandwidth (maximum objects written per cycle) and a latency (cycles
+// between write and read). Writes above the bandwidth and reads that
+// would lose unconsumed data are simulation errors, reported via
+// panic(*SimError) so the offending cycle is impossible to miss.
+//
+// Boxes with variable-latency operations (multistage ALUs, memory)
+// may override the latency per write with WriteLat, up to the MaxLat
+// the signal was created with.
+type Signal struct {
+	name     string
+	bw       int
+	lat      int
+	maxLat   int
+	ring     [][]Dynamic // indexed by cycle % len(ring)
+	stamp    []int64     // cycle each ring slot was last written for
+	wrCycle  int64       // cycle of the most recent writes
+	wrCount  int         // writes performed during wrCycle
+	produced uint64
+	consumed uint64
+	tracer   Tracer
+}
+
+// SimError reports a violation of the simulation model (bandwidth
+// exceeded, data lost on a signal, binding mistakes). The framework
+// panics with *SimError; the Simulator converts it into an error from
+// Run so tools can report it cleanly.
+type SimError struct {
+	Where string
+	Cycle int64
+	Msg   string
+}
+
+func (e *SimError) Error() string {
+	return fmt.Sprintf("sim error at cycle %d in %s: %s", e.Cycle, e.Where, e.Msg)
+}
+
+func simFail(where string, cycle int64, format string, args ...any) {
+	panic(&SimError{Where: where, Cycle: cycle, Msg: fmt.Sprintf(format, args...)})
+}
+
+// NewSignal creates a signal. Latency must be at least 1 cycle: the
+// framework relies on it for determinism. maxLat extends the ring for
+// WriteLat; pass 0 to allow only the default latency.
+func NewSignal(name string, bandwidth, latency, maxLat int) *Signal {
+	if bandwidth < 1 {
+		panic(fmt.Sprintf("signal %s: bandwidth must be >= 1", name))
+	}
+	if latency < 1 {
+		panic(fmt.Sprintf("signal %s: latency must be >= 1", name))
+	}
+	if maxLat < latency {
+		maxLat = latency
+	}
+	n := maxLat + 1
+	return &Signal{
+		name:   name,
+		bw:     bandwidth,
+		lat:    latency,
+		maxLat: maxLat,
+		ring:   make([][]Dynamic, n),
+		stamp:  make([]int64, n),
+	}
+}
+
+// Name returns the signal's registered name.
+func (s *Signal) Name() string { return s.name }
+
+// Bandwidth returns the configured objects-per-cycle limit.
+func (s *Signal) Bandwidth() int { return s.bw }
+
+// Latency returns the configured default latency in cycles.
+func (s *Signal) Latency() int { return s.lat }
+
+// Write sends obj through the signal at the default latency: a reader
+// calling Read(cycle+Latency()) receives it.
+func (s *Signal) Write(cycle int64, obj Dynamic) {
+	s.WriteLat(cycle, s.lat, obj)
+}
+
+// WriteLat sends obj with an explicit latency between 1 and the
+// signal's maximum latency.
+func (s *Signal) WriteLat(cycle int64, lat int, obj Dynamic) {
+	if lat < 1 || lat > s.maxLat {
+		simFail(s.name, cycle, "latency %d outside [1,%d]", lat, s.maxLat)
+	}
+	if cycle == s.wrCycle {
+		if s.wrCount >= s.bw {
+			simFail(s.name, cycle, "bandwidth exceeded (%d objects/cycle)", s.bw)
+		}
+		s.wrCount++
+	} else {
+		if cycle < s.wrCycle {
+			simFail(s.name, cycle, "write moved backwards in time (last write at %d)", s.wrCycle)
+		}
+		s.wrCycle = cycle
+		s.wrCount = 1
+	}
+	arrive := cycle + int64(lat)
+	slot := int(arrive % int64(len(s.ring)))
+	if len(s.ring[slot]) > 0 && s.stamp[slot] != arrive {
+		simFail(s.name, cycle, "data lost: %d unread objects from cycle %d", len(s.ring[slot]), s.stamp[slot])
+	}
+	s.stamp[slot] = arrive
+	s.ring[slot] = append(s.ring[slot], obj)
+	s.produced++
+}
+
+// Read returns the objects arriving at the given cycle, removing them
+// from the wire. It returns nil when nothing arrives. Objects not
+// read during their arrival cycle are detected as lost data on a
+// later conflicting write.
+func (s *Signal) Read(cycle int64) []Dynamic {
+	slot := int(cycle % int64(len(s.ring)))
+	if len(s.ring[slot]) == 0 || s.stamp[slot] != cycle {
+		return nil
+	}
+	out := s.ring[slot]
+	s.ring[slot] = nil
+	s.consumed += uint64(len(out))
+	if s.tracer != nil {
+		for _, o := range out {
+			s.tracer.Trace(cycle, s.name, o.DynInfo())
+		}
+	}
+	return out
+}
+
+// Pending reports whether any objects are still in flight (written
+// but not yet read). Used by drain logic and the end-of-simulation
+// assertion.
+func (s *Signal) Pending() bool { return s.produced != s.consumed }
+
+// Traffic returns the total objects produced and consumed so far.
+func (s *Signal) Traffic() (produced, consumed uint64) { return s.produced, s.consumed }
+
+// Tracer receives every object as it leaves a signal, one call per
+// object. The signal trace file consumed by the Signal Trace
+// Visualizer (cmd/sigtrace) is produced through this interface.
+type Tracer interface {
+	Trace(cycle int64, signal string, obj *DynObject)
+}
+
+func (s *Signal) setTracer(t Tracer) { s.tracer = t }

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+type testObj struct {
+	DynObject
+	val int
+}
+
+func newObj(ids *IDSource, val int) *testObj {
+	return &testObj{DynObject: DynObject{ID: ids.Next()}, val: val}
+}
+
+func expectSimError(t *testing.T, fn func()) *SimError {
+	t.Helper()
+	var got *SimError
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("expected SimError panic, got none")
+			}
+			se, ok := r.(*SimError)
+			if !ok {
+				t.Fatalf("expected *SimError, got %v", r)
+			}
+			got = se
+		}()
+		fn()
+	}()
+	return got
+}
+
+func TestSignalDeliversAtLatency(t *testing.T) {
+	var ids IDSource
+	s := NewSignal("wire", 1, 3, 0)
+	o := newObj(&ids, 42)
+	s.Write(10, o)
+	for c := int64(10); c < 13; c++ {
+		if got := s.Read(c); got != nil {
+			t.Fatalf("cycle %d: object arrived early: %v", c, got)
+		}
+	}
+	got := s.Read(13)
+	if len(got) != 1 || got[0].(*testObj).val != 42 {
+		t.Fatalf("cycle 13: want [42], got %v", got)
+	}
+	if s.Read(13) != nil {
+		t.Fatal("second read returned data")
+	}
+	if s.Pending() {
+		t.Fatal("signal still pending after delivery")
+	}
+}
+
+func TestSignalBandwidthEnforced(t *testing.T) {
+	var ids IDSource
+	s := NewSignal("wire", 2, 1, 0)
+	s.Write(5, newObj(&ids, 1))
+	s.Write(5, newObj(&ids, 2))
+	se := expectSimError(t, func() { s.Write(5, newObj(&ids, 3)) })
+	if se.Cycle != 5 || se.Where != "wire" {
+		t.Fatalf("wrong error context: %+v", se)
+	}
+	// A new cycle resets the budget.
+	s.Read(6)
+	s.Write(6, newObj(&ids, 4))
+}
+
+func TestSignalDataLossDetected(t *testing.T) {
+	var ids IDSource
+	s := NewSignal("wire", 1, 1, 0)
+	s.Write(0, newObj(&ids, 1)) // arrives cycle 1, never read
+	// ring size is maxLat+1 = 2, so a write at cycle 2 (arrival 3)
+	// lands on the same slot as the unread cycle-1 object.
+	expectSimError(t, func() { s.Write(2, newObj(&ids, 2)) })
+}
+
+func TestSignalWriteLat(t *testing.T) {
+	var ids IDSource
+	s := NewSignal("alu", 4, 1, 9)
+	s.WriteLat(0, 9, newObj(&ids, 9))
+	s.WriteLat(0, 1, newObj(&ids, 1))
+	if got := s.Read(1); len(got) != 1 || got[0].(*testObj).val != 1 {
+		t.Fatalf("lat-1 object: got %v", got)
+	}
+	if got := s.Read(9); len(got) != 1 || got[0].(*testObj).val != 9 {
+		t.Fatalf("lat-9 object: got %v", got)
+	}
+	expectSimError(t, func() { s.WriteLat(10, 10, newObj(&ids, 0)) })
+	expectSimError(t, func() { s.WriteLat(10, 0, newObj(&ids, 0)) })
+}
+
+func TestSignalTimeMovesForward(t *testing.T) {
+	var ids IDSource
+	s := NewSignal("wire", 1, 1, 0)
+	s.Write(10, newObj(&ids, 1))
+	expectSimError(t, func() { s.Write(9, newObj(&ids, 2)) })
+}
+
+func TestSignalFIFOWithinCycleProperty(t *testing.T) {
+	// All objects written in one cycle are delivered together, in
+	// write order, exactly latency cycles later.
+	f := func(vals []int8, latRaw uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		lat := int(latRaw%16) + 1
+		var ids IDSource
+		s := NewSignal("wire", len(vals), lat, 0)
+		for _, v := range vals {
+			s.Write(100, newObj(&ids, int(v)))
+		}
+		got := s.Read(100 + int64(lat))
+		if len(got) != len(vals) {
+			return false
+		}
+		for i, o := range got {
+			if o.(*testObj).val != int(vals[i]) {
+				return false
+			}
+		}
+		return !s.Pending()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignalTrafficCounts(t *testing.T) {
+	var ids IDSource
+	s := NewSignal("wire", 4, 2, 0)
+	for i := 0; i < 3; i++ {
+		s.Write(0, newObj(&ids, i))
+	}
+	p, c := s.Traffic()
+	if p != 3 || c != 0 {
+		t.Fatalf("traffic after writes: %d/%d", p, c)
+	}
+	s.Read(2)
+	p, c = s.Traffic()
+	if p != 3 || c != 3 {
+		t.Fatalf("traffic after read: %d/%d", p, c)
+	}
+}
+
+func TestNewSignalValidation(t *testing.T) {
+	for _, tc := range []struct{ bw, lat int }{{0, 1}, {1, 0}, {-1, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSignal(bw=%d,lat=%d) did not panic", tc.bw, tc.lat)
+				}
+			}()
+			NewSignal("bad", tc.bw, tc.lat, 0)
+		}()
+	}
+}
+
+func TestIDSourceUniqueAndNonZero(t *testing.T) {
+	var ids IDSource
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		id := ids.Next()
+		if id == 0 {
+			t.Fatal("IDSource returned 0")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+}

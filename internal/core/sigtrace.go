@@ -1,0 +1,91 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// SigTraceWriter dumps every object leaving a signal as one line of a
+// signal trace file, the input to the Signal Trace Visualizer
+// (cmd/sigtrace). Format, one record per line:
+//
+//	cycle;signal;id;parent;color;tag
+type SigTraceWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewSigTraceWriter wraps w. Call Close to flush.
+func NewSigTraceWriter(w io.Writer) *SigTraceWriter {
+	return &SigTraceWriter{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Trace implements Tracer.
+func (t *SigTraceWriter) Trace(cycle int64, signal string, obj *DynObject) {
+	if t.err != nil {
+		return
+	}
+	_, t.err = fmt.Fprintf(t.w, "%d;%s;%d;%d;%d;%s\n",
+		cycle, signal, obj.ID, obj.Parent, obj.Color, obj.Tag)
+}
+
+// Close flushes buffered records and returns the first write error.
+func (t *SigTraceWriter) Close() error {
+	if err := t.w.Flush(); t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// SigTraceRecord is one parsed line of a signal trace file.
+type SigTraceRecord struct {
+	Cycle  int64
+	Signal string
+	ID     uint64
+	Parent uint64
+	Color  uint32
+	Tag    string
+}
+
+// ReadSigTrace parses a signal trace stream produced by
+// SigTraceWriter.
+func ReadSigTrace(r io.Reader) ([]SigTraceRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var out []SigTraceRecord
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		parts := strings.SplitN(text, ";", 6)
+		if len(parts) != 6 {
+			return nil, fmt.Errorf("sigtrace line %d: want 6 fields, got %d", line, len(parts))
+		}
+		var rec SigTraceRecord
+		var err error
+		if rec.Cycle, err = strconv.ParseInt(parts[0], 10, 64); err != nil {
+			return nil, fmt.Errorf("sigtrace line %d: cycle: %v", line, err)
+		}
+		rec.Signal = parts[1]
+		if rec.ID, err = strconv.ParseUint(parts[2], 10, 64); err != nil {
+			return nil, fmt.Errorf("sigtrace line %d: id: %v", line, err)
+		}
+		if rec.Parent, err = strconv.ParseUint(parts[3], 10, 64); err != nil {
+			return nil, fmt.Errorf("sigtrace line %d: parent: %v", line, err)
+		}
+		c, err := strconv.ParseUint(parts[4], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("sigtrace line %d: color: %v", line, err)
+		}
+		rec.Color = uint32(c)
+		rec.Tag = parts[5]
+		out = append(out, rec)
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Box is a timing module. Clock is called exactly once per simulated
+// cycle; a box reads its input signals, updates local state (queues,
+// registers), calls its emulator library for any rendering
+// computation, and writes its output signals.
+type Box interface {
+	BoxName() string
+	Clock(cycle int64)
+}
+
+// BoxBase provides the name plumbing shared by all boxes; embed it
+// and call Init in the box constructor.
+type BoxBase struct {
+	name string
+}
+
+// Init sets the box name.
+func (b *BoxBase) Init(name string) { b.name = name }
+
+// BoxName implements Box.
+func (b *BoxBase) BoxName() string { return b.name }
+
+// Simulator owns the clock loop: a set of boxes, the signal binder,
+// the statistics manager, and an object-identifier source shared by
+// everything in one simulated GPU.
+type Simulator struct {
+	Binder *Binder
+	Stats  *StatManager
+	IDs    IDSource
+
+	boxes []Box
+	cycle int64
+	done  func() bool
+}
+
+// NewSimulator creates a simulator with the given statistics sampling
+// interval (0 disables interval sampling).
+func NewSimulator(statInterval int64) *Simulator {
+	return &Simulator{
+		Binder: NewBinder(),
+		Stats:  NewStatManager(statInterval),
+	}
+}
+
+// Register adds a box to the clock loop in registration order.
+func (s *Simulator) Register(b Box) { s.boxes = append(s.boxes, b) }
+
+// SetDone installs the termination predicate checked after every
+// cycle (typically "command processor has retired all commands").
+func (s *Simulator) SetDone(done func() bool) { s.done = done }
+
+// Cycle returns the current simulation cycle.
+func (s *Simulator) Cycle() int64 { return s.cycle }
+
+// ErrCycleLimit is returned by Run when the cycle budget is exhausted
+// before the termination predicate fires.
+var ErrCycleLimit = errors.New("core: cycle limit reached")
+
+// Run clocks all boxes until the done predicate reports true or
+// maxCycles elapse. Model violations (signal bandwidth, lost data)
+// surface as *SimError.
+func (s *Simulator) Run(maxCycles int64) error {
+	if err := s.Binder.Validate(); err != nil {
+		return err
+	}
+	if s.done == nil {
+		return errors.New("core: no termination predicate installed")
+	}
+	err := s.run(maxCycles)
+	s.Stats.Flush(s.cycle)
+	return err
+}
+
+func (s *Simulator) run(maxCycles int64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if se, ok := r.(*SimError); ok {
+				err = se
+				return
+			}
+			panic(r)
+		}
+	}()
+	limit := s.cycle + maxCycles
+	for s.cycle < limit {
+		for _, b := range s.boxes {
+			b.Clock(s.cycle)
+		}
+		s.Stats.Tick(s.cycle)
+		s.cycle++
+		if s.done() {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w after %d cycles", ErrCycleLimit, maxCycles)
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Stat is one named statistic collected during simulation. Stats are
+// registered with a StatManager, which snapshots them at a sampling
+// interval and dumps a CSV with one column per stat (the paper's
+// ~300-statistic CSV output).
+type Stat interface {
+	// StatName returns the fully qualified name, conventionally
+	// "Box.metric".
+	StatName() string
+	// Value returns the current cumulative value.
+	Value() float64
+}
+
+// Counter is a monotonically increasing statistic (events, cycles
+// busy, bytes transferred). The zero value is unusable; create
+// counters through StatManager.Counter so they are registered.
+type Counter struct {
+	name string
+	v    float64
+}
+
+// StatName implements Stat.
+func (c *Counter) StatName() string { return c.name }
+
+// Value implements Stat.
+func (c *Counter) Value() float64 { return c.v }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n float64) { c.v += n }
+
+// Gauge is a statistic that records the latest and maximum observed
+// value (queue occupancies, threads in flight).
+type Gauge struct {
+	name string
+	v    float64
+	max  float64
+}
+
+// StatName implements Stat.
+func (g *Gauge) StatName() string { return g.name }
+
+// Value implements Stat.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Max returns the largest value ever set.
+func (g *Gauge) Max() float64 { return g.max }
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) {
+	g.v = v
+	if v > g.max {
+		g.max = v
+	}
+}
+
+// StatManager registers statistics and produces the CSV output. A
+// sample records, for each stat, the delta of its value over the
+// sampling interval (so utilization-style plots fall directly out of
+// counters), plus the cumulative value at end of run.
+type StatManager struct {
+	stats    []Stat
+	byName   map[string]Stat
+	interval int64
+	rows     []sampleRow
+	last     []float64
+}
+
+type sampleRow struct {
+	cycle  int64
+	deltas []float64
+}
+
+// NewStatManager creates a manager sampling every interval cycles.
+// Pass interval 0 to disable interval sampling (cumulative values are
+// still available).
+func NewStatManager(interval int64) *StatManager {
+	return &StatManager{byName: make(map[string]Stat), interval: interval}
+}
+
+// Counter creates and registers a Counter with the given name. The
+// name must be unique.
+func (m *StatManager) Counter(name string) *Counter {
+	c := &Counter{name: name}
+	m.register(c)
+	return c
+}
+
+// Gauge creates and registers a Gauge with the given name.
+func (m *StatManager) Gauge(name string) *Gauge {
+	g := &Gauge{name: name}
+	m.register(g)
+	return g
+}
+
+func (m *StatManager) register(s Stat) {
+	if _, dup := m.byName[s.StatName()]; dup {
+		panic(fmt.Sprintf("stat %q registered twice", s.StatName()))
+	}
+	m.byName[s.StatName()] = s
+	m.stats = append(m.stats, s)
+	m.last = append(m.last, 0)
+}
+
+// Lookup returns the stat registered under name, or nil.
+func (m *StatManager) Lookup(name string) Stat { return m.byName[name] }
+
+// Names returns all registered stat names, sorted.
+func (m *StatManager) Names() []string {
+	out := make([]string, 0, len(m.stats))
+	for _, s := range m.stats {
+		out = append(out, s.StatName())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Tick is called by the simulator once per cycle and records a sample
+// row whenever the sampling interval elapses.
+func (m *StatManager) Tick(cycle int64) {
+	if m.interval <= 0 || cycle == 0 || cycle%m.interval != 0 {
+		return
+	}
+	m.sample(cycle)
+}
+
+// Flush records a final partial sample at the given cycle.
+func (m *StatManager) Flush(cycle int64) {
+	if m.interval <= 0 {
+		return
+	}
+	m.sample(cycle)
+}
+
+func (m *StatManager) sample(cycle int64) {
+	row := sampleRow{cycle: cycle, deltas: make([]float64, len(m.stats))}
+	for i, s := range m.stats {
+		v := s.Value()
+		row.deltas[i] = v - m.last[i]
+		m.last[i] = v
+	}
+	m.rows = append(m.rows, row)
+}
+
+// Samples returns the recorded per-interval deltas for one stat, with
+// the cycle at which each sample was taken.
+func (m *StatManager) Samples(name string) (cycles []int64, deltas []float64) {
+	idx := -1
+	for i, s := range m.stats {
+		if s.StatName() == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, nil
+	}
+	for _, r := range m.rows {
+		cycles = append(cycles, r.cycle)
+		deltas = append(deltas, r.deltas[idx])
+	}
+	return cycles, deltas
+}
+
+// WriteCSV dumps all interval samples: header row of stat names, then
+// one row per sample with the per-interval deltas.
+func (m *StatManager) WriteCSV(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString("cycle")
+	for _, s := range m.stats {
+		sb.WriteByte(',')
+		sb.WriteString(s.StatName())
+	}
+	sb.WriteByte('\n')
+	for _, r := range m.rows {
+		sb.WriteString(strconv.FormatInt(r.cycle, 10))
+		for _, d := range r.deltas {
+			sb.WriteByte(',')
+			sb.WriteString(strconv.FormatFloat(d, 'g', -1, 64))
+		}
+		sb.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteSummary dumps the cumulative value of every stat, one per
+// line, sorted by name.
+func (m *StatManager) WriteSummary(w io.Writer) error {
+	names := m.Names()
+	var sb strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&sb, "%s,%g\n", n, m.byName[n].Value())
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,48 @@
+// Package clipemu implements the ClipperEmulator (paper §3): like the
+// paper's current implementation it only performs trivial rejection
+// of triangles lying completely outside the view frustum; partially
+// visible triangles flow on to the rasterizer, whose viewport and
+// scissor culling removes the out-of-window fragments.
+package clipemu
+
+import "attila/internal/vmath"
+
+// outcode returns the frustum half-space mask for a clip-space
+// vertex: bit set = outside that plane.
+func outcode(v vmath.Vec4) uint8 {
+	w := v[3]
+	var code uint8
+	if v[0] < -w {
+		code |= 1 << 0
+	}
+	if v[0] > w {
+		code |= 1 << 1
+	}
+	if v[1] < -w {
+		code |= 1 << 2
+	}
+	if v[1] > w {
+		code |= 1 << 3
+	}
+	if v[2] < -w {
+		code |= 1 << 4
+	}
+	if v[2] > w {
+		code |= 1 << 5
+	}
+	return code
+}
+
+// TriviallyRejected reports whether all three vertices lie outside
+// the same frustum plane, in which case the triangle cannot produce
+// any visible fragment and is removed from the pipeline.
+func TriviallyRejected(v0, v1, v2 vmath.Vec4) bool {
+	return outcode(v0)&outcode(v1)&outcode(v2) != 0
+}
+
+// FullyInside reports whether all vertices are inside the frustum; a
+// pipeline statistic (fully inside triangles need no per-fragment
+// viewport culling, though we apply it regardless).
+func FullyInside(v0, v1, v2 vmath.Vec4) bool {
+	return outcode(v0)|outcode(v1)|outcode(v2) == 0
+}

@@ -1,0 +1,93 @@
+package clipemu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"attila/internal/vmath"
+)
+
+func TestTrivialRejection(t *testing.T) {
+	// All vertices beyond x > w: rejected.
+	if !TriviallyRejected(
+		vmath.Vec4{2, 0, 0, 1},
+		vmath.Vec4{3, 1, 0, 1},
+		vmath.Vec4{2.5, -1, 0, 1}) {
+		t.Fatal("triangle right of frustum not rejected")
+	}
+	// Straddling: one vertex inside.
+	if TriviallyRejected(
+		vmath.Vec4{2, 0, 0, 1},
+		vmath.Vec4{0, 0, 0, 1},
+		vmath.Vec4{2.5, -1, 0, 1}) {
+		t.Fatal("partially visible triangle rejected")
+	}
+	// Vertices outside different planes but not all the same one.
+	if TriviallyRejected(
+		vmath.Vec4{2, 0, 0, 1},
+		vmath.Vec4{-2, 0, 0, 1},
+		vmath.Vec4{0, 2, 0, 1}) {
+		t.Fatal("cross-plane triangle rejected")
+	}
+}
+
+func TestFullyInside(t *testing.T) {
+	if !FullyInside(
+		vmath.Vec4{0, 0, 0, 1},
+		vmath.Vec4{0.5, 0.5, 0.5, 1},
+		vmath.Vec4{-0.5, -0.5, -0.5, 1}) {
+		t.Fatal("inside triangle not detected")
+	}
+	if FullyInside(
+		vmath.Vec4{0, 0, 0, 1},
+		vmath.Vec4{2, 0, 0, 1},
+		vmath.Vec4{0, 0.5, 0, 1}) {
+		t.Fatal("partially outside triangle reported inside")
+	}
+}
+
+// Property: a rejected triangle can contain no vertex that is inside
+// the frustum, and FullyInside implies not TriviallyRejected.
+func TestRejectionSoundnessProperty(t *testing.T) {
+	f := func(coords [9]float32) bool {
+		mk := func(i int) vmath.Vec4 {
+			return vmath.Vec4{coords[i], coords[i+1], coords[i+2], 1}
+		}
+		v0, v1, v2 := mk(0), mk(3), mk(6)
+		rej := TriviallyRejected(v0, v1, v2)
+		if rej {
+			for _, v := range []vmath.Vec4{v0, v1, v2} {
+				if outcode(v) == 0 {
+					return false // inside vertex on a rejected triangle
+				}
+			}
+		}
+		if FullyInside(v0, v1, v2) && rej {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutcodePlanes(t *testing.T) {
+	cases := []struct {
+		v    vmath.Vec4
+		code uint8
+	}{
+		{vmath.Vec4{0, 0, 0, 1}, 0},
+		{vmath.Vec4{-2, 0, 0, 1}, 1 << 0},
+		{vmath.Vec4{2, 0, 0, 1}, 1 << 1},
+		{vmath.Vec4{0, -2, 0, 1}, 1 << 2},
+		{vmath.Vec4{0, 2, 0, 1}, 1 << 3},
+		{vmath.Vec4{0, 0, -2, 1}, 1 << 4},
+		{vmath.Vec4{0, 0, 2, 1}, 1 << 5},
+	}
+	for _, c := range cases {
+		if got := outcode(c.v); got != c.code {
+			t.Errorf("outcode(%v) = %06b, want %06b", c.v, got, c.code)
+		}
+	}
+}

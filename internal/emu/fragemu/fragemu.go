@@ -1,0 +1,362 @@
+// Package fragemu implements the FragmentOperatorEmulator (paper §3):
+// the depth and stencil test functions used by the Z and Stencil Test
+// unit, the blend and update functions used by Color Write, value
+// packing for the depth-stencil and color buffers, and the lossless
+// compression algorithm (1:2 and 1:4 ratios) applied to Z cache lines
+// (paper §2.2, based on the ATI Hot3D presentation and patent).
+package fragemu
+
+import (
+	"fmt"
+
+	"attila/internal/vmath"
+)
+
+// CompareFunc is a depth/stencil/alpha comparison function.
+type CompareFunc uint8
+
+// Comparison functions, matching the OpenGL enumeration semantics.
+const (
+	CmpNever CompareFunc = iota
+	CmpLess
+	CmpEqual
+	CmpLEqual
+	CmpGreater
+	CmpNotEqual
+	CmpGEqual
+	CmpAlways
+)
+
+// Compare evaluates "value cmp ref"... per the GL convention the
+// incoming (fragment) value is compared against the stored value, so
+// the arguments are (incoming, stored).
+func Compare(f CompareFunc, incoming, stored uint32) bool {
+	switch f {
+	case CmpNever:
+		return false
+	case CmpLess:
+		return incoming < stored
+	case CmpEqual:
+		return incoming == stored
+	case CmpLEqual:
+		return incoming <= stored
+	case CmpGreater:
+		return incoming > stored
+	case CmpNotEqual:
+		return incoming != stored
+	case CmpGEqual:
+		return incoming >= stored
+	case CmpAlways:
+		return true
+	}
+	panic(fmt.Sprintf("fragemu: bad compare func %d", f))
+}
+
+// StencilOp is a stencil update operation.
+type StencilOp uint8
+
+// Stencil operations.
+const (
+	StKeep StencilOp = iota
+	StZero
+	StReplace
+	StIncr
+	StDecr
+	StInvert
+	StIncrWrap
+	StDecrWrap
+)
+
+func applyStencilOp(op StencilOp, stored, ref uint8) uint8 {
+	switch op {
+	case StKeep:
+		return stored
+	case StZero:
+		return 0
+	case StReplace:
+		return ref
+	case StIncr:
+		if stored == 255 {
+			return 255
+		}
+		return stored + 1
+	case StDecr:
+		if stored == 0 {
+			return 0
+		}
+		return stored - 1
+	case StInvert:
+		return ^stored
+	case StIncrWrap:
+		return stored + 1
+	case StDecrWrap:
+		return stored - 1
+	}
+	panic(fmt.Sprintf("fragemu: bad stencil op %d", op))
+}
+
+// DepthBits is the depth precision of the depth-stencil buffer: 24
+// bits of depth plus 8 bits of stencil per element (paper §2.2).
+const DepthBits = 24
+
+// MaxDepth is the largest representable fixed-point depth value.
+const MaxDepth = 1<<DepthBits - 1
+
+// DepthToFixed converts a [0,1] float depth to 24-bit fixed point,
+// clamping out-of-range values.
+func DepthToFixed(z float32) uint32 {
+	if z <= 0 {
+		return 0
+	}
+	if z >= 1 {
+		return MaxDepth
+	}
+	return uint32(z * float32(MaxDepth))
+}
+
+// PackDS packs depth and stencil into a 32-bit buffer element:
+// depth in bits [31:8], stencil in [7:0].
+func PackDS(depth uint32, stencil uint8) uint32 {
+	return depth<<8 | uint32(stencil)
+}
+
+// UnpackDS splits a buffer element into depth and stencil.
+func UnpackDS(v uint32) (depth uint32, stencil uint8) {
+	return v >> 8, uint8(v)
+}
+
+// DepthState is the depth test configuration.
+type DepthState struct {
+	Enabled   bool
+	Func      CompareFunc
+	WriteMask bool
+}
+
+// StencilState is the stencil test configuration.
+type StencilState struct {
+	Enabled   bool
+	Func      CompareFunc
+	Ref       uint8
+	ReadMask  uint8
+	WriteMask uint8
+	SFail     StencilOp // stencil test failed
+	DPFail    StencilOp // stencil passed, depth failed
+	DPPass    StencilOp // both passed
+}
+
+// ZStencilResult is the outcome of the combined test: whether the
+// fragment survives and the updated depth-stencil element (the
+// stencil may update even when the fragment is discarded).
+type ZStencilResult struct {
+	Pass bool
+	Out  uint32
+}
+
+// ZStencilTest performs the OpenGL depth+stencil test and update for
+// one fragment against the stored buffer element.
+func ZStencilTest(ds DepthState, ss StencilState, fragDepth uint32, stored uint32) ZStencilResult {
+	storedDepth, storedStencil := UnpackDS(stored)
+
+	stencilPass := true
+	if ss.Enabled {
+		stencilPass = Compare(ss.Func, uint32(ss.Ref&ss.ReadMask), uint32(storedStencil&ss.ReadMask))
+	}
+
+	depthPass := true
+	if ds.Enabled {
+		depthPass = Compare(ds.Func, fragDepth, storedDepth)
+	}
+
+	newStencil := storedStencil
+	if ss.Enabled {
+		var op StencilOp
+		switch {
+		case !stencilPass:
+			op = ss.SFail
+		case !depthPass:
+			op = ss.DPFail
+		default:
+			op = ss.DPPass
+		}
+		updated := applyStencilOp(op, storedStencil, ss.Ref)
+		newStencil = storedStencil&^ss.WriteMask | updated&ss.WriteMask
+	}
+
+	newDepth := storedDepth
+	pass := stencilPass && depthPass
+	if pass && ds.Enabled && ds.WriteMask {
+		newDepth = fragDepth
+	}
+
+	return ZStencilResult{Pass: pass, Out: PackDS(newDepth, newStencil)}
+}
+
+// BlendFactor is an OpenGL blend factor.
+type BlendFactor uint8
+
+// Blend factors.
+const (
+	BfZero BlendFactor = iota
+	BfOne
+	BfSrcColor
+	BfOneMinusSrcColor
+	BfDstColor
+	BfOneMinusDstColor
+	BfSrcAlpha
+	BfOneMinusSrcAlpha
+	BfDstAlpha
+	BfOneMinusDstAlpha
+	BfConstColor
+	BfOneMinusConstColor
+	BfConstAlpha
+	BfOneMinusConstAlpha
+	BfSrcAlphaSaturate
+)
+
+// BlendEq is an OpenGL blend equation.
+type BlendEq uint8
+
+// Blend equations.
+const (
+	BeAdd BlendEq = iota
+	BeSubtract
+	BeReverseSubtract
+	BeMin
+	BeMax
+)
+
+// BlendState is the framebuffer blend configuration.
+type BlendState struct {
+	Enabled        bool
+	SrcRGB, DstRGB BlendFactor
+	SrcA, DstA     BlendFactor
+	EqRGB, EqA     BlendEq
+	Const          vmath.Vec4
+}
+
+func factor(f BlendFactor, src, dst, cst vmath.Vec4) vmath.Vec4 {
+	one := vmath.Vec4{1, 1, 1, 1}
+	switch f {
+	case BfZero:
+		return vmath.Vec4{}
+	case BfOne:
+		return one
+	case BfSrcColor:
+		return src
+	case BfOneMinusSrcColor:
+		return one.Sub(src)
+	case BfDstColor:
+		return dst
+	case BfOneMinusDstColor:
+		return one.Sub(dst)
+	case BfSrcAlpha:
+		return vmath.Vec4{src[3], src[3], src[3], src[3]}
+	case BfOneMinusSrcAlpha:
+		a := 1 - src[3]
+		return vmath.Vec4{a, a, a, a}
+	case BfDstAlpha:
+		return vmath.Vec4{dst[3], dst[3], dst[3], dst[3]}
+	case BfOneMinusDstAlpha:
+		a := 1 - dst[3]
+		return vmath.Vec4{a, a, a, a}
+	case BfConstColor:
+		return cst
+	case BfOneMinusConstColor:
+		return one.Sub(cst)
+	case BfConstAlpha:
+		return vmath.Vec4{cst[3], cst[3], cst[3], cst[3]}
+	case BfOneMinusConstAlpha:
+		a := 1 - cst[3]
+		return vmath.Vec4{a, a, a, a}
+	case BfSrcAlphaSaturate:
+		f := src[3]
+		if d := 1 - dst[3]; d < f {
+			f = d
+		}
+		return vmath.Vec4{f, f, f, 1}
+	}
+	panic(fmt.Sprintf("fragemu: bad blend factor %d", f))
+}
+
+func combine(eq BlendEq, s, d float32) float32 {
+	switch eq {
+	case BeAdd:
+		return s + d
+	case BeSubtract:
+		return s - d
+	case BeReverseSubtract:
+		return d - s
+	case BeMin:
+		if s < d {
+			return s
+		}
+		return d
+	case BeMax:
+		if s > d {
+			return s
+		}
+		return d
+	}
+	panic(fmt.Sprintf("fragemu: bad blend equation %d", eq))
+}
+
+// Blend combines the fragment color (src) with the framebuffer color
+// (dst) per the blend state and returns the clamped result. With
+// blending disabled the source color is returned clamped (negative
+// shader outputs must not wrap when quantized — one of the three
+// Figure 10 bug classes).
+func Blend(bs BlendState, src, dst vmath.Vec4) vmath.Vec4 {
+	if !bs.Enabled {
+		return src.Clamp01()
+	}
+	sf := factor(bs.SrcRGB, src, dst, bs.Const)
+	df := factor(bs.DstRGB, src, dst, bs.Const)
+	sfa := factor(bs.SrcA, src, dst, bs.Const)
+	dfa := factor(bs.DstA, src, dst, bs.Const)
+	var out vmath.Vec4
+	for i := 0; i < 3; i++ {
+		s, d := src[i], dst[i]
+		if bs.EqRGB == BeMin || bs.EqRGB == BeMax {
+			out[i] = combine(bs.EqRGB, s, d)
+		} else {
+			out[i] = combine(bs.EqRGB, s*sf[i], d*df[i])
+		}
+	}
+	if bs.EqA == BeMin || bs.EqA == BeMax {
+		out[3] = combine(bs.EqA, src[3], dst[3])
+	} else {
+		out[3] = combine(bs.EqA, src[3]*sfa[3], dst[3]*dfa[3])
+	}
+	return out.Clamp01()
+}
+
+// PackColor quantizes a float color to the RGBA8 framebuffer format.
+func PackColor(v vmath.Vec4) [4]byte {
+	q := func(f float32) byte {
+		f = vmath.Clamp01(f)
+		return byte(f*255 + 0.5)
+	}
+	return [4]byte{q(v[0]), q(v[1]), q(v[2]), q(v[3])}
+}
+
+// UnpackColor converts an RGBA8 framebuffer value to float.
+func UnpackColor(c [4]byte) vmath.Vec4 {
+	return vmath.Vec4{
+		float32(c[0]) / 255,
+		float32(c[1]) / 255,
+		float32(c[2]) / 255,
+		float32(c[3]) / 255,
+	}
+}
+
+// ApplyColorMask merges the new color into the stored color honoring
+// the per-channel write mask.
+func ApplyColorMask(mask [4]bool, stored, incoming [4]byte) [4]byte {
+	out := stored
+	for i := 0; i < 4; i++ {
+		if mask[i] {
+			out[i] = incoming[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,377 @@
+package fragemu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"attila/internal/vmath"
+)
+
+func TestCompareFuncs(t *testing.T) {
+	cases := []struct {
+		f        CompareFunc
+		a, b     uint32
+		expected bool
+	}{
+		{CmpNever, 1, 1, false},
+		{CmpAlways, 1, 2, true},
+		{CmpLess, 1, 2, true},
+		{CmpLess, 2, 2, false},
+		{CmpLEqual, 2, 2, true},
+		{CmpEqual, 3, 3, true},
+		{CmpEqual, 3, 4, false},
+		{CmpGreater, 5, 4, true},
+		{CmpGEqual, 4, 4, true},
+		{CmpNotEqual, 4, 4, false},
+		{CmpNotEqual, 4, 5, true},
+	}
+	for _, c := range cases {
+		if got := Compare(c.f, c.a, c.b); got != c.expected {
+			t.Errorf("Compare(%d, %d, %d) = %v", c.f, c.a, c.b, got)
+		}
+	}
+}
+
+func TestDepthConversion(t *testing.T) {
+	if DepthToFixed(0) != 0 {
+		t.Fatal("0 depth")
+	}
+	if DepthToFixed(1) != MaxDepth {
+		t.Fatal("1 depth")
+	}
+	if DepthToFixed(-5) != 0 || DepthToFixed(7) != MaxDepth {
+		t.Fatal("clamping")
+	}
+	mid := DepthToFixed(0.5)
+	if mid < MaxDepth/2-1 || mid > MaxDepth/2+1 {
+		t.Fatalf("mid depth: %d", mid)
+	}
+}
+
+func TestPackUnpackDS(t *testing.T) {
+	f := func(d uint32, s uint8) bool {
+		d &= MaxDepth
+		gd, gs := UnpackDS(PackDS(d, s))
+		return gd == d && gs == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDepthTestLess(t *testing.T) {
+	ds := DepthState{Enabled: true, Func: CmpLess, WriteMask: true}
+	stored := PackDS(1000, 0)
+	r := ZStencilTest(ds, StencilState{}, 500, stored)
+	if !r.Pass {
+		t.Fatal("closer fragment rejected")
+	}
+	if d, _ := UnpackDS(r.Out); d != 500 {
+		t.Fatalf("depth not written: %d", d)
+	}
+	r = ZStencilTest(ds, StencilState{}, 2000, stored)
+	if r.Pass {
+		t.Fatal("farther fragment passed")
+	}
+	if r.Out != stored {
+		t.Fatal("failed fragment modified buffer")
+	}
+}
+
+func TestDepthWriteMaskDisabled(t *testing.T) {
+	ds := DepthState{Enabled: true, Func: CmpLess, WriteMask: false}
+	r := ZStencilTest(ds, StencilState{}, 500, PackDS(1000, 7))
+	if !r.Pass {
+		t.Fatal("should pass")
+	}
+	if d, s := UnpackDS(r.Out); d != 1000 || s != 7 {
+		t.Fatalf("buffer modified with write mask off: %d/%d", d, s)
+	}
+}
+
+func TestStencilShadowVolumePattern(t *testing.T) {
+	// Doom3-style: depth test LESS with write off, stencil INCR on
+	// depth fail (Carmack's reverse uses DPFail).
+	ds := DepthState{Enabled: true, Func: CmpLess, WriteMask: false}
+	ss := StencilState{
+		Enabled: true, Func: CmpAlways, Ref: 0, ReadMask: 0xFF, WriteMask: 0xFF,
+		SFail: StKeep, DPFail: StIncr, DPPass: StKeep,
+	}
+	stored := PackDS(1000, 0)
+	// Fragment behind the stored geometry: depth fails -> stencil increments.
+	r := ZStencilTest(ds, ss, 2000, stored)
+	if r.Pass {
+		t.Fatal("depth-failed fragment should not pass")
+	}
+	if _, s := UnpackDS(r.Out); s != 1 {
+		t.Fatalf("stencil after DPFail INCR: %d", s)
+	}
+	// Fragment in front: depth passes -> stencil kept.
+	r = ZStencilTest(ds, ss, 500, stored)
+	if !r.Pass {
+		t.Fatal("depth-passed fragment rejected")
+	}
+	if _, s := UnpackDS(r.Out); s != 0 {
+		t.Fatalf("stencil after DPPass KEEP: %d", s)
+	}
+}
+
+func TestStencilOps(t *testing.T) {
+	cases := []struct {
+		op     StencilOp
+		stored uint8
+		ref    uint8
+		want   uint8
+	}{
+		{StKeep, 5, 9, 5},
+		{StZero, 5, 9, 0},
+		{StReplace, 5, 9, 9},
+		{StIncr, 5, 0, 6},
+		{StIncr, 255, 0, 255},
+		{StDecr, 5, 0, 4},
+		{StDecr, 0, 0, 0},
+		{StInvert, 0x0F, 0, 0xF0},
+		{StIncrWrap, 255, 0, 0},
+		{StDecrWrap, 0, 0, 255},
+	}
+	for _, c := range cases {
+		if got := applyStencilOp(c.op, c.stored, c.ref); got != c.want {
+			t.Errorf("op %d on %d: got %d want %d", c.op, c.stored, got, c.want)
+		}
+	}
+}
+
+func TestStencilMasks(t *testing.T) {
+	ss := StencilState{
+		Enabled: true, Func: CmpEqual, Ref: 0x13, ReadMask: 0x0F, WriteMask: 0xF0,
+		SFail: StKeep, DPFail: StKeep, DPPass: StReplace,
+	}
+	// Read mask 0x0F: 0x13 & 0x0F == 0x03, stored 0xA3 & 0x0F == 0x03 -> pass.
+	r := ZStencilTest(DepthState{}, ss, 0, PackDS(0, 0xA3))
+	if !r.Pass {
+		t.Fatal("masked compare should pass")
+	}
+	// Write mask 0xF0: replace writes ref=0x13 only in high nibble.
+	if _, s := UnpackDS(r.Out); s != 0x13&0xF0|0xA3&0x0F {
+		t.Fatalf("masked write: %02x", s)
+	}
+}
+
+func TestBlendDisabledClampsNegative(t *testing.T) {
+	// Figure 10 bug class: negative shader outputs must clamp, not wrap.
+	out := Blend(BlendState{}, vmath.Vec4{-0.5, 0.5, 2, 1}, vmath.Vec4{})
+	if out != (vmath.Vec4{0, 0.5, 1, 1}) {
+		t.Fatalf("clamp: %v", out)
+	}
+}
+
+func TestAlphaBlending(t *testing.T) {
+	bs := BlendState{
+		Enabled: true,
+		SrcRGB:  BfSrcAlpha, DstRGB: BfOneMinusSrcAlpha,
+		SrcA: BfOne, DstA: BfZero,
+	}
+	src := vmath.Vec4{1, 0, 0, 0.25}
+	dst := vmath.Vec4{0, 1, 0, 1}
+	out := Blend(bs, src, dst)
+	want := vmath.Vec4{0.25, 0.75, 0, 0.25}
+	for i := range want {
+		if d := out[i] - want[i]; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("alpha blend: %v want %v", out, want)
+		}
+	}
+}
+
+func TestAdditiveBlending(t *testing.T) {
+	bs := BlendState{Enabled: true, SrcRGB: BfOne, DstRGB: BfOne, SrcA: BfOne, DstA: BfOne}
+	out := Blend(bs, vmath.Vec4{0.7, 0.2, 0, 0.5}, vmath.Vec4{0.6, 0.1, 0, 0.6})
+	if out[0] != 1 { // clamped
+		t.Fatalf("additive clamp: %v", out)
+	}
+	if d := out[1] - 0.3; d > 1e-6 || d < -1e-6 {
+		t.Fatalf("additive: %v", out)
+	}
+}
+
+func TestBlendMinMaxIgnoresFactors(t *testing.T) {
+	bs := BlendState{Enabled: true, SrcRGB: BfZero, DstRGB: BfZero, EqRGB: BeMax, EqA: BeMin}
+	out := Blend(bs, vmath.Vec4{0.8, 0.1, 0.5, 0.9}, vmath.Vec4{0.3, 0.6, 0.5, 0.2})
+	if out[0] != 0.8 || out[1] != 0.6 {
+		t.Fatalf("max blend: %v", out)
+	}
+	if out[3] != 0.2 {
+		t.Fatalf("min alpha: %v", out)
+	}
+}
+
+func TestBlendConstFactors(t *testing.T) {
+	bs := BlendState{
+		Enabled: true,
+		SrcRGB:  BfConstColor, DstRGB: BfZero, SrcA: BfConstAlpha, DstA: BfZero,
+		Const: vmath.Vec4{0.5, 0.25, 1, 0.5},
+	}
+	out := Blend(bs, vmath.Vec4{1, 1, 0.5, 1}, vmath.Vec4{})
+	want := vmath.Vec4{0.5, 0.25, 0.5, 0.5}
+	for i := range want {
+		if d := out[i] - want[i]; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("const blend: %v want %v", out, want)
+		}
+	}
+}
+
+func TestColorPackUnpackRoundTrip(t *testing.T) {
+	f := func(r, g, b, a uint8) bool {
+		c := [4]byte{r, g, b, a}
+		return PackColor(UnpackColor(c)) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyColorMask(t *testing.T) {
+	stored := [4]byte{1, 2, 3, 4}
+	incoming := [4]byte{9, 9, 9, 9}
+	got := ApplyColorMask([4]bool{true, false, true, false}, stored, incoming)
+	if got != [4]byte{9, 2, 9, 4} {
+		t.Fatalf("mask: %v", got)
+	}
+}
+
+func TestZCompressClearBlock(t *testing.T) {
+	var vals [ZBlockElems]uint32
+	clear := PackDS(MaxDepth, 0)
+	for i := range vals {
+		vals[i] = clear
+	}
+	level, data, maxD := CompressZBlock(&vals, nil)
+	if level != CompQuarter {
+		t.Fatalf("uniform block level: %v", level)
+	}
+	if len(data) != 64 {
+		t.Fatalf("1:4 size: %d", len(data))
+	}
+	if maxD != MaxDepth {
+		t.Fatalf("max depth: %d", maxD)
+	}
+	var back [ZBlockElems]uint32
+	DecompressZBlock(level, data, &back)
+	if back != vals {
+		t.Fatal("clear block roundtrip mismatch")
+	}
+}
+
+func TestZCompressPlanarBlock(t *testing.T) {
+	// A tile covered by one triangle has exactly planar depth: the
+	// plane predictor leaves zero residuals -> 1:4.
+	var vals [ZBlockElems]uint32
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			depth := uint32(500000 + x*4213 + y*977)
+			vals[y*8+x] = PackDS(depth, 5)
+		}
+	}
+	level, data, _ := CompressZBlock(&vals, nil)
+	if level != CompQuarter {
+		t.Fatalf("planar block level: %v", level)
+	}
+	var back [ZBlockElems]uint32
+	DecompressZBlock(level, data, &back)
+	if back != vals {
+		t.Fatal("planar roundtrip mismatch")
+	}
+}
+
+func TestZCompressLevels(t *testing.T) {
+	// Plane + medium residual noise: fits 14 bits but not 6 -> 1:2.
+	var vals [ZBlockElems]uint32
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			i := y*8 + x
+			noise := int(i*113%4000) - 2000
+			depth := uint32(2000000 + x*5000 + y*900 + noise)
+			vals[i] = PackDS(depth, 7)
+		}
+	}
+	level, data, _ := CompressZBlock(&vals, nil)
+	if level != CompHalf {
+		t.Fatalf("expected 1:2, got %v", level)
+	}
+	if len(data) != 128 {
+		t.Fatalf("1:2 size: %d", len(data))
+	}
+	var back [ZBlockElems]uint32
+	DecompressZBlock(level, data, &back)
+	if back != vals {
+		t.Fatal("1:2 roundtrip mismatch")
+	}
+	// Wildly non-planar data: uncompressed.
+	for i := range vals {
+		vals[i] = PackDS(uint32(i*i*i*997%MaxDepth), 7)
+	}
+	level, data, _ = CompressZBlock(&vals, nil)
+	if level != CompNone || len(data) != 256 {
+		t.Fatalf("wide block: %v/%d", level, len(data))
+	}
+	DecompressZBlock(level, data, &back)
+	if back != vals {
+		t.Fatal("uncompressed roundtrip mismatch")
+	}
+}
+
+func TestZCompressNonUniformStencilUncompressed(t *testing.T) {
+	var vals [ZBlockElems]uint32
+	for i := range vals {
+		vals[i] = PackDS(1000, uint8(i&1))
+	}
+	level, data, _ := CompressZBlock(&vals, nil)
+	if level != CompNone {
+		t.Fatalf("varying stencil compressed: %v", level)
+	}
+	var back [ZBlockElems]uint32
+	DecompressZBlock(level, data, &back)
+	if back != vals {
+		t.Fatal("roundtrip mismatch")
+	}
+}
+
+func TestZCompressRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		var vals [ZBlockElems]uint32
+		base := rng.Uint32()
+		spreadBits := uint(rng.Intn(33))
+		for i := range vals {
+			delta := uint32(0)
+			if spreadBits > 0 {
+				delta = uint32(rng.Int63()) & (1<<spreadBits - 1)
+			}
+			vals[i] = base + delta
+		}
+		level, data, maxD := CompressZBlock(&vals, nil)
+		var back [ZBlockElems]uint32
+		DecompressZBlock(level, data, &back)
+		if back != vals {
+			t.Fatalf("trial %d (spread %d bits, level %v): roundtrip mismatch", trial, spreadBits, level)
+		}
+		wantMax := uint32(0)
+		for _, v := range vals {
+			if d, _ := UnpackDS(v); d > wantMax {
+				wantMax = d
+			}
+		}
+		if maxD != wantMax {
+			t.Fatalf("trial %d: max depth %d want %d", trial, maxD, wantMax)
+		}
+	}
+}
+
+func TestZCompressReusesBuffer(t *testing.T) {
+	var vals [ZBlockElems]uint32
+	buf := make([]byte, 256)
+	_, data, _ := CompressZBlock(&vals, buf)
+	if &data[0] != &buf[0] {
+		t.Fatal("buffer not reused")
+	}
+}

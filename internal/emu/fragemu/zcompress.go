@@ -1,0 +1,208 @@
+package fragemu
+
+import "encoding/binary"
+
+// Z cache line compression (paper §2.2, after the ATI Hot3D
+// presentation and patent): a 256-byte line holds 64 depth-stencil
+// elements (an 8x8 fragment tile). The lossless scheme is a
+// first-order plane predictor (DDPCM-style): because z/w is linear in
+// screen space, a tile covered by one triangle is predicted almost
+// exactly by z(x, y) = z00 + x*dzdx + y*dzdy, leaving tiny residuals:
+//
+//	1:4 ratio —  64 bytes: 11-byte header + 64 residuals of 6 bits (48 B)
+//	1:2 ratio — 128 bytes: 11-byte header + 64 residuals of 14 bits (112 B)
+//
+// The header stores the corner depth-stencil value, the two plane
+// deltas and requires a uniform stencil across the tile (stencil
+// varies exactly where compression would fail anyway: shadow volume
+// boundaries). Lines that do not fit stay uncompressed. The
+// compressor also reports the maximum depth in the line, which the Z
+// cache feeds back to the Hierarchical Z buffer on eviction.
+
+// ZBlockElems is the number of depth-stencil elements per cache line.
+const ZBlockElems = 64
+
+const zBlockEdge = 8
+
+// CompLevel identifies the compression achieved for a line.
+type CompLevel uint8
+
+// Compression levels.
+const (
+	CompNone    CompLevel = iota // 256 bytes
+	CompHalf                     // 1:2, 128 bytes
+	CompQuarter                  // 1:4, 64 bytes
+)
+
+// Bytes returns the compressed size for the level.
+func (l CompLevel) Bytes() int {
+	switch l {
+	case CompHalf:
+		return 128
+	case CompQuarter:
+		return 64
+	}
+	return 256
+}
+
+const (
+	quarterResidualBits = 6
+	halfResidualBits    = 14
+	zHeaderBytes        = 11
+)
+
+// planeFit computes the plane prediction parameters and residuals;
+// ok=false when the line cannot be plane-compressed (non-uniform
+// stencil or delta overflow).
+func planeFit(vals *[ZBlockElems]uint32) (base uint32, dzdx, dzdy int32, residuals [ZBlockElems]int64, ok bool) {
+	base = vals[0]
+	_, stencil := UnpackDS(base)
+	for _, v := range vals {
+		if _, s := UnpackDS(v); s != stencil {
+			return 0, 0, 0, residuals, false
+		}
+	}
+	d := func(i int) int64 {
+		depth, _ := UnpackDS(vals[i])
+		return int64(depth)
+	}
+	dzdx64 := d(1) - d(0)
+	dzdy64 := d(zBlockEdge) - d(0)
+	const lim = 1 << 23
+	if dzdx64 >= lim || dzdx64 < -lim || dzdy64 >= lim || dzdy64 < -lim {
+		return 0, 0, 0, residuals, false
+	}
+	for y := 0; y < zBlockEdge; y++ {
+		for x := 0; x < zBlockEdge; x++ {
+			i := y*zBlockEdge + x
+			pred := d(0) + int64(x)*dzdx64 + int64(y)*dzdy64
+			residuals[i] = d(i) - pred
+		}
+	}
+	return base, int32(dzdx64), int32(dzdy64), residuals, true
+}
+
+func residualsFit(residuals *[ZBlockElems]int64, bits int) bool {
+	lim := int64(1) << (bits - 1)
+	for _, r := range residuals {
+		if r >= lim || r < -lim {
+			return false
+		}
+	}
+	return true
+}
+
+// CompressZBlock compresses 64 depth-stencil elements. It returns the
+// achieved level, the compressed bytes (reusing dst when large
+// enough; uncompressed lines are stored verbatim) and the maximum
+// 24-bit depth in the block for the Hierarchical Z update.
+func CompressZBlock(vals *[ZBlockElems]uint32, dst []byte) (CompLevel, []byte, uint32) {
+	maxDepth := uint32(0)
+	for _, v := range vals {
+		if d, _ := UnpackDS(v); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	level := CompNone
+	bits := 0
+	base, dzdx, dzdy, residuals, ok := planeFit(vals)
+	if ok {
+		switch {
+		case residualsFit(&residuals, quarterResidualBits):
+			level, bits = CompQuarter, quarterResidualBits
+		case residualsFit(&residuals, halfResidualBits):
+			level, bits = CompHalf, halfResidualBits
+		}
+	}
+	if cap(dst) < level.Bytes() {
+		dst = make([]byte, level.Bytes())
+	}
+	dst = dst[:level.Bytes()]
+	if level == CompNone {
+		for i, v := range vals {
+			binary.LittleEndian.PutUint32(dst[i*4:], v)
+		}
+		return level, dst, maxDepth
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	binary.LittleEndian.PutUint32(dst, base)
+	put24(dst[4:], uint32(dzdx)&0xFFFFFF)
+	put24(dst[7:], uint32(dzdy)&0xFFFFFF)
+	dst[10] = byte(bits)
+	bitOff := zHeaderBytes * 8
+	offset := int64(1) << (bits - 1)
+	for _, r := range residuals {
+		putBits(dst, bitOff, bits, uint32(r+offset))
+		bitOff += bits
+	}
+	return level, dst, maxDepth
+}
+
+// DecompressZBlock expands a compressed line back into 64 elements.
+// It is the exact inverse of CompressZBlock.
+func DecompressZBlock(level CompLevel, src []byte, vals *[ZBlockElems]uint32) {
+	if len(src) < level.Bytes() {
+		panic("fragemu: short compressed z block")
+	}
+	if level == CompNone {
+		for i := range vals {
+			vals[i] = binary.LittleEndian.Uint32(src[i*4:])
+		}
+		return
+	}
+	base := binary.LittleEndian.Uint32(src)
+	baseDepth, stencil := UnpackDS(base)
+	dzdx := signExtend24(get24(src[4:]))
+	dzdy := signExtend24(get24(src[7:]))
+	bits := int(src[10])
+	offset := int64(1) << (bits - 1)
+	bitOff := zHeaderBytes * 8
+	for y := 0; y < zBlockEdge; y++ {
+		for x := 0; x < zBlockEdge; x++ {
+			i := y*zBlockEdge + x
+			r := int64(getBits(src, bitOff, bits)) - offset
+			bitOff += bits
+			depth := int64(baseDepth) + int64(x)*int64(dzdx) + int64(y)*int64(dzdy) + r
+			vals[i] = PackDS(uint32(depth)&MaxDepth, stencil)
+		}
+	}
+}
+
+func put24(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+}
+
+func get24(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16
+}
+
+func signExtend24(v uint32) int32 {
+	if v&0x800000 != 0 {
+		v |= 0xFF000000
+	}
+	return int32(v)
+}
+
+func putBits(buf []byte, off, n int, v uint32) {
+	for i := 0; i < n; i++ {
+		if v&(1<<i) != 0 {
+			bit := off + i
+			buf[bit>>3] |= 1 << (bit & 7)
+		}
+	}
+}
+
+func getBits(buf []byte, off, n int) uint32 {
+	var v uint32
+	for i := 0; i < n; i++ {
+		bit := off + i
+		if buf[bit>>3]&(1<<(bit&7)) != 0 {
+			v |= 1 << i
+		}
+	}
+	return v
+}

@@ -1,0 +1,251 @@
+// Package rastemu implements the triangle setup and interpolation
+// mathematics shared by the Triangle Setup, Fragment Generator and
+// Interpolator boxes and by the functional reference renderer: screen
+// space edge equations following the 2D homogeneous rasterization
+// formulation of Olano and Greer (paper §2.2, [14]), the linear z/w
+// interpolation equation, conservative tile tests for the recursive
+// rasterizer and Hierarchical Z, and OpenGL perspective-corrected
+// attribute interpolation (paper [5]).
+package rastemu
+
+import (
+	"attila/internal/vmath"
+)
+
+// Viewport is the window transform: pixel rectangle plus depth range.
+type Viewport struct {
+	X, Y, W, H int
+	Near, Far  float32 // depth range, usually [0,1]
+}
+
+// Triangle is a set-up triangle ready for rasterization: three edge
+// equations positive inside, a screen-linear depth plane, per-vertex
+// 1/w for perspective correction and a pixel bounding box.
+type Triangle struct {
+	// Edge equations: Ei(x, y) = A[i]*x + B[i]*y + C[i], >= 0 inside
+	// (boundary ownership decided by the top-left fill rule).
+	A, B, C [3]float32
+	// Depth plane: z(x, y) = ZA*x + ZB*y + ZC (z/w is linear in
+	// screen space, which is what makes the plane equation exact).
+	ZA, ZB, ZC float32
+	// Per-vertex 1/w for perspective-correct interpolation.
+	InvW [3]float32
+	// Pixel bounding box, clamped to the viewport (inclusive).
+	MinX, MinY, MaxX, MaxY int
+	// Area is twice the signed screen-space area after winding
+	// normalization (always > 0 for accepted triangles).
+	Area float32
+	// FrontFacing reports the winding before normalization (CCW in
+	// GL window coordinates = front under the default convention).
+	FrontFacing bool
+	topLeft     [3]bool
+}
+
+// MinW is the smallest vertex w accepted by Setup. Like the paper's
+// rasterizer, only trivial frustum rejection is performed upstream,
+// so triangles crossing the w=0 plane cannot be rasterized correctly
+// and are dropped here.
+const MinW = 1e-6
+
+// Setup builds a Triangle from three clip-space positions. ok is
+// false when the triangle must be culled: a vertex with w <= MinW,
+// zero area, or (when cullBack/cullFront is set) facing rejection.
+func Setup(clip [3]vmath.Vec4, vp Viewport, cullFront, cullBack bool) (tri Triangle, ok bool) {
+	var sx, sy, sz [3]float32
+	for i := 0; i < 3; i++ {
+		w := clip[i][3]
+		if w <= MinW {
+			return tri, false
+		}
+		invW := 1 / w
+		tri.InvW[i] = invW
+		ndcX := clip[i][0] * invW
+		ndcY := clip[i][1] * invW
+		ndcZ := clip[i][2] * invW
+		sx[i] = float32(vp.X) + (ndcX+1)*float32(vp.W)/2
+		sy[i] = float32(vp.Y) + (ndcY+1)*float32(vp.H)/2
+		sz[i] = vp.Near + (ndcZ+1)*(vp.Far-vp.Near)/2
+	}
+
+	// Edge i is opposite vertex i: edge 0 runs v1->v2, etc. With
+	// this assignment Ei evaluated at vertex i equals twice the
+	// signed area, so the barycentric weight of vertex i is Ei/area.
+	edges := [3][2]int{{1, 2}, {2, 0}, {0, 1}}
+	for i, e := range edges {
+		p, q := e[0], e[1]
+		tri.A[i] = sy[p] - sy[q]
+		tri.B[i] = sx[q] - sx[p]
+		tri.C[i] = sx[p]*sy[q] - sx[q]*sy[p]
+	}
+	area := tri.A[0]*sx[0] + tri.B[0]*sy[0] + tri.C[0]
+
+	// GL window coordinates have y up; a positive doubled area means
+	// counterclockwise winding, the default front face.
+	tri.FrontFacing = area > 0
+	if tri.FrontFacing && cullFront || !tri.FrontFacing && cullBack {
+		return tri, false
+	}
+	if area < 0 {
+		for i := 0; i < 3; i++ {
+			tri.A[i], tri.B[i], tri.C[i] = -tri.A[i], -tri.B[i], -tri.C[i]
+		}
+		area = -area
+	}
+	if area < 1e-8 {
+		return tri, false
+	}
+	tri.Area = area
+
+	// Top-left fill rule so adjacent triangles own shared-edge
+	// pixels exactly once: a boundary pixel belongs to the triangle
+	// whose edge is a "left" edge (interior to its +x side: A > 0)
+	// or a "top" edge (horizontal with interior below in y-up
+	// coordinates: A == 0 && B < 0).
+	for i := 0; i < 3; i++ {
+		tri.topLeft[i] = tri.A[i] > 0 || (tri.A[i] == 0 && tri.B[i] < 0)
+	}
+
+	// Depth plane coefficients via the barycentric identity
+	// z = sum(Ei * zi) / area.
+	inv := 1 / area
+	tri.ZA = (tri.A[0]*sz[0] + tri.A[1]*sz[1] + tri.A[2]*sz[2]) * inv
+	tri.ZB = (tri.B[0]*sz[0] + tri.B[1]*sz[1] + tri.B[2]*sz[2]) * inv
+	tri.ZC = (tri.C[0]*sz[0] + tri.C[1]*sz[1] + tri.C[2]*sz[2]) * inv
+
+	// Pixel bounding box clamped to the viewport.
+	minX, maxX := sx[0], sx[0]
+	minY, maxY := sy[0], sy[0]
+	for i := 1; i < 3; i++ {
+		if sx[i] < minX {
+			minX = sx[i]
+		}
+		if sx[i] > maxX {
+			maxX = sx[i]
+		}
+		if sy[i] < minY {
+			minY = sy[i]
+		}
+		if sy[i] > maxY {
+			maxY = sy[i]
+		}
+	}
+	tri.MinX = clampI(int(minX), vp.X, vp.X+vp.W-1)
+	tri.MaxX = clampI(int(maxX), vp.X, vp.X+vp.W-1)
+	tri.MinY = clampI(int(minY), vp.Y, vp.Y+vp.H-1)
+	tri.MaxY = clampI(int(maxY), vp.Y, vp.Y+vp.H-1)
+	return tri, true
+}
+
+func clampI(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// EvalEdges evaluates the three edge equations at the center of pixel
+// (x, y).
+func (t *Triangle) EvalEdges(x, y int) [3]float32 {
+	px, py := float32(x)+0.5, float32(y)+0.5
+	var e [3]float32
+	for i := 0; i < 3; i++ {
+		e[i] = t.A[i]*px + t.B[i]*py + t.C[i]
+	}
+	return e
+}
+
+// Inside reports whether a pixel with the given edge values is
+// covered, applying the top-left rule on boundaries.
+func (t *Triangle) Inside(e [3]float32) bool {
+	for i := 0; i < 3; i++ {
+		if e[i] < 0 {
+			return false
+		}
+		if e[i] == 0 && !t.topLeft[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Depth evaluates the depth plane at the center of pixel (x, y); the
+// result is in viewport depth-range units ([0,1] by default).
+func (t *Triangle) Depth(x, y int) float32 {
+	px, py := float32(x)+0.5, float32(y)+0.5
+	return t.ZA*px + t.ZB*py + t.ZC
+}
+
+// Interpolate computes the perspective-corrected attribute value for
+// a pixel given its edge values: the OpenGL formula
+// sum(li * ai / wi) / sum(li / wi) with barycentrics li = ei / area.
+func (t *Triangle) Interpolate(e [3]float32, attrs *[3]vmath.Vec4) vmath.Vec4 {
+	w0 := e[0] * t.InvW[0]
+	w1 := e[1] * t.InvW[1]
+	w2 := e[2] * t.InvW[2]
+	den := w0 + w1 + w2
+	if den == 0 {
+		return attrs[0]
+	}
+	inv := 1 / den
+	var out vmath.Vec4
+	for c := 0; c < 4; c++ {
+		out[c] = (w0*attrs[0][c] + w1*attrs[1][c] + w2*attrs[2][c]) * inv
+	}
+	return out
+}
+
+// InterpolateLinear computes screen-linear (non-perspective)
+// interpolation; used for depth-like attributes.
+func (t *Triangle) InterpolateLinear(e [3]float32, attrs *[3]vmath.Vec4) vmath.Vec4 {
+	inv := 1 / t.Area
+	var out vmath.Vec4
+	for c := 0; c < 4; c++ {
+		out[c] = (e[0]*attrs[0][c] + e[1]*attrs[1][c] + e[2]*attrs[2][c]) * inv
+	}
+	return out
+}
+
+// TileIntersects conservatively tests whether the size x size pixel
+// tile anchored at (x0, y0) can contain covered pixels: for each
+// edge, the most-inside corner must be non-negative. Used by the
+// recursive fragment generator's descend test.
+func (t *Triangle) TileIntersects(x0, y0, size int) bool {
+	fx0, fy0 := float32(x0)+0.5, float32(y0)+0.5
+	fx1 := fx0 + float32(size-1)
+	fy1 := fy0 + float32(size-1)
+	for i := 0; i < 3; i++ {
+		x := fx0
+		if t.A[i] > 0 {
+			x = fx1
+		}
+		y := fy0
+		if t.B[i] > 0 {
+			y = fy1
+		}
+		if t.A[i]*x+t.B[i]*y+t.C[i] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TileMinDepth returns a conservative lower bound of the triangle's
+// depth within the tile: the minimum of the depth plane over the tile
+// corners. Fed to the Hierarchical Z test.
+func (t *Triangle) TileMinDepth(x0, y0, size int) float32 {
+	x := float32(x0) + 0.5
+	y := float32(y0) + 0.5
+	if t.ZA > 0 {
+		// plane decreases toward smaller x; min at left edge already
+	} else {
+		x += float32(size - 1)
+	}
+	if t.ZB > 0 {
+	} else {
+		y += float32(size - 1)
+	}
+	return t.ZA*x + t.ZB*y + t.ZC
+}

@@ -1,0 +1,308 @@
+package rastemu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"attila/internal/vmath"
+)
+
+var vp = Viewport{X: 0, Y: 0, W: 64, H: 64, Near: 0, Far: 1}
+
+// tri builds a triangle directly from NDC-like coordinates (w=1).
+func tri(t *testing.T, p0, p1, p2 [3]float32) Triangle {
+	t.Helper()
+	clip := [3]vmath.Vec4{
+		{p0[0], p0[1], p0[2], 1},
+		{p1[0], p1[1], p1[2], 1},
+		{p2[0], p2[1], p2[2], 1},
+	}
+	tr, ok := Setup(clip, vp, false, false)
+	if !ok {
+		t.Fatal("setup rejected valid triangle")
+	}
+	return tr
+}
+
+func TestSetupRejectsDegenerate(t *testing.T) {
+	clip := [3]vmath.Vec4{{0, 0, 0, 1}, {0, 0, 0, 1}, {0, 0, 0, 1}}
+	if _, ok := Setup(clip, vp, false, false); ok {
+		t.Fatal("degenerate accepted")
+	}
+	// w <= 0 rejected.
+	clip = [3]vmath.Vec4{{0, 0, 0, 1}, {1, 0, 0, -1}, {0, 1, 0, 1}}
+	if _, ok := Setup(clip, vp, false, false); ok {
+		t.Fatal("negative w accepted")
+	}
+}
+
+func TestFaceCulling(t *testing.T) {
+	ccw := [3]vmath.Vec4{{-1, -1, 0, 1}, {1, -1, 0, 1}, {0, 1, 0, 1}}
+	cw := [3]vmath.Vec4{ccw[0], ccw[2], ccw[1]}
+	if tr, ok := Setup(ccw, vp, false, false); !ok || !tr.FrontFacing {
+		t.Fatal("CCW should be front facing")
+	}
+	if tr, ok := Setup(cw, vp, false, false); !ok || tr.FrontFacing {
+		t.Fatal("CW should be back facing")
+	}
+	if _, ok := Setup(cw, vp, false, true); ok {
+		t.Fatal("backface not culled")
+	}
+	if _, ok := Setup(ccw, vp, true, false); ok {
+		t.Fatal("frontface not culled")
+	}
+	if _, ok := Setup(ccw, vp, false, true); !ok {
+		t.Fatal("frontface wrongly culled by cullBack")
+	}
+}
+
+func TestFullscreenTriangleCoversViewport(t *testing.T) {
+	// A triangle covering the whole viewport: every pixel inside.
+	tr := tri(t, [3]float32{-3, -3, 0}, [3]float32{3, -3, 0}, [3]float32{0, 3, 0})
+	for y := 0; y < 64; y += 7 {
+		for x := 0; x < 64; x += 7 {
+			if !tr.Inside(tr.EvalEdges(x, y)) {
+				t.Fatalf("pixel (%d,%d) not covered", x, y)
+			}
+		}
+	}
+}
+
+func TestHalfViewportCoverage(t *testing.T) {
+	// Right half triangle: NDC x >= 0 region roughly.
+	tr := tri(t, [3]float32{0, -1, 0}, [3]float32{1, -1, 0}, [3]float32{0, 1, 0})
+	in := tr.Inside(tr.EvalEdges(40, 24)) // inside the wedge
+	out := tr.Inside(tr.EvalEdges(10, 32))
+	if !in || out {
+		t.Fatalf("coverage wrong: in=%v out=%v", in, out)
+	}
+}
+
+// Two triangles sharing a diagonal must cover every pixel of the quad
+// exactly once (watertight rasterization: shared edges never double
+// increment stencil, never leave cracks).
+func TestSharedEdgeExactness(t *testing.T) {
+	quads := [][2][3][3]float32{
+		{ // diagonal from (-1,-1) to (1,1)
+			{{-1, -1, 0}, {1, -1, 0}, {1, 1, 0}},
+			{{-1, -1, 0}, {1, 1, 0}, {-1, 1, 0}},
+		},
+		{ // opposite diagonal
+			{{-1, -1, 0}, {1, -1, 0}, {-1, 1, 0}},
+			{{1, -1, 0}, {1, 1, 0}, {-1, 1, 0}},
+		},
+	}
+	for qi, q := range quads {
+		t1 := tri(t, q[0][0], q[0][1], q[0][2])
+		t2 := tri(t, q[1][0], q[1][1], q[1][2])
+		for y := 0; y < 64; y++ {
+			for x := 0; x < 64; x++ {
+				n := 0
+				if t1.Inside(t1.EvalEdges(x, y)) {
+					n++
+				}
+				if t2.Inside(t2.EvalEdges(x, y)) {
+					n++
+				}
+				if n != 1 {
+					t.Fatalf("quad %d pixel (%d,%d) covered %d times", qi, x, y, n)
+				}
+			}
+		}
+	}
+}
+
+// Random triangle meshes sharing edges must also be watertight.
+func TestSharedEdgeExactnessRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		// A fan of two triangles around a shared random edge.
+		a := [3]float32{rng.Float32()*2 - 1, rng.Float32()*2 - 1, 0}
+		b := [3]float32{rng.Float32()*2 - 1, rng.Float32()*2 - 1, 0}
+		c := [3]float32{rng.Float32()*2 - 1, rng.Float32()*2 - 1, 0}
+		d := [3]float32{rng.Float32()*2 - 1, rng.Float32()*2 - 1, 0}
+		// Triangles (a,b,c) and (a,c,d)? They share edge a-c but may
+		// overlap if d is on the same side as b; force opposite sides
+		// by mirroring d across the a-c line sign check.
+		side := func(p [3]float32) float32 {
+			return (c[0]-a[0])*(p[1]-a[1]) - (c[1]-a[1])*(p[0]-a[0])
+		}
+		if side(b) == 0 || side(d) == 0 {
+			continue
+		}
+		if (side(b) > 0) == (side(d) > 0) {
+			// mirror d
+			continue
+		}
+		clip1 := [3]vmath.Vec4{{a[0], a[1], 0, 1}, {b[0], b[1], 0, 1}, {c[0], c[1], 0, 1}}
+		clip2 := [3]vmath.Vec4{{a[0], a[1], 0, 1}, {c[0], c[1], 0, 1}, {d[0], d[1], 0, 1}}
+		t1, ok1 := Setup(clip1, vp, false, false)
+		t2, ok2 := Setup(clip2, vp, false, false)
+		if !ok1 || !ok2 {
+			continue
+		}
+		for y := 0; y < 64; y++ {
+			for x := 0; x < 64; x++ {
+				e1 := t1.EvalEdges(x, y)
+				e2 := t2.EvalEdges(x, y)
+				// Only check pixels exactly on the shared edge:
+				// where both edge values vanish-ish we can't assert
+				// with floats, so assert no double coverage.
+				if t1.Inside(e1) && t2.Inside(e2) {
+					// Allow only if genuinely interior to both due
+					// to fp noise right at the edge.
+					if math.Abs(float64(e1[2])) > 1e-3 && math.Abs(float64(e2[0])) > 1e-3 {
+						t.Fatalf("trial %d pixel (%d,%d) covered twice", trial, x, y)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDepthPlane(t *testing.T) {
+	// Triangle with z varying across x: left z=0, right z=1.
+	tr := tri(t, [3]float32{-1, -1, -1}, [3]float32{1, -1, 1}, [3]float32{-1, 3, -1})
+	// At NDC x=-1 (pixel 0), depth ~ 0; at x=1 (pixel 63) ~ 1.
+	zLeft := tr.Depth(0, 0)
+	zRight := tr.Depth(63, 0)
+	if zLeft > 0.05 || zRight < 0.95 {
+		t.Fatalf("depth gradient: left %v right %v", zLeft, zRight)
+	}
+}
+
+func TestInterpolationAtVertices(t *testing.T) {
+	// Attribute must reproduce vertex values at the vertices.
+	clip := [3]vmath.Vec4{{-1, -1, 0, 1}, {1, -1, 0, 1}, {-1, 1, 0, 1}}
+	tr, ok := Setup(clip, vp, false, false)
+	if !ok {
+		t.Fatal("setup failed")
+	}
+	attrs := [3]vmath.Vec4{{1, 0, 0, 1}, {0, 1, 0, 1}, {0, 0, 1, 1}}
+	// Pixel at the first vertex (0,0 in window space).
+	got := tr.Interpolate(tr.EvalEdges(0, 0), &attrs)
+	if math.Abs(float64(got[0]-1)) > 0.05 {
+		t.Fatalf("vertex 0 attr: %v", got)
+	}
+	got = tr.Interpolate(tr.EvalEdges(63, 0), &attrs)
+	if math.Abs(float64(got[1]-1)) > 0.06 {
+		t.Fatalf("vertex 1 attr: %v", got)
+	}
+}
+
+func TestPerspectiveCorrectInterpolation(t *testing.T) {
+	// Two vertices at different w: the attribute midpoint in screen
+	// space must be biased toward the near (small w) vertex.
+	clip := [3]vmath.Vec4{
+		{-1, -1, 0, 1}, // near, w=1
+		{4, -4, 0, 4},  // far, w=4 (NDC (1,-1))
+		{-1, 1, 0, 1},
+	}
+	tr, ok := Setup(clip, vp, false, false)
+	if !ok {
+		t.Fatal("setup failed")
+	}
+	attrs := [3]vmath.Vec4{{0, 0, 0, 0}, {1, 1, 1, 1}, {0, 0, 0, 0}}
+	// Midpoint of the bottom edge (pixel x=31, y=0).
+	e := tr.EvalEdges(31, 0)
+	got := tr.Interpolate(e, &attrs)
+	lin := tr.InterpolateLinear(e, &attrs)
+	if got[0] >= lin[0] {
+		t.Fatalf("perspective correction missing: persp %v linear %v", got[0], lin[0])
+	}
+	// 1/w interpolation: at screen midpoint, u_persp = (0.5/4)/(0.5*1+0.5/4)
+	want := float32(0.125 / 0.625)
+	if math.Abs(float64(got[0]-want)) > 0.03 {
+		t.Fatalf("perspective value: got %v want %v", got[0], want)
+	}
+}
+
+func TestBarycentricPartitionOfUnity(t *testing.T) {
+	tr := tri(t, [3]float32{-0.8, -0.7, 0}, [3]float32{0.9, -0.5, 0}, [3]float32{0, 0.8, 0})
+	for y := 10; y < 50; y += 5 {
+		for x := 10; x < 50; x += 5 {
+			e := tr.EvalEdges(x, y)
+			sum := (e[0] + e[1] + e[2]) / tr.Area
+			if math.Abs(float64(sum-1)) > 1e-4 {
+				t.Fatalf("barycentric sum at (%d,%d): %v", x, y, sum)
+			}
+		}
+	}
+}
+
+func TestTileIntersects(t *testing.T) {
+	// Small triangle near the center: tiles far away must be
+	// rejected, the containing tile accepted.
+	tr := tri(t, [3]float32{-0.1, -0.1, 0}, [3]float32{0.1, -0.1, 0}, [3]float32{0, 0.1, 0})
+	if !tr.TileIntersects(24, 24, 16) {
+		t.Fatal("containing tile rejected")
+	}
+	if tr.TileIntersects(0, 0, 8) {
+		t.Fatal("far tile accepted")
+	}
+	if tr.TileIntersects(48, 48, 8) {
+		t.Fatal("far tile accepted (2)")
+	}
+}
+
+func TestTileIntersectsIsConservative(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 100; trial++ {
+		p := func() [3]float32 {
+			return [3]float32{rng.Float32()*2 - 1, rng.Float32()*2 - 1, 0}
+		}
+		clip := [3]vmath.Vec4{}
+		pts := [3][3]float32{p(), p(), p()}
+		for i, q := range pts {
+			clip[i] = vmath.Vec4{q[0], q[1], 0, 1}
+		}
+		tr, ok := Setup(clip, vp, false, false)
+		if !ok {
+			continue
+		}
+		for ty := 0; ty < 64; ty += 8 {
+			for tx := 0; tx < 64; tx += 8 {
+				if tr.TileIntersects(tx, ty, 8) {
+					continue
+				}
+				// Rejected tile must contain no covered pixel.
+				for y := ty; y < ty+8; y++ {
+					for x := tx; x < tx+8; x++ {
+						if tr.Inside(tr.EvalEdges(x, y)) {
+							t.Fatalf("trial %d: tile (%d,%d) rejected but pixel (%d,%d) covered",
+								trial, tx, ty, x, y)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTileMinDepthIsLowerBound(t *testing.T) {
+	tr := tri(t, [3]float32{-1, -1, -0.8}, [3]float32{1, -1, 0.6}, [3]float32{0, 1, 0.9})
+	for ty := 0; ty < 64; ty += 8 {
+		for tx := 0; tx < 64; tx += 8 {
+			min := tr.TileMinDepth(tx, ty, 8)
+			for y := ty; y < ty+8; y++ {
+				for x := tx; x < tx+8; x++ {
+					if d := tr.Depth(x, y); d < min-1e-4 {
+						t.Fatalf("tile (%d,%d): depth %v below bound %v", tx, ty, d, min)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBoundingBoxClamped(t *testing.T) {
+	tr := tri(t, [3]float32{-5, -5, 0}, [3]float32{5, -5, 0}, [3]float32{0, 5, 0})
+	if tr.MinX < 0 || tr.MinY < 0 || tr.MaxX > 63 || tr.MaxY > 63 {
+		t.Fatalf("bbox not clamped: %d,%d..%d,%d", tr.MinX, tr.MinY, tr.MaxX, tr.MaxY)
+	}
+	small := tri(t, [3]float32{0, 0, 0}, [3]float32{0.2, 0, 0}, [3]float32{0, 0.2, 0})
+	if small.MinX < 30 || small.MaxX > 40 {
+		t.Fatalf("small bbox wrong: %d..%d", small.MinX, small.MaxX)
+	}
+}

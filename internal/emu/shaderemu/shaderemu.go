@@ -1,0 +1,398 @@
+// Package shaderemu implements the ShaderEmulator (paper §3): a
+// threaded interpreter that executes shader programs instruction by
+// instruction, updating per-thread register state. The emulator
+// contains no timing; the ShaderFetch/DecodeExecute boxes in
+// internal/gpu drive it cycle by cycle, and the functional reference
+// renderer drives it to completion directly.
+//
+// A thread processes a group of up to four shader inputs in lockstep
+// (one fragment quad or four vertices), matching the paper's grouped
+// execution where the shader works as a 512-bit processor.
+package shaderemu
+
+import (
+	"fmt"
+	"math"
+
+	"attila/internal/isa"
+	"attila/internal/vmath"
+)
+
+// Lanes is the number of shader inputs executed in lockstep per
+// thread (a fragment quad, or four vertices).
+const Lanes = 4
+
+// Thread holds the architectural state of one shader thread: the
+// input, output and temporary banks for each of the four lanes, the
+// program counter, and per-lane liveness.
+type Thread struct {
+	PC      int
+	In      [Lanes][isa.MaxInputs]vmath.Vec4
+	Out     [Lanes][isa.MaxOutputs]vmath.Vec4
+	Temp    [Lanes][]vmath.Vec4
+	Active  [Lanes]bool // lane carries a real input
+	Killed  [Lanes]bool // lane discarded by KIL
+	Done    bool        // executed END
+	Blocked *TexRequest // non-nil while waiting on a texture result
+}
+
+// Reset prepares the thread to run a program needing temps temporary
+// registers, reusing lane storage where possible.
+func (t *Thread) Reset(temps int) {
+	t.PC = 0
+	t.Done = false
+	t.Blocked = nil
+	for l := 0; l < Lanes; l++ {
+		t.Active[l] = false
+		t.Killed[l] = false
+		if cap(t.Temp[l]) < temps {
+			t.Temp[l] = make([]vmath.Vec4, temps)
+		} else {
+			t.Temp[l] = t.Temp[l][:temps]
+			for i := range t.Temp[l] {
+				t.Temp[l][i] = vmath.Vec4{}
+			}
+		}
+	}
+}
+
+// TexMode distinguishes the texture instruction variants.
+type TexMode uint8
+
+// Texture sampling modes.
+const (
+	TexModeNormal TexMode = iota // TEX: lod from derivatives
+	TexModeBias                  // TXB: lod bias in coord.w
+	TexModeProj                  // TXP: coords divided by coord.w
+	TexModeLod                   // TXL: explicit lod in coord.w
+)
+
+// TexRequest is an in-flight texture operation for a whole thread
+// (all four lanes sample together, which is what makes quad-granular
+// derivative computation possible).
+type TexRequest struct {
+	Sampler uint8
+	Target  isa.TexTarget
+	Mode    TexMode
+	Coord   [Lanes]vmath.Vec4
+	Active  [Lanes]bool
+	// Destination to write when the sample completes.
+	Dst      isa.DstOperand
+	Saturate bool
+}
+
+// Emulator executes a program against thread state. The constant bank
+// is shared by all threads running the same batch.
+type Emulator struct {
+	prog   *isa.Program
+	consts []vmath.Vec4
+}
+
+// New creates an emulator for prog with the given constant bank
+// (nil-padded to the architectural limit).
+func New(prog *isa.Program, consts []vmath.Vec4) *Emulator {
+	c := make([]vmath.Vec4, isa.MaxConsts)
+	copy(c, consts)
+	return &Emulator{prog: prog, consts: c}
+}
+
+// Program returns the program being executed.
+func (e *Emulator) Program() *isa.Program { return e.prog }
+
+// NewThread allocates a thread sized for the program.
+func (e *Emulator) NewThread() *Thread {
+	t := &Thread{}
+	t.Reset(e.prog.TempsUsed())
+	return t
+}
+
+// Step executes the instruction at t.PC and advances. It returns the
+// instruction executed for timing purposes. If the instruction is a
+// texture operation the thread blocks (t.Blocked is set) and the
+// caller must eventually call CompleteTexture; Step must not be
+// called again until then. Calling Step on a finished or blocked
+// thread panics: that is a timing-simulator bug.
+func (e *Emulator) Step(t *Thread) isa.Instruction {
+	if t.Done {
+		panic("shaderemu: Step on finished thread")
+	}
+	if t.Blocked != nil {
+		panic("shaderemu: Step on thread blocked on texture")
+	}
+	in := e.prog.Instr[t.PC]
+	t.PC++
+	info := in.Op.Info()
+	switch {
+	case in.Op == isa.END:
+		t.Done = true
+	case in.Op == isa.NOP:
+	case in.Op == isa.KIL:
+		for l := 0; l < Lanes; l++ {
+			if !t.Active[l] || t.Killed[l] {
+				continue
+			}
+			v := e.readSrc(t, l, in.Src[0])
+			if v[0] < 0 || v[1] < 0 || v[2] < 0 || v[3] < 0 {
+				t.Killed[l] = true
+			}
+		}
+	case info.Texture:
+		req := &TexRequest{
+			Sampler:  in.Sampler,
+			Target:   in.Target,
+			Dst:      in.Dst,
+			Saturate: in.Saturate,
+		}
+		switch in.Op {
+		case isa.TXB:
+			req.Mode = TexModeBias
+		case isa.TXP:
+			req.Mode = TexModeProj
+		case isa.TXL:
+			req.Mode = TexModeLod
+		}
+		for l := 0; l < Lanes; l++ {
+			// Coordinates are computed for every lane, even ones
+			// that are inactive or killed, because the quad's
+			// texture derivatives need all four corners.
+			req.Coord[l] = e.readSrc(t, l, in.Src[0])
+			req.Active[l] = t.Active[l] && !t.Killed[l]
+		}
+		t.Blocked = req
+	default:
+		for l := 0; l < Lanes; l++ {
+			if !t.Active[l] {
+				continue
+			}
+			e.execALU(t, l, in)
+		}
+	}
+	return in
+}
+
+// CompleteTexture writes the sampled results for the thread's pending
+// texture request and unblocks it.
+func (e *Emulator) CompleteTexture(t *Thread, results [Lanes]vmath.Vec4) {
+	req := t.Blocked
+	if req == nil {
+		panic("shaderemu: CompleteTexture without pending request")
+	}
+	t.Blocked = nil
+	for l := 0; l < Lanes; l++ {
+		if !t.Active[l] {
+			continue
+		}
+		e.writeDst(t, l, req.Dst, req.Saturate, results[l])
+	}
+}
+
+// SampleFunc performs a texture lookup for a whole thread; used by
+// Run for functional (non-timed) execution.
+type SampleFunc func(req *TexRequest) [Lanes]vmath.Vec4
+
+// Run executes the thread to completion, resolving texture requests
+// through sample. It returns the number of instructions executed.
+func (e *Emulator) Run(t *Thread, sample SampleFunc) (int, error) {
+	steps := 0
+	for !t.Done {
+		if steps > 1<<20 {
+			return steps, fmt.Errorf("shaderemu: program %q did not terminate", e.prog.Name)
+		}
+		e.Step(t)
+		steps++
+		if t.Blocked != nil {
+			if sample == nil {
+				return steps, fmt.Errorf("shaderemu: program %q samples textures but no sampler provided", e.prog.Name)
+			}
+			e.CompleteTexture(t, sample(t.Blocked))
+		}
+	}
+	return steps, nil
+}
+
+func (e *Emulator) readSrc(t *Thread, lane int, s isa.SrcOperand) vmath.Vec4 {
+	var raw vmath.Vec4
+	switch s.Bank {
+	case isa.BankInput:
+		raw = t.In[lane][s.Index]
+	case isa.BankTemp:
+		raw = t.Temp[lane][s.Index]
+	case isa.BankConst:
+		raw = e.consts[s.Index]
+	}
+	var v vmath.Vec4
+	for i := 0; i < 4; i++ {
+		v[i] = raw[s.Swizzle.Comp(i)]
+	}
+	if s.Negate {
+		for i := range v {
+			v[i] = -v[i]
+		}
+	}
+	return v
+}
+
+func (e *Emulator) writeDst(t *Thread, lane int, d isa.DstOperand, sat bool, v vmath.Vec4) {
+	if sat {
+		v = v.Clamp01()
+	}
+	var reg *vmath.Vec4
+	switch d.Bank {
+	case isa.BankTemp:
+		reg = &t.Temp[lane][d.Index]
+	case isa.BankOutput:
+		reg = &t.Out[lane][d.Index]
+	default:
+		panic("shaderemu: bad destination bank")
+	}
+	for i := 0; i < 4; i++ {
+		if d.Mask.Has(i) {
+			reg[i] = v[i]
+		}
+	}
+}
+
+func (e *Emulator) execALU(t *Thread, lane int, in isa.Instruction) {
+	info := in.Op.Info()
+	var s [3]vmath.Vec4
+	for i := 0; i < info.NSrc; i++ {
+		s[i] = e.readSrc(t, lane, in.Src[i])
+	}
+	var r vmath.Vec4
+	switch in.Op {
+	case isa.MOV:
+		r = s[0]
+	case isa.ADD:
+		r = s[0].Add(s[1])
+	case isa.SUB:
+		r = s[0].Sub(s[1])
+	case isa.MUL:
+		r = s[0].Mul(s[1])
+	case isa.MAD:
+		r = s[0].Mul(s[1]).Add(s[2])
+	case isa.DP3:
+		r = splat(s[0].Dot3(s[1]))
+	case isa.DP4:
+		r = splat(s[0].Dot4(s[1]))
+	case isa.DPH:
+		r = splat(s[0].Dot3(s[1]) + s[1][3])
+	case isa.DST:
+		r = vmath.Vec4{1, s[0][1] * s[1][1], s[0][2], s[1][3]}
+	case isa.MIN:
+		r = vecMin(s[0], s[1])
+	case isa.MAX:
+		r = vecMax(s[0], s[1])
+	case isa.SLT:
+		r = vecCmp(s[0], s[1], func(a, b float32) bool { return a < b })
+	case isa.SGE:
+		r = vecCmp(s[0], s[1], func(a, b float32) bool { return a >= b })
+	case isa.FRC:
+		for i := 0; i < 4; i++ {
+			r[i] = s[0][i] - floorf(s[0][i])
+		}
+	case isa.FLR:
+		for i := 0; i < 4; i++ {
+			r[i] = floorf(s[0][i])
+		}
+	case isa.ABS:
+		for i := 0; i < 4; i++ {
+			r[i] = float32(math.Abs(float64(s[0][i])))
+		}
+	case isa.CMP:
+		for i := 0; i < 4; i++ {
+			if s[0][i] < 0 {
+				r[i] = s[1][i]
+			} else {
+				r[i] = s[2][i]
+			}
+		}
+	case isa.LRP:
+		for i := 0; i < 4; i++ {
+			r[i] = s[0][i]*s[1][i] + (1-s[0][i])*s[2][i]
+		}
+	case isa.XPD:
+		r = s[0].Cross(s[1])
+	case isa.RCP:
+		r = splat(1 / s[0][0])
+	case isa.RSQ:
+		r = splat(float32(1 / math.Sqrt(math.Abs(float64(s[0][0])))))
+	case isa.EX2:
+		r = splat(float32(math.Exp2(float64(s[0][0]))))
+	case isa.LG2:
+		r = splat(float32(math.Log2(math.Abs(float64(s[0][0])))))
+	case isa.POW:
+		r = splat(float32(math.Pow(math.Abs(float64(s[0][0])), float64(s[1][0]))))
+	case isa.SIN:
+		r = splat(float32(math.Sin(float64(s[0][0]))))
+	case isa.COS:
+		r = splat(float32(math.Cos(float64(s[0][0]))))
+	case isa.LIT:
+		r = lit(s[0])
+	default:
+		panic(fmt.Sprintf("shaderemu: unhandled opcode %v", in.Op))
+	}
+	e.writeDst(t, lane, in.Dst, in.Saturate, r)
+}
+
+func splat(f float32) vmath.Vec4 { return vmath.Vec4{f, f, f, f} }
+
+func floorf(f float32) float32 { return float32(math.Floor(float64(f))) }
+
+func vecMin(a, b vmath.Vec4) vmath.Vec4 {
+	var r vmath.Vec4
+	for i := 0; i < 4; i++ {
+		if a[i] < b[i] {
+			r[i] = a[i]
+		} else {
+			r[i] = b[i]
+		}
+	}
+	return r
+}
+
+func vecMax(a, b vmath.Vec4) vmath.Vec4 {
+	var r vmath.Vec4
+	for i := 0; i < 4; i++ {
+		if a[i] > b[i] {
+			r[i] = a[i]
+		} else {
+			r[i] = b[i]
+		}
+	}
+	return r
+}
+
+func vecCmp(a, b vmath.Vec4, pred func(x, y float32) bool) vmath.Vec4 {
+	var r vmath.Vec4
+	for i := 0; i < 4; i++ {
+		if pred(a[i], b[i]) {
+			r[i] = 1
+		}
+	}
+	return r
+}
+
+// lit implements the ARB LIT instruction: the classic ambient /
+// diffuse / specular coefficient helper.
+func lit(s vmath.Vec4) vmath.Vec4 {
+	diff := s[0]
+	if diff < 0 {
+		diff = 0
+	}
+	specBase := s[1]
+	if specBase < 0 {
+		specBase = 0
+	}
+	power := s[3]
+	if power < -128 {
+		power = -128
+	}
+	if power > 128 {
+		power = 128
+	}
+	var spec float32
+	if s[0] > 0 {
+		spec = float32(math.Pow(float64(specBase), float64(power)))
+	}
+	return vmath.Vec4{1, diff, spec, 1}
+}

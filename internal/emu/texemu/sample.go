@@ -1,0 +1,328 @@
+package texemu
+
+import (
+	"math"
+
+	"attila/internal/isa"
+	"attila/internal/vmath"
+)
+
+// Mode distinguishes the texture instruction variants at the emulator
+// level (mirrors shaderemu's TexMode without importing it).
+type Mode uint8
+
+// Sampling modes.
+const (
+	ModeNormal Mode = iota // lod from quad derivatives
+	ModeBias               // derivative lod + bias from coord.w
+	ModeProj               // coords divided by coord.w
+	ModeLod                // explicit lod in coord.w
+)
+
+// TexelRef identifies one texel contributing to a filtered sample.
+type TexelRef struct {
+	Face  int
+	Level int
+	Slice int
+	X, Y  int
+	W     float32 // filter weight
+}
+
+// SamplePlan lists every texel one fragment's filtered sample needs
+// plus the bilinear-sample count used by the timing model (the
+// texture unit sustains one bilinear sample per cycle, a trilinear
+// sample every two cycles — paper §2.2).
+type SamplePlan struct {
+	Texels          []TexelRef
+	BilinearSamples int
+}
+
+// LODInfo is the per-quad level-of-detail decision: the mip lod and
+// the anisotropic footprint (N sample positions stepped by (DS, DT)
+// in texture coordinate space).
+type LODInfo struct {
+	Lod    float32
+	N      int
+	DS, DT float32
+}
+
+// QuadLOD computes the level of detail for a fragment quad from the
+// texture coordinate derivatives across the quad. Lane layout follows
+// the rasterizer: 0=(x,y), 1=(x+1,y), 2=(x,y+1), 3=(x+1,y+1).
+// Anisotropy is computed for 2D targets only; other targets sample
+// isotropically.
+func (t *Texture) QuadLOD(coords [4]vmath.Vec4, mode Mode, lodArg float32) LODInfo {
+	if mode == ModeLod {
+		return LODInfo{Lod: lodArg, N: 1}
+	}
+	c := coords
+	if mode == ModeProj {
+		for i := range c {
+			if w := c[i][3]; w != 0 {
+				c[i] = vmath.Vec4{c[i][0] / w, c[i][1] / w, c[i][2] / w, 1}
+			}
+		}
+	}
+	w, h, _ := t.LevelSize(0)
+	dudx := (c[1][0] - c[0][0]) * float32(w)
+	dvdx := (c[1][1] - c[0][1]) * float32(h)
+	dudy := (c[2][0] - c[0][0]) * float32(w)
+	dvdy := (c[2][1] - c[0][1]) * float32(h)
+	px := float32(math.Hypot(float64(dudx), float64(dvdx)))
+	py := float32(math.Hypot(float64(dudy), float64(dvdy)))
+	pmax, pmin := px, py
+	majorX := true
+	if py > px {
+		pmax, pmin = py, px
+		majorX = false
+	}
+	info := LODInfo{N: 1}
+	if pmin < 1e-12 {
+		pmin = 1e-12
+	}
+	aniso := t.MaxAniso
+	if t.Target != isa.Tex2D {
+		aniso = 1
+	}
+	if aniso > 1 && pmax > pmin {
+		ratio := pmax / pmin
+		if ratio > float32(aniso) {
+			ratio = float32(aniso)
+		}
+		info.N = int(math.Ceil(float64(ratio)))
+		if info.N < 1 {
+			info.N = 1
+		}
+		// Step along the major axis between sample positions,
+		// in texture coordinate units.
+		var du, dv float32
+		if majorX {
+			du, dv = dudx/float32(w), dvdx/float32(h)
+		} else {
+			du, dv = dudy/float32(w), dvdy/float32(h)
+		}
+		info.DS = du / float32(info.N)
+		info.DT = dv / float32(info.N)
+		pmax = pmax / float32(info.N)
+		if pmax < pmin {
+			pmax = pmin
+		}
+	}
+	if pmax < 1e-12 {
+		pmax = 1e-12
+	}
+	info.Lod = float32(math.Log2(float64(pmax)))
+	if mode == ModeBias {
+		info.Lod += lodArg
+	}
+	return info
+}
+
+// Plan computes the texels needed to sample the texture at coord with
+// the quad's LOD decision. Projective division must already be
+// applied when mode was ModeProj (PrepareCoord does it).
+func (t *Texture) Plan(coord vmath.Vec4, info LODInfo) SamplePlan {
+	var plan SamplePlan
+	n := info.N
+	if n < 1 {
+		n = 1
+	}
+	w := 1 / float32(n)
+	// Anisotropic positions are centered on coord along the major
+	// axis: offsets -(n-1)/2 .. +(n-1)/2 steps.
+	start := -float32(n-1) / 2
+	for i := 0; i < n; i++ {
+		o := start + float32(i)
+		pos := coord
+		pos[0] += o * info.DS
+		pos[1] += o * info.DT
+		t.planIsotropic(&plan, pos, info.Lod, w)
+	}
+	return plan
+}
+
+// PrepareCoord applies the projective division of TXP. Call before
+// Plan when sampling in ModeProj.
+func PrepareCoord(coord vmath.Vec4, mode Mode) vmath.Vec4 {
+	if mode == ModeProj && coord[3] != 0 {
+		return vmath.Vec4{coord[0] / coord[3], coord[1] / coord[3], coord[2] / coord[3], 1}
+	}
+	return coord
+}
+
+func (t *Texture) planIsotropic(plan *SamplePlan, coord vmath.Vec4, lod, weight float32) {
+	face := 0
+	s, tt, r := coord[0], coord[1], coord[2]
+	if t.Target == isa.TexCube {
+		face, s, tt = cubeFace(coord)
+	}
+
+	magnified := lod <= 0
+	filter := t.MinFilter
+	if magnified || !t.MinFilter.mipmapped() {
+		if magnified {
+			filter = t.MagFilter
+		}
+		// Single-level sample at the base level.
+		lv := 0
+		if !magnified && t.MinFilter.mipmapped() {
+			lv = t.clampLevel(int(lod + 0.5))
+		}
+		plan.BilinearSamples++
+		t.planLevel(plan, face, lv, s, tt, r, weight, filter.linearInLevel() || filter == FilterLinear)
+		return
+	}
+
+	if filter.mipLinear() {
+		// Trilinear: blend two adjacent levels.
+		l0 := t.clampLevel(int(math.Floor(float64(lod))))
+		l1 := t.clampLevel(l0 + 1)
+		frac := lod - float32(math.Floor(float64(lod)))
+		if l1 == l0 {
+			frac = 0
+		}
+		plan.BilinearSamples += 2
+		if frac < 1 {
+			t.planLevel(plan, face, l0, s, tt, r, weight*(1-frac), filter.linearInLevel())
+		}
+		if frac > 0 {
+			t.planLevel(plan, face, l1, s, tt, r, weight*frac, filter.linearInLevel())
+		}
+	} else {
+		lv := t.clampLevel(int(lod + 0.5))
+		plan.BilinearSamples++
+		t.planLevel(plan, face, lv, s, tt, r, weight, filter.linearInLevel())
+	}
+}
+
+func (t *Texture) clampLevel(l int) int {
+	if l < 0 {
+		return 0
+	}
+	if l >= t.Levels {
+		return t.Levels - 1
+	}
+	return l
+}
+
+func (t *Texture) planLevel(plan *SamplePlan, face, level int, s, tt, r float32, weight float32, linear bool) {
+	w, h, d := t.LevelSize(level)
+	slice := 0
+	if t.Target == isa.Tex3D {
+		slice = applyWrap(t.WrapR, int(r*float32(d)), d)
+	}
+	if !linear {
+		x := applyWrap(t.WrapS, int(math.Floor(float64(s*float32(w)))), w)
+		y := 0
+		if t.Target != isa.Tex1D {
+			y = applyWrap(t.WrapT, int(math.Floor(float64(tt*float32(h)))), h)
+		}
+		plan.Texels = append(plan.Texels, TexelRef{Face: face, Level: level, Slice: slice, X: x, Y: y, W: weight})
+		return
+	}
+	fx := s*float32(w) - 0.5
+	fy := tt*float32(h) - 0.5
+	x0 := int(math.Floor(float64(fx)))
+	y0 := int(math.Floor(float64(fy)))
+	ax := fx - float32(x0)
+	ay := fy - float32(y0)
+	if t.Target == isa.Tex1D {
+		y0, ay = 0, 0
+	}
+	for dy := 0; dy < 2; dy++ {
+		for dx := 0; dx < 2; dx++ {
+			wgt := weight
+			if dx == 0 {
+				wgt *= 1 - ax
+			} else {
+				wgt *= ax
+			}
+			if dy == 0 {
+				wgt *= 1 - ay
+			} else {
+				wgt *= ay
+			}
+			if wgt == 0 {
+				continue
+			}
+			x := applyWrap(t.WrapS, x0+dx, w)
+			y := y0 + dy
+			if t.Target != isa.Tex1D {
+				y = applyWrap(t.WrapT, y0+dy, h)
+			} else {
+				y = 0
+			}
+			plan.Texels = append(plan.Texels, TexelRef{Face: face, Level: level, Slice: slice, X: x, Y: y, W: wgt})
+		}
+	}
+}
+
+// cubeFace selects the cube map face and its 2D coordinates for a
+// direction vector, following the OpenGL specification's table.
+func cubeFace(dir vmath.Vec4) (face int, s, t float32) {
+	x, y, z := dir[0], dir[1], dir[2]
+	ax, ay, az := abs32(x), abs32(y), abs32(z)
+	var sc, tc, ma float32
+	switch {
+	case ax >= ay && ax >= az:
+		if x >= 0 {
+			face, sc, tc, ma = 0, -z, -y, ax // +X
+		} else {
+			face, sc, tc, ma = 1, z, -y, ax // -X
+		}
+	case ay >= az:
+		if y >= 0 {
+			face, sc, tc, ma = 2, x, z, ay // +Y
+		} else {
+			face, sc, tc, ma = 3, x, -z, ay // -Y
+		}
+	default:
+		if z >= 0 {
+			face, sc, tc, ma = 4, x, -y, az // +Z
+		} else {
+			face, sc, tc, ma = 5, -x, -y, az // -Z
+		}
+	}
+	if ma == 0 {
+		return face, 0.5, 0.5
+	}
+	return face, (sc/ma + 1) / 2, (tc/ma + 1) / 2
+}
+
+func abs32(f float32) float32 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+// FilterPlan computes the final color: the weighted sum of the
+// planned texels, fetched through the supplied function (cache reads
+// in the timing path, direct memory reads in the functional path).
+func FilterPlan(plan SamplePlan, fetch func(TexelRef) RGBA) vmath.Vec4 {
+	var out vmath.Vec4
+	for _, ref := range plan.Texels {
+		out = out.Add(fetch(ref).Vec().Scale(ref.W))
+	}
+	return out
+}
+
+// SampleQuad is the functional convenience path: it samples all four
+// lanes of a quad directly from memory, performing the full LOD,
+// anisotropic, wrap and filter pipeline.
+func (t *Texture) SampleQuad(mem MemReader, coords [4]vmath.Vec4, mode Mode) [4]vmath.Vec4 {
+	lodArg := float32(0)
+	if mode == ModeBias || mode == ModeLod {
+		lodArg = coords[0][3] // bias/lod rides in w
+	}
+	info := t.QuadLOD(coords, mode, lodArg)
+	var out [4]vmath.Vec4
+	for l := 0; l < 4; l++ {
+		c := PrepareCoord(coords[l], mode)
+		plan := t.Plan(c, info)
+		out[l] = FilterPlan(plan, func(ref TexelRef) RGBA {
+			return t.FetchTexel(mem, ref)
+		})
+	}
+	return out
+}

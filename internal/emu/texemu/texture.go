@@ -1,0 +1,195 @@
+package texemu
+
+import (
+	"fmt"
+
+	"attila/internal/isa"
+)
+
+// Wrap is a texture coordinate wrap mode.
+type Wrap uint8
+
+// Wrap modes.
+const (
+	WrapRepeat Wrap = iota
+	WrapClamp       // clamp to edge
+	WrapMirror
+)
+
+// Filter is a texture filtering mode. The *Mip* variants only apply
+// to minification.
+type Filter uint8
+
+// Filter modes.
+const (
+	FilterNearest Filter = iota
+	FilterLinear
+	FilterNearestMipNearest
+	FilterLinearMipNearest
+	FilterNearestMipLinear
+	FilterLinearMipLinear // trilinear
+)
+
+func (f Filter) mipLinear() bool {
+	return f == FilterNearestMipLinear || f == FilterLinearMipLinear
+}
+
+func (f Filter) mipmapped() bool { return f >= FilterNearestMipNearest }
+
+func (f Filter) linearInLevel() bool {
+	return f == FilterLinear || f == FilterLinearMipNearest || f == FilterLinearMipLinear
+}
+
+// MaxMipLevels bounds the mip chain (up to 4096x4096 textures).
+const MaxMipLevels = 13
+
+// CubeFaces is the number of cube map faces.
+const CubeFaces = 6
+
+// Texture describes a texture object resident in GPU memory: target,
+// format, dimensions, sampler state and the memory address of every
+// mip level (per face for cube maps). Texel data is stored in 8x8
+// tiles (TileTexels); a tile occupies Format.TileBytes of memory and
+// fills one texture cache line when decoded.
+type Texture struct {
+	Target    isa.TexTarget
+	Format    Format
+	Width     int
+	Height    int // 1 for 1D
+	Depth     int // 1 unless 3D
+	Levels    int // mip levels present (>= 1)
+	WrapS     Wrap
+	WrapT     Wrap
+	WrapR     Wrap
+	MinFilter Filter
+	MagFilter Filter
+	MaxAniso  int // 1 = isotropic
+
+	// Base[face][level] is the GPU memory address of the level's
+	// tile array. Non-cube targets use face 0.
+	Base [CubeFaces][MaxMipLevels]uint32
+}
+
+// Validate checks the descriptor for internal consistency.
+func (t *Texture) Validate() error {
+	if t.Width < 1 || t.Height < 1 || t.Depth < 1 {
+		return fmt.Errorf("texemu: bad dimensions %dx%dx%d", t.Width, t.Height, t.Depth)
+	}
+	if t.Levels < 1 || t.Levels > MaxMipLevels {
+		return fmt.Errorf("texemu: bad level count %d", t.Levels)
+	}
+	if t.Target == isa.TexCube && t.Width != t.Height {
+		return fmt.Errorf("texemu: cube faces must be square")
+	}
+	if t.MaxAniso < 1 {
+		return fmt.Errorf("texemu: MaxAniso must be >= 1")
+	}
+	if t.Format >= formatCount {
+		return fmt.Errorf("texemu: bad format %d", t.Format)
+	}
+	return nil
+}
+
+// Faces returns 6 for cube maps, 1 otherwise.
+func (t *Texture) Faces() int {
+	if t.Target == isa.TexCube {
+		return CubeFaces
+	}
+	return 1
+}
+
+// LevelSize returns the texel dimensions of mip level l.
+func (t *Texture) LevelSize(l int) (w, h, d int) {
+	w, h, d = t.Width>>l, t.Height>>l, t.Depth>>l
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	if d < 1 {
+		d = 1
+	}
+	return w, h, d
+}
+
+// LevelTiles returns the tile grid dimensions of mip level l.
+func (t *Texture) LevelTiles(l int) (tx, ty int) {
+	w, h, _ := t.LevelSize(l)
+	return (w + TileTexels - 1) / TileTexels, (h + TileTexels - 1) / TileTexels
+}
+
+// LevelBytes returns the memory footprint of mip level l (all slices
+// of a 3D texture).
+func (t *Texture) LevelBytes(l int) int {
+	tx, ty := t.LevelTiles(l)
+	_, _, d := t.LevelSize(l)
+	return tx * ty * d * t.Format.TileBytes()
+}
+
+// TotalBytes returns the footprint of the whole mip chain across all
+// faces.
+func (t *Texture) TotalBytes() int {
+	total := 0
+	for l := 0; l < t.Levels; l++ {
+		total += t.LevelBytes(l) * t.Faces()
+	}
+	return total
+}
+
+// TileAddr returns the memory address of the tile containing texel
+// (x, y) of the given face, level and 3D slice, plus the texel's
+// index within the decoded 64-texel tile.
+func (t *Texture) TileAddr(face, level, slice, x, y int) (addr uint32, texelIdx int) {
+	tilesX, tilesY := t.LevelTiles(level)
+	tileX, tileY := x/TileTexels, y/TileTexels
+	idx := (slice*tilesY+tileY)*tilesX + tileX
+	addr = t.Base[face][level] + uint32(idx*t.Format.TileBytes())
+	texelIdx = (y%TileTexels)*TileTexels + x%TileTexels
+	return addr, texelIdx
+}
+
+// MemReader provides functional access to texture memory.
+type MemReader interface {
+	// ReadBytes copies memory starting at addr into dst.
+	ReadBytes(addr uint32, dst []byte)
+}
+
+// FetchTexel reads and decodes one texel directly from memory; the
+// functional sampling path. Timing code fetches whole tiles through
+// the texture cache instead.
+func (t *Texture) FetchTexel(mem MemReader, ref TexelRef) RGBA {
+	addr, idx := t.TileAddr(ref.Face, ref.Level, ref.Slice, ref.X, ref.Y)
+	buf := make([]byte, t.Format.TileBytes())
+	mem.ReadBytes(addr, buf)
+	var tile [TileTexels * TileTexels]RGBA
+	DecodeTile(t.Format, buf, &tile)
+	return tile[idx]
+}
+
+func applyWrap(w Wrap, i, n int) int {
+	switch w {
+	case WrapRepeat:
+		i %= n
+		if i < 0 {
+			i += n
+		}
+	case WrapClamp:
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+	case WrapMirror:
+		period := 2 * n
+		i %= period
+		if i < 0 {
+			i += period
+		}
+		if i >= n {
+			i = period - 1 - i
+		}
+	}
+	return i
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"attila/internal/gpu"
+	"attila/internal/mem"
+)
+
+// Table1 prints the baseline unit bandwidths, queue sizes and
+// latencies in the shape of the paper's Table 1, derived from the
+// live configuration (so any config drift shows up here).
+func Table1(w io.Writer, cfg gpu.Config) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Unit\tInput BW\tOutput BW\tInput Queue\tLatency")
+	fmt.Fprintf(tw, "Streamer\t1 index\t1 vertex\t%d\tMem\n", cfg.StreamerQueue)
+	fmt.Fprintf(tw, "Primitive Assembly\t1 vertex\t1 triang.\t%d\t1\n", cfg.PAQueue)
+	fmt.Fprintf(tw, "Clipping\t1 triang.\t1 triang.\t%d\t%d\n", cfg.ClipQueue, cfg.ClipLatency)
+	fmt.Fprintf(tw, "Triangle Setup\t1 triang.\t1 triang.\t%d\t%d\n", cfg.SetupQueue, cfg.SetupLatency)
+	fmt.Fprintf(tw, "Fragment Generation\t1 triang.\t%dx64 frag.\t%d\t1\n", cfg.FGenTilesPerCycle, cfg.FGenQueue)
+	fmt.Fprintf(tw, "Hierarchical Z\t%dx64 frag.\t%dx64 frag.\t%d\t1\n", cfg.HZTilesPerCycle, cfg.HZTilesPerCycle, cfg.HZQueue)
+	fmt.Fprintf(tw, "Z Test\t%d frag.\t%d frag.\t%d\t2+Mem\n", cfg.ROPFragsPerCycle, cfg.ROPFragsPerCycle, cfg.ROPQueue)
+	fmt.Fprintf(tw, "Interpolator\t%dx4 frag.\t%dx4 frag.\t%d\t%d to %d\n",
+		cfg.InterpQuadsPerCycle, cfg.InterpQuadsPerCycle, cfg.InterpQueue,
+		cfg.InterpBaseLat, cfg.InterpBaseLat+cfg.InterpPerAttrLat*8)
+	fmt.Fprintf(tw, "Color Write\t%d frag.\t-\t%d\t2+Mem\n", cfg.ROPFragsPerCycle, cfg.ROPQueue)
+	fmt.Fprintf(tw, "Vertex Shader\t1 vertex\t1 vertex\t%d\tvariable\n", cfg.VertexThreadsPerShader)
+	fmt.Fprintf(tw, "Fragment Shader\t4 frag.\t4 frag.\t%d+%d\tvariable\n",
+		cfg.ThreadsPerShader*4-16, 16)
+	tw.Flush()
+	fmt.Fprintf(w, "\nShaders: %d", cfg.NumShaders)
+	if !cfg.UnifiedShaders {
+		fmt.Fprintf(w, " fragment + %d vertex (non-unified)", cfg.NumVertexShaders)
+	} else {
+		fmt.Fprintf(w, " unified")
+	}
+	fmt.Fprintf(w, "; ROP pairs: %d; texture units: %d\n", cfg.NumROPs, cfg.NumTextureUnits)
+	fmt.Fprintf(w, "Memory: %d channels x %d B/cycle, %d B interleave; system bus %d B/cycle\n",
+		cfg.Memory.Channels, cfg.Memory.ChannelBW, cfg.Memory.Interleave, cfg.SystemBusBW)
+	fmt.Fprintf(w, "Exec latencies: simple %d, MAD %d, scalar %d cycles\n",
+		cfg.ExecLatSimple, cfg.ExecLatMAD, cfg.ExecLatScalar)
+}
+
+// Table2 prints the cache configurations like the paper's Table 2.
+func Table2(w io.Writer, cfg gpu.Config) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Cache\tSize (KB)\tAssociativity\tSets\tLine (bytes)\tPorts")
+	row := func(name string, sets, assoc, line, ports int) {
+		size := sets * assoc * line / 1024
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\n", name, size, assoc, sets, line, ports)
+	}
+	row("Texture", cfg.TexCacheSets, cfg.TexCacheAssoc, 256, cfg.TexelsPerCycle)
+	row("Z", cfg.ZCacheSets, cfg.ZCacheAssoc, 256, cfg.ROPFragsPerCycle)
+	row("Color", cfg.ColorCacheSets, cfg.ColorCacheAssoc, 256, cfg.ROPFragsPerCycle)
+	tw.Flush()
+	fmt.Fprintf(w, "\nZ compression: %v (1:2 and 1:4); fast clear: %v; memory transaction: %d bytes\n",
+		cfg.ZCompression, cfg.FastClear, mem.TransactionSize)
+}

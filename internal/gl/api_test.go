@@ -1,0 +1,252 @@
+package gl_test
+
+import (
+	"strings"
+	"testing"
+
+	"attila/internal/emu/fragemu"
+	"attila/internal/emu/texemu"
+	"attila/internal/gl"
+	"attila/internal/gpu"
+	"attila/internal/isa"
+	"attila/internal/mem"
+	"attila/internal/vmath"
+)
+
+func newCtx() *gl.Context {
+	alloc := mem.NewAllocator(1<<20, 32<<20)
+	return gl.NewContext(alloc, 64, 64)
+}
+
+func TestCapabilityToggles(t *testing.T) {
+	ctx := newCtx()
+	if ctx.IsEnabled(gl.CapBlend) {
+		t.Fatal("blend enabled by default")
+	}
+	ctx.Enable(gl.CapBlend)
+	if !ctx.IsEnabled(gl.CapBlend) {
+		t.Fatal("enable failed")
+	}
+	ctx.Disable(gl.CapBlend)
+	if ctx.IsEnabled(gl.CapBlend) {
+		t.Fatal("disable failed")
+	}
+}
+
+// drawState builds one draw and returns its snapshot.
+func drawState(t *testing.T, ctx *gl.Context) *gpu.DrawState {
+	t.Helper()
+	buf := ctx.GenBuffer(3 * 12)
+	ctx.BufferData(buf, 0, make([]byte, 36))
+	ctx.VertexAttribPointer(isa.AttrPos, buf, 0, 12, 3)
+	ctx.DrawArrays(gpu.Triangles, 0, 3)
+	if err := ctx.Err(); err != nil {
+		t.Fatal(err)
+	}
+	cmds := ctx.Commands()
+	for _, c := range cmds {
+		if d, ok := c.(gpu.CmdDraw); ok {
+			return d.State
+		}
+	}
+	t.Fatal("no draw emitted")
+	return nil
+}
+
+func TestSnapshotCapturesState(t *testing.T) {
+	ctx := newCtx()
+	ctx.Viewport(4, 8, 32, 16)
+	ctx.Enable(gl.CapScissorTest)
+	ctx.Scissor(1, 2, 3, 4)
+	ctx.Enable(gl.CapCullFace)
+	ctx.CullFace(gl.CullFront)
+	ctx.Enable(gl.CapBlend)
+	ctx.BlendFunc(fragemu.BfSrcAlpha, fragemu.BfOneMinusSrcAlpha)
+	ctx.BlendEquation(fragemu.BeReverseSubtract)
+	ctx.BlendColor(0.1, 0.2, 0.3, 0.4)
+	ctx.ColorMask(true, false, true, false)
+	ctx.Enable(gl.CapDepthTest)
+	ctx.DepthFunc(fragemu.CmpGEqual)
+	ctx.DepthMask(false)
+	ctx.StencilMask(0x3C)
+	st := drawState(t, ctx)
+
+	if st.Viewport.X != 4 || st.Viewport.W != 32 {
+		t.Fatalf("viewport: %+v", st.Viewport)
+	}
+	if !st.ScissorEnabled || st.ScissorW != 3 {
+		t.Fatalf("scissor: %+v", st)
+	}
+	if !st.CullFront || st.CullBack {
+		t.Fatalf("cull: front=%v back=%v", st.CullFront, st.CullBack)
+	}
+	if !st.Blend.Enabled || st.Blend.SrcRGB != fragemu.BfSrcAlpha ||
+		st.Blend.EqRGB != fragemu.BeReverseSubtract {
+		t.Fatalf("blend: %+v", st.Blend)
+	}
+	if st.Blend.Const != (vmath.Vec4{0.1, 0.2, 0.3, 0.4}) {
+		t.Fatalf("blend const: %v", st.Blend.Const)
+	}
+	if st.ColorMask != [4]bool{true, false, true, false} {
+		t.Fatalf("color mask: %v", st.ColorMask)
+	}
+	if !st.Depth.Enabled || st.Depth.Func != fragemu.CmpGEqual || st.Depth.WriteMask {
+		t.Fatalf("depth: %+v", st.Depth)
+	}
+	if st.Stencil.WriteMask != 0x3C {
+		t.Fatalf("stencil mask: %x", st.Stencil.WriteMask)
+	}
+	// Fixed-function programs were generated.
+	if st.VertexProg == nil || st.FragmentProg == nil {
+		t.Fatal("missing generated programs")
+	}
+}
+
+func TestFixedFunctionProgramCache(t *testing.T) {
+	ctx := newCtx()
+	st1 := drawState(t, ctx)
+	st2 := drawState(t, ctx)
+	if st1.FragmentProg != st2.FragmentProg {
+		t.Fatal("identical state produced different generated programs")
+	}
+	ctx.Enable(gl.CapFog)
+	st3 := drawState(t, ctx)
+	if st3.FragmentProg == st1.FragmentProg {
+		t.Fatal("fog state change did not regenerate the program")
+	}
+	if !strings.Contains(st3.FragmentProg.Disassemble(), "LRP") {
+		t.Fatal("fog program missing the LRP blend")
+	}
+}
+
+func TestAlphaTestInjection(t *testing.T) {
+	ctx := newCtx()
+	ctx.Enable(gl.CapAlphaTest)
+	ctx.AlphaFunc(fragemu.CmpGEqual, 0.25)
+	st := drawState(t, ctx)
+	text := st.FragmentProg.Disassemble()
+	if !strings.Contains(text, "KIL") {
+		t.Fatalf("alpha test program missing KIL:\n%s", text)
+	}
+	if !st.FragmentProg.HasKill() {
+		t.Fatal("HasKill false for alpha-test program")
+	}
+	if st.EarlyZAllowed() {
+		t.Fatal("early Z allowed with alpha test")
+	}
+	// The reference value travels in the constants.
+	if len(st.FragConsts) == 0 || st.FragConsts[0][0] != 0.25 {
+		t.Fatalf("alpha ref constant: %v", st.FragConsts)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(ctx *gl.Context)
+	}{
+		{"unknown buffer data", func(ctx *gl.Context) { ctx.BufferData(99, 0, []byte{1}) }},
+		{"buffer overflow", func(ctx *gl.Context) {
+			b := ctx.GenBuffer(4)
+			ctx.BufferData(b, 2, []byte{1, 2, 3})
+		}},
+		{"unknown attrib buffer", func(ctx *gl.Context) { ctx.VertexAttribPointer(0, 42, 0, 0, 3) }},
+		{"bad program source", func(ctx *gl.Context) { ctx.ProgramARB(isa.VertexProgram, "x", "WAT\nEND") }},
+		{"bad program bind", func(ctx *gl.Context) { ctx.BindProgram(isa.VertexProgram, 1234) }},
+		{"bad program env", func(ctx *gl.Context) { ctx.ProgramEnv(isa.FragmentProgram, 9999, vmath.Vec4{}) }},
+		{"bad texture unit", func(ctx *gl.Context) { ctx.BindTexture(-1, 1) }},
+		{"rtt non-texture", func(ctx *gl.Context) { ctx.RenderToTexture(77) }},
+		{"mixed ff/arb", func(ctx *gl.Context) {
+			id := ctx.ProgramARB(isa.VertexProgram, "vp", "MOV o0, v0\nEND")
+			ctx.BindProgram(isa.VertexProgram, id)
+			b := ctx.GenBuffer(36)
+			ctx.VertexAttribPointer(isa.AttrPos, b, 0, 12, 3)
+			ctx.DrawArrays(gpu.Triangles, 0, 3)
+		}},
+		{"bad index size", func(ctx *gl.Context) {
+			b := ctx.GenBuffer(36)
+			ctx.VertexAttribPointer(isa.AttrPos, b, 0, 12, 3)
+			ctx.DrawElements(gpu.Triangles, 3, b, 3, 0)
+		}},
+	}
+	for _, tc := range cases {
+		ctx := newCtx()
+		tc.fn(ctx)
+		if ctx.Err() == nil {
+			t.Errorf("%s: no error recorded", tc.name)
+		}
+	}
+}
+
+func TestConstantAttributes(t *testing.T) {
+	ctx := newCtx()
+	ctx.VertexAttrib4f(isa.AttrColor, 0.5, 0.25, 1, 1)
+	buf := ctx.GenBuffer(36)
+	ctx.BufferData(buf, 0, make([]byte, 36))
+	ctx.VertexAttribPointer(isa.AttrPos, buf, 0, 12, 3)
+	ctx.DisableVertexAttrib(isa.AttrColor)
+	st := drawState(t, ctx)
+	a := st.Attribs[isa.AttrColor]
+	if a.Enabled {
+		t.Fatal("disabled attrib still enabled")
+	}
+	if a.Const != (vmath.Vec4{0.5, 0.25, 1, 1}) {
+		t.Fatalf("constant attrib: %v", a.Const)
+	}
+}
+
+func TestTexImageCubeValidation(t *testing.T) {
+	ctx := newCtx()
+	var faces [6]*gl.Image
+	for i := range faces {
+		faces[i] = gl.NewImage(8, 8)
+	}
+	faces[3] = gl.NewImage(8, 4) // non-square face
+	if id := ctx.TexImageCube(&faces, texemu.FmtRGBA8, gl.DefaultTexParams()); id != 0 || ctx.Err() == nil {
+		t.Fatal("non-square cube face accepted")
+	}
+}
+
+func TestTexImageCubeLayout(t *testing.T) {
+	ctx := newCtx()
+	var faces [6]*gl.Image
+	for i := range faces {
+		faces[i] = gl.NewImage(16, 16)
+	}
+	id := ctx.TexImageCube(&faces, texemu.FmtRGBA8, gl.DefaultTexParams())
+	if err := ctx.Err(); err != nil {
+		t.Fatal(err)
+	}
+	tex := ctx.Texture(id)
+	if tex.Target != isa.TexCube || tex.Levels != 5 {
+		t.Fatalf("cube descriptor: %+v", tex)
+	}
+	// Faces and levels must not overlap in memory.
+	seen := map[uint32]bool{}
+	for f := 0; f < 6; f++ {
+		for l := 0; l < tex.Levels; l++ {
+			if seen[tex.Base[f][l]] {
+				t.Fatalf("face %d level %d aliases another level", f, l)
+			}
+			seen[tex.Base[f][l]] = true
+		}
+	}
+}
+
+func TestTwoSidedStencilSnapshot(t *testing.T) {
+	ctx := newCtx()
+	ctx.Enable(gl.CapStencilTest)
+	ctx.StencilTwoSide(true)
+	ctx.StencilBackFunc(fragemu.CmpEqual, 7, 0xF0)
+	ctx.StencilBackOp(fragemu.StZero, fragemu.StIncrWrap, fragemu.StInvert)
+	ctx.StencilBackMask(0x0F)
+	st := drawState(t, ctx)
+	if !st.TwoSidedStencil {
+		t.Fatal("two-sided flag lost")
+	}
+	b := st.StencilBack
+	if b.Func != fragemu.CmpEqual || b.Ref != 7 || b.ReadMask != 0xF0 ||
+		b.DPFail != fragemu.StIncrWrap || b.WriteMask != 0x0F {
+		t.Fatalf("back stencil: %+v", b)
+	}
+}

@@ -1,0 +1,558 @@
+// Package gl implements the OpenGL framework of paper §4: a
+// state-tracking library and driver that translate GL-style API calls
+// into the ATTILA command processor's low-level commands (write a
+// register/state snapshot, write a buffer into GPU memory, draw a
+// batch, fast clear, swap). It covers the feature set the paper lists
+// (~200 calls' worth of state): ARB vertex/fragment programs, vertex
+// arrays and buffer objects, the legacy fixed-function pipeline
+// emulated with driver-generated shader programs (including alpha
+// test and fog), full texturing state and per-fragment operations.
+package gl
+
+import (
+	"fmt"
+
+	"attila/internal/emu/fragemu"
+	"attila/internal/emu/rastemu"
+	"attila/internal/emu/texemu"
+	"attila/internal/gpu"
+	"attila/internal/isa"
+	"attila/internal/vmath"
+)
+
+// Allocator reserves GPU memory for objects; *mem.Allocator and the
+// pipeline's Alloc both satisfy it.
+type Allocator interface {
+	Alloc(n int, align uint32) (uint32, error)
+}
+
+// Cap is an enable/disable capability.
+type Cap uint8
+
+// Capabilities.
+const (
+	CapDepthTest Cap = iota
+	CapStencilTest
+	CapBlend
+	CapCullFace
+	CapScissorTest
+	CapLighting
+	CapFog
+	CapAlphaTest
+	CapTexture0
+	CapTexture1
+	capCount
+)
+
+// Context is the GL state machine. API calls mutate state; draw calls
+// snapshot it into gpu.DrawState commands. The produced command list
+// (Commands) feeds either the timing simulator or the functional
+// reference renderer.
+type Context struct {
+	alloc Allocator
+	w, h  int
+	cmds  []gpu.Command
+	err   error
+
+	caps [capCount]bool
+
+	clearColor   [4]byte
+	clearDepth   float32
+	clearStencil uint8
+
+	twoSidedStencil bool
+	stencilBack     fragemu.StencilState
+
+	viewport gpu.DrawState // viewport/scissor live in the template
+	depth    fragemu.DepthState
+	stencil  fragemu.StencilState
+	blend    fragemu.BlendState
+	colorMsk [4]bool
+	cullFace struct{ front, back bool }
+
+	scissor struct{ x, y, w, h int }
+
+	// Fixed-function state.
+	modelview  vmath.Mat4
+	projection vmath.Mat4
+	lightDir   vmath.Vec4
+	lightColor vmath.Vec4
+	ambient    vmath.Vec4
+	alphaFunc  fragemu.CompareFunc
+	alphaRef   float32
+	fogStart   float32
+	fogEnd     float32
+	fogColor   vmath.Vec4
+
+	// Objects.
+	nextID   uint32
+	buffers  map[uint32]*bufferObj
+	textures map[uint32]*texemu.Texture
+	programs map[uint32]*isa.Program
+
+	boundVP *isa.Program // nil = fixed function
+	boundFP *isa.Program
+	vpEnv   [isa.MaxConsts]vmath.Vec4
+	fpEnv   [isa.MaxConsts]vmath.Vec4
+
+	texUnits [16]uint32 // bound texture ids
+
+	attribs [isa.MaxInputs]gpu.AttribBinding
+
+	ffCache map[ffKey]*ffPrograms
+
+	// Statistics for the capture layer.
+	drawCalls int
+	frames    int
+}
+
+type bufferObj struct {
+	addr uint32
+	size int
+}
+
+// NewContext creates a context rendering to a w x h framebuffer.
+func NewContext(alloc Allocator, w, h int) *Context {
+	c := &Context{
+		alloc: alloc, w: w, h: h,
+		buffers:  make(map[uint32]*bufferObj),
+		textures: make(map[uint32]*texemu.Texture),
+		programs: make(map[uint32]*isa.Program),
+		ffCache:  make(map[ffKey]*ffPrograms),
+
+		clearDepth: 1,
+		modelview:  vmath.Identity(),
+		projection: vmath.Identity(),
+		lightDir:   vmath.Vec4{0, 0, 1, 0},
+		lightColor: vmath.Vec4{1, 1, 1, 1},
+		ambient:    vmath.Vec4{0.2, 0.2, 0.2, 1},
+		alphaFunc:  fragemu.CmpAlways,
+		fogStart:   1,
+		fogEnd:     100,
+		fogColor:   vmath.Vec4{0.5, 0.5, 0.5, 1},
+	}
+	c.depth = fragemu.DepthState{Func: fragemu.CmpLess, WriteMask: true}
+	c.stencil = fragemu.StencilState{
+		Func: fragemu.CmpAlways, ReadMask: 0xFF, WriteMask: 0xFF,
+		SFail: fragemu.StKeep, DPFail: fragemu.StKeep, DPPass: fragemu.StKeep,
+	}
+	c.stencilBack = c.stencil
+	c.blend = fragemu.BlendState{SrcRGB: fragemu.BfOne, SrcA: fragemu.BfOne}
+	c.colorMsk = [4]bool{true, true, true, true}
+	c.cullFace.back = true
+	c.scissor = struct{ x, y, w, h int }{0, 0, w, h}
+	return c
+}
+
+// Err returns the first error recorded by any call (the GL-style
+// sticky error model).
+func (c *Context) Err() error { return c.err }
+
+func (c *Context) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf("gl: "+format, args...)
+	}
+}
+
+// Commands returns the accumulated command stream and resets it.
+func (c *Context) Commands() []gpu.Command {
+	out := c.cmds
+	c.cmds = nil
+	return out
+}
+
+// DrawCallCount returns the number of draws issued so far.
+func (c *Context) DrawCallCount() int { return c.drawCalls }
+
+// FrameCount returns the number of SwapBuffers calls.
+func (c *Context) FrameCount() int { return c.frames }
+
+// Enable turns a capability on.
+func (c *Context) Enable(cap Cap) { c.caps[cap] = true }
+
+// Disable turns a capability off.
+func (c *Context) Disable(cap Cap) { c.caps[cap] = false }
+
+// IsEnabled queries a capability.
+func (c *Context) IsEnabled(cap Cap) bool { return c.caps[cap] }
+
+// ClearColor sets the color buffer clear value.
+func (c *Context) ClearColor(r, g, b, a float32) {
+	c.clearColor = fragemu.PackColor(vmath.Vec4{r, g, b, a})
+}
+
+// ClearDepth sets the depth clear value.
+func (c *Context) ClearDepth(d float32) { c.clearDepth = d }
+
+// ClearStencil sets the stencil clear value.
+func (c *Context) ClearStencil(s uint8) { c.clearStencil = s }
+
+// Clear mask bits.
+const (
+	ColorBufferBit   = 1 << 0
+	DepthBufferBit   = 1 << 1
+	StencilBufferBit = 1 << 2
+)
+
+// Clear emits fast clear commands for the selected buffers. Depth and
+// stencil share a buffer and clear together (both bits or either).
+func (c *Context) Clear(mask int) {
+	if mask&ColorBufferBit != 0 {
+		c.cmds = append(c.cmds, gpu.CmdClearColor{Value: c.clearColor})
+	}
+	if mask&(DepthBufferBit|StencilBufferBit) != 0 {
+		c.cmds = append(c.cmds, gpu.CmdClearZS{Depth: c.clearDepth, Stencil: c.clearStencil})
+	}
+}
+
+// Viewport sets the viewport rectangle.
+func (c *Context) Viewport(x, y, w, h int) {
+	c.viewport.Viewport = rastemu.Viewport{X: x, Y: y, W: w, H: h, Near: 0, Far: 1}
+}
+
+// Scissor sets the scissor rectangle.
+func (c *Context) Scissor(x, y, w, h int) {
+	c.scissor = struct{ x, y, w, h int }{x, y, w, h}
+}
+
+// DepthFunc sets the depth comparison.
+func (c *Context) DepthFunc(f fragemu.CompareFunc) { c.depth.Func = f }
+
+// DepthMask enables depth writes.
+func (c *Context) DepthMask(write bool) { c.depth.WriteMask = write }
+
+// StencilFunc sets the stencil comparison.
+func (c *Context) StencilFunc(f fragemu.CompareFunc, ref uint8, mask uint8) {
+	c.stencil.Func = f
+	c.stencil.Ref = ref
+	c.stencil.ReadMask = mask
+}
+
+// StencilOp sets the stencil update operations.
+func (c *Context) StencilOp(sfail, dpfail, dppass fragemu.StencilOp) {
+	c.stencil.SFail = sfail
+	c.stencil.DPFail = dpfail
+	c.stencil.DPPass = dppass
+}
+
+// StencilMask sets the stencil write mask.
+func (c *Context) StencilMask(m uint8) { c.stencil.WriteMask = m }
+
+// StencilTwoSide enables the double-sided stencil extension: back-
+// facing triangles use the back stencil state, so shadow volumes
+// render in one pass instead of two cull-flipped passes.
+func (c *Context) StencilTwoSide(enabled bool) { c.twoSidedStencil = enabled }
+
+// StencilBackFunc sets the back-face stencil comparison.
+func (c *Context) StencilBackFunc(f fragemu.CompareFunc, ref uint8, mask uint8) {
+	c.stencilBack.Func = f
+	c.stencilBack.Ref = ref
+	c.stencilBack.ReadMask = mask
+}
+
+// StencilBackOp sets the back-face stencil update operations.
+func (c *Context) StencilBackOp(sfail, dpfail, dppass fragemu.StencilOp) {
+	c.stencilBack.SFail = sfail
+	c.stencilBack.DPFail = dpfail
+	c.stencilBack.DPPass = dppass
+}
+
+// StencilBackMask sets the back-face stencil write mask.
+func (c *Context) StencilBackMask(m uint8) { c.stencilBack.WriteMask = m }
+
+// BlendFunc sets the blend factors (RGB and alpha together, like
+// glBlendFunc).
+func (c *Context) BlendFunc(src, dst fragemu.BlendFactor) {
+	c.blend.SrcRGB, c.blend.DstRGB = src, dst
+	c.blend.SrcA, c.blend.DstA = src, dst
+}
+
+// BlendEquation sets the blend equation.
+func (c *Context) BlendEquation(eq fragemu.BlendEq) {
+	c.blend.EqRGB, c.blend.EqA = eq, eq
+}
+
+// BlendColor sets the constant blend color.
+func (c *Context) BlendColor(r, g, b, a float32) {
+	c.blend.Const = vmath.Vec4{r, g, b, a}
+}
+
+// ColorMask sets per-channel color writes.
+func (c *Context) ColorMask(r, g, b, a bool) {
+	c.colorMsk = [4]bool{r, g, b, a}
+}
+
+// CullFaceMode selects which faces are culled when CapCullFace is
+// enabled.
+type CullFaceMode uint8
+
+// Cull modes.
+const (
+	CullBack CullFaceMode = iota
+	CullFront
+	CullFrontAndBack
+)
+
+// CullFace sets the face culling mode.
+func (c *Context) CullFace(mode CullFaceMode) {
+	c.cullFace.front = mode == CullFront || mode == CullFrontAndBack
+	c.cullFace.back = mode == CullBack || mode == CullFrontAndBack
+}
+
+// AlphaFunc configures the alpha test (emulated by injecting a KIL
+// sequence into the generated fragment program, paper §2.2).
+func (c *Context) AlphaFunc(f fragemu.CompareFunc, ref float32) {
+	c.alphaFunc = f
+	c.alphaRef = ref
+}
+
+// Fog configures linear fog (also emulated in the fragment program).
+func (c *Context) Fog(start, end float32, color vmath.Vec4) {
+	c.fogStart, c.fogEnd, c.fogColor = start, end, color
+}
+
+// LoadModelView sets the modelview matrix (fixed function).
+func (c *Context) LoadModelView(m vmath.Mat4) { c.modelview = m }
+
+// LoadProjection sets the projection matrix (fixed function).
+func (c *Context) LoadProjection(m vmath.Mat4) { c.projection = m }
+
+// Light configures the single directional light of the fixed-function
+// path: dir points toward the light in eye space.
+func (c *Context) Light(dir vmath.Vec4, color, ambient vmath.Vec4) {
+	c.lightDir = dir.Normalize3()
+	c.lightColor = color
+	c.ambient = ambient
+}
+
+// GenBuffer creates a buffer object of the given size in GPU memory.
+func (c *Context) GenBuffer(size int) uint32 {
+	addr, err := c.alloc.Alloc(size, 64)
+	if err != nil {
+		c.fail("buffer alloc: %v", err)
+		return 0
+	}
+	c.nextID++
+	c.buffers[c.nextID] = &bufferObj{addr: addr, size: size}
+	return c.nextID
+}
+
+// BufferData uploads data into a buffer object (a CmdBufferWrite,
+// crossing the system bus).
+func (c *Context) BufferData(id uint32, offset int, data []byte) {
+	b, ok := c.buffers[id]
+	if !ok {
+		c.fail("BufferData: unknown buffer %d", id)
+		return
+	}
+	if offset+len(data) > b.size {
+		c.fail("BufferData: overflow of buffer %d", id)
+		return
+	}
+	c.cmds = append(c.cmds, gpu.CmdBufferWrite{Addr: b.addr + uint32(offset), Data: data})
+}
+
+// BufferAddr returns a buffer's GPU address (for diagnostics).
+func (c *Context) BufferAddr(id uint32) uint32 {
+	if b, ok := c.buffers[id]; ok {
+		return b.addr
+	}
+	return 0
+}
+
+// VertexAttribPointer binds attribute slot to an array in a buffer:
+// size float32 components per vertex at the byte stride.
+func (c *Context) VertexAttribPointer(slot int, bufID uint32, offset, stride, size int) {
+	b, ok := c.buffers[bufID]
+	if !ok {
+		c.fail("VertexAttribPointer: unknown buffer %d", bufID)
+		return
+	}
+	c.attribs[slot] = gpu.AttribBinding{
+		Enabled: true,
+		Addr:    b.addr + uint32(offset),
+		Stride:  uint32(stride),
+		Size:    size,
+	}
+}
+
+// DisableVertexAttrib returns the slot to its constant value.
+func (c *Context) DisableVertexAttrib(slot int) {
+	c.attribs[slot].Enabled = false
+}
+
+// VertexAttrib4f sets a constant attribute value for a disabled slot.
+func (c *Context) VertexAttrib4f(slot int, x, y, z, w float32) {
+	c.attribs[slot].Const = vmath.Vec4{x, y, z, w}
+}
+
+// ProgramARB assembles and registers an ARB-style program.
+func (c *Context) ProgramARB(kind isa.ProgramKind, name, source string) uint32 {
+	p, err := isa.Assemble(kind, name, source)
+	if err != nil {
+		c.fail("ProgramARB: %v", err)
+		return 0
+	}
+	c.nextID++
+	c.programs[c.nextID] = p
+	return c.nextID
+}
+
+// BindProgram selects the current program for a target; id 0 restores
+// the fixed-function path.
+func (c *Context) BindProgram(kind isa.ProgramKind, id uint32) {
+	var p *isa.Program
+	if id != 0 {
+		var ok bool
+		p, ok = c.programs[id]
+		if !ok || p.Kind != kind {
+			c.fail("BindProgram: bad program %d", id)
+			return
+		}
+	}
+	if kind == isa.VertexProgram {
+		c.boundVP = p
+	} else {
+		c.boundFP = p
+	}
+}
+
+// ProgramEnv sets a program environment constant.
+func (c *Context) ProgramEnv(kind isa.ProgramKind, idx int, v vmath.Vec4) {
+	if idx < 0 || idx >= isa.MaxConsts {
+		c.fail("ProgramEnv: index %d", idx)
+		return
+	}
+	if kind == isa.VertexProgram {
+		c.vpEnv[idx] = v
+	} else {
+		c.fpEnv[idx] = v
+	}
+}
+
+// RenderToTexture redirects rendering into level 0 of an RGBA8 2D
+// texture (render to texture, one of the paper's future-work
+// features). Restore with RenderToScreen before SwapBuffers.
+func (c *Context) RenderToTexture(id uint32) {
+	tex, ok := c.textures[id]
+	if !ok || tex.Target != isa.Tex2D || tex.Format != texemu.FmtRGBA8 {
+		c.fail("RenderToTexture: texture %d must be an RGBA8 2D texture", id)
+		return
+	}
+	layout := gpu.SurfaceLayout{}
+	layout = gpu.NewSurfaceLayout(tex.Base[0][0], tex.Width, tex.Height)
+	c.cmds = append(c.cmds, gpu.CmdSetRenderTarget{Target: layout})
+}
+
+// RenderToScreen restores the window back buffer as the render
+// target.
+func (c *Context) RenderToScreen() {
+	c.cmds = append(c.cmds, gpu.CmdSetRenderTarget{Default: true})
+}
+
+// BindTexture binds a texture object to a texture image unit.
+func (c *Context) BindTexture(unit int, id uint32) {
+	if unit < 0 || unit >= len(c.texUnits) {
+		c.fail("BindTexture: unit %d", unit)
+		return
+	}
+	c.texUnits[unit] = id
+}
+
+// snapshot builds the draw state for the current GL state.
+func (c *Context) snapshot(mode gpu.PrimMode, first, count int, indexBuf uint32, indexSize int) *gpu.DrawState {
+	st := &gpu.DrawState{
+		Viewport:  c.viewport.Viewport,
+		ColorMask: c.colorMsk,
+		Primitive: mode,
+		First:     first,
+		Count:     count,
+	}
+	if st.Viewport.W == 0 {
+		st.Viewport = rastemu.Viewport{X: 0, Y: 0, W: c.w, H: c.h, Near: 0, Far: 1}
+	}
+	if c.caps[CapScissorTest] {
+		st.ScissorEnabled = true
+		st.ScissorX, st.ScissorY = c.scissor.x, c.scissor.y
+		st.ScissorW, st.ScissorH = c.scissor.w, c.scissor.h
+	}
+	if c.caps[CapCullFace] {
+		st.CullFront = c.cullFace.front
+		st.CullBack = c.cullFace.back
+	}
+	st.Depth = c.depth
+	st.Depth.Enabled = c.caps[CapDepthTest]
+	st.Stencil = c.stencil
+	st.Stencil.Enabled = c.caps[CapStencilTest]
+	st.TwoSidedStencil = c.twoSidedStencil
+	st.StencilBack = c.stencilBack
+	st.Blend = c.blend
+	st.Blend.Enabled = c.caps[CapBlend]
+	st.Attribs = c.attribs
+
+	for u, id := range c.texUnits {
+		if id != 0 {
+			st.Textures[u] = c.textures[id]
+		}
+	}
+
+	if indexBuf != 0 {
+		b, ok := c.buffers[indexBuf]
+		if !ok {
+			c.fail("draw: unknown index buffer %d", indexBuf)
+			return nil
+		}
+		st.IndexAddr = b.addr
+		st.IndexSize = indexSize
+	}
+
+	// Programs: explicit ARB programs, or driver-generated
+	// fixed-function programs with alpha test and fog injected.
+	if c.boundVP != nil && c.boundFP != nil {
+		st.VertexProg = c.boundVP
+		st.FragmentProg = c.boundFP
+		st.VertConsts = append([]vmath.Vec4(nil), c.vpEnv[:]...)
+		st.FragConsts = append([]vmath.Vec4(nil), c.fpEnv[:]...)
+	} else if c.boundVP == nil && c.boundFP == nil {
+		ff := c.fixedFunction()
+		st.VertexProg = ff.vp
+		st.FragmentProg = ff.fp
+		st.VertConsts = c.ffVertConsts()
+		st.FragConsts = c.ffFragConsts()
+	} else {
+		c.fail("draw: mixing ARB and fixed-function targets is unsupported")
+		return nil
+	}
+	return st
+}
+
+// DrawArrays renders count vertices starting at first.
+func (c *Context) DrawArrays(mode gpu.PrimMode, first, count int) {
+	st := c.snapshot(mode, first, count, 0, 0)
+	if st == nil {
+		return
+	}
+	c.cmds = append(c.cmds, gpu.CmdDraw{State: st})
+	c.drawCalls++
+}
+
+// DrawElements renders count indexed vertices from an index buffer of
+// 16- or 32-bit indices.
+func (c *Context) DrawElements(mode gpu.PrimMode, count int, indexBuf uint32, indexSize, firstIndex int) {
+	if indexSize != 2 && indexSize != 4 {
+		c.fail("DrawElements: index size %d", indexSize)
+		return
+	}
+	st := c.snapshot(mode, firstIndex, count, indexBuf, indexSize)
+	if st == nil {
+		return
+	}
+	c.cmds = append(c.cmds, gpu.CmdDraw{State: st})
+	c.drawCalls++
+}
+
+// SwapBuffers ends the frame.
+func (c *Context) SwapBuffers() {
+	c.cmds = append(c.cmds, gpu.CmdSwap{})
+	c.frames++
+}

@@ -1,0 +1,388 @@
+package gl_test
+
+import (
+	"math"
+	"testing"
+
+	"attila/internal/emu/fragemu"
+	"attila/internal/emu/texemu"
+	"attila/internal/gl"
+	"attila/internal/gpu"
+	"attila/internal/isa"
+	"attila/internal/refrender"
+	"attila/internal/vmath"
+)
+
+const testW, testH = 64, 64
+
+// harness pairs a timing pipeline with a GL context targeting it.
+type harness struct {
+	p   *gpu.Pipeline
+	ctx *gl.Context
+}
+
+func newHarness(t *testing.T) *harness {
+	t.Helper()
+	cfg := gpu.BaselineUnified()
+	cfg.StatInterval = 0
+	p, err := gpu.New(cfg, testW, testH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &harness{p: p, ctx: gl.NewContext(p, testW, testH)}
+}
+
+// runBoth executes the context's commands on the timing simulator and
+// the reference renderer and requires bit-exact frames (the Figure 10
+// verification).
+func runBoth(t *testing.T, h *harness, maxCycles int64) (*gpu.Frame, *gpu.Frame) {
+	t.Helper()
+	if err := h.ctx.Err(); err != nil {
+		t.Fatal(err)
+	}
+	cmds := h.ctx.Commands()
+	ref := refrender.New(h.p.Cfg.GPUMemBytes, testW, testH)
+	if err := ref.Execute(cmds); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.p.Run(cmds, maxCycles); err != nil {
+		t.Fatal(err)
+	}
+	simFrames := h.p.Frames()
+	refFrames := ref.Frames()
+	if len(simFrames) == 0 || len(simFrames) != len(refFrames) {
+		t.Fatalf("frame counts: sim %d ref %d", len(simFrames), len(refFrames))
+	}
+	last := len(simFrames) - 1
+	diff, maxd := gpu.DiffFrames(simFrames[last], refFrames[last])
+	if diff != 0 {
+		t.Fatalf("simulator and reference diverge: %d pixels differ (max delta %d)", diff, maxd)
+	}
+	return simFrames[last], refFrames[last]
+}
+
+func refrenderNew(h *harness) *refrender.Renderer {
+	return refrender.New(h.p.Cfg.GPUMemBytes, testW, testH)
+}
+
+func pixAt(f *gpu.Frame, x, y int) [4]byte {
+	var c [4]byte
+	copy(c[:], f.Pix[(y*f.W+x)*4:])
+	return c
+}
+
+// uploadTriangle sets up a buffer with pos(3)+color(4)+normal(3)+uv(2)
+// interleaved vertices.
+func uploadTriangle(h *harness, verts [][12]float32) uint32 {
+	stride := 12 * 4
+	buf := h.ctx.GenBuffer(len(verts) * stride)
+	var data []byte
+	for _, v := range verts {
+		for _, f := range v {
+			bits := math.Float32bits(f)
+			data = append(data, byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24))
+		}
+	}
+	h.ctx.BufferData(buf, 0, data)
+	h.ctx.VertexAttribPointer(isa.AttrPos, buf, 0, stride, 3)
+	h.ctx.VertexAttribPointer(isa.AttrColor, buf, 12, stride, 4)
+	h.ctx.VertexAttribPointer(isa.AttrNormal, buf, 28, stride, 3)
+	h.ctx.VertexAttribPointer(isa.AttrTex0, buf, 40, stride, 2)
+	return buf
+}
+
+func v12(x, y, z float32, c vmath.Vec4, nx, ny, nz, u, vv float32) [12]float32 {
+	return [12]float32{x, y, z, c[0], c[1], c[2], c[3], nx, ny, nz, u, vv}
+}
+
+func TestFixedFunctionFlatTriangle(t *testing.T) {
+	h := newHarness(t)
+	ctx := h.ctx
+	ctx.Enable(gl.CapDepthTest)
+	ctx.ClearColor(0.1, 0.1, 0.1, 1)
+	ctx.Clear(gl.ColorBufferBit | gl.DepthBufferBit)
+	red := vmath.Vec4{1, 0, 0, 1}
+	uploadTriangle(h, [][12]float32{
+		v12(-1, -1, 0, red, 0, 0, 1, 0, 0),
+		v12(1, -1, 0, red, 0, 0, 1, 1, 0),
+		v12(0, 1, 0, red, 0, 0, 1, 0.5, 1),
+	})
+	ctx.DrawArrays(gpu.Triangles, 0, 3)
+	ctx.SwapBuffers()
+	f, _ := runBoth(t, h, 5_000_000)
+	if c := pixAt(f, 32, 20); c != [4]byte{255, 0, 0, 255} {
+		t.Fatalf("triangle interior: %v", c)
+	}
+}
+
+func TestFixedFunctionLighting(t *testing.T) {
+	h := newHarness(t)
+	ctx := h.ctx
+	ctx.Enable(gl.CapDepthTest)
+	ctx.Enable(gl.CapLighting)
+	ctx.Light(vmath.Vec4{0, 0, 1, 0}, vmath.Vec4{0.8, 0.8, 0.8, 1}, vmath.Vec4{0.2, 0.2, 0.2, 1})
+	ctx.Clear(gl.ColorBufferBit | gl.DepthBufferBit)
+	white := vmath.Vec4{1, 1, 1, 1}
+	// Normal facing the light: full intensity; tilted: dimmer.
+	uploadTriangle(h, [][12]float32{
+		v12(-1, -1, 0, white, 0, 0, 1, 0, 0),
+		v12(1, -1, 0, white, 0, 0, 1, 1, 0),
+		v12(0, 1, 0, white, 0, 0, 1, 0.5, 1),
+	})
+	ctx.DrawArrays(gpu.Triangles, 0, 3)
+	ctx.SwapBuffers()
+	f, _ := runBoth(t, h, 5_000_000)
+	c := pixAt(f, 32, 20)
+	if c[0] != 255 { // 0.8 + 0.2 saturates to 1
+		t.Fatalf("lit color: %v", c)
+	}
+}
+
+func makeChecker(w, h int, a, b texemu.RGBA, sq int) *gl.Image {
+	img := gl.NewImage(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if (x/sq+y/sq)%2 == 0 {
+				img.Set(x, y, a)
+			} else {
+				img.Set(x, y, b)
+			}
+		}
+	}
+	return img
+}
+
+func texturedQuadScene(t *testing.T, h *harness, format texemu.Format, params gl.TexParams) {
+	t.Helper()
+	ctx := h.ctx
+	ctx.Enable(gl.CapDepthTest)
+	ctx.Enable(gl.CapTexture0)
+	img := makeChecker(32, 32, texemu.RGBA{255, 255, 255, 255}, texemu.RGBA{0, 0, 0, 255}, 4)
+	tex := ctx.TexImage2D(img, format, params)
+	ctx.BindTexture(0, tex)
+	ctx.Clear(gl.ColorBufferBit | gl.DepthBufferBit)
+	white := vmath.Vec4{1, 1, 1, 1}
+	uploadTriangle(h, [][12]float32{
+		v12(-1, -1, 0, white, 0, 0, 1, 0, 0),
+		v12(1, -1, 0, white, 0, 0, 1, 1, 0),
+		v12(1, 1, 0, white, 0, 0, 1, 1, 1),
+		v12(-1, -1, 0, white, 0, 0, 1, 0, 0),
+		v12(1, 1, 0, white, 0, 0, 1, 1, 1),
+		v12(-1, 1, 0, white, 0, 0, 1, 0, 1),
+	})
+	ctx.DrawArrays(gpu.Triangles, 0, 6)
+	ctx.SwapBuffers()
+}
+
+func TestTexturedQuadNearest(t *testing.T) {
+	h := newHarness(t)
+	params := gl.TexParams{
+		MinFilter: texemu.FilterNearest, MagFilter: texemu.FilterNearest,
+		WrapS: texemu.WrapRepeat, WrapT: texemu.WrapRepeat, MaxAniso: 1,
+	}
+	texturedQuadScene(t, h, texemu.FmtRGBA8, params)
+	f, _ := runBoth(t, h, 10_000_000)
+	// 64x64 screen, 32x32 texture with 4-texel squares: 8-pixel
+	// checker squares on screen.
+	if c := pixAt(f, 2, 2); c != [4]byte{255, 255, 255, 255} {
+		t.Fatalf("checker white cell: %v", c)
+	}
+	if c := pixAt(f, 10, 2); c != [4]byte{0, 0, 0, 255} {
+		t.Fatalf("checker black cell: %v", c)
+	}
+}
+
+func TestTexturedQuadTrilinear(t *testing.T) {
+	h := newHarness(t)
+	texturedQuadScene(t, h, texemu.FmtRGBA8, gl.DefaultTexParams())
+	runBoth(t, h, 10_000_000)
+}
+
+func TestTexturedQuadDXT1(t *testing.T) {
+	h := newHarness(t)
+	texturedQuadScene(t, h, texemu.FmtDXT1, gl.DefaultTexParams())
+	runBoth(t, h, 10_000_000)
+}
+
+func TestTexturedQuadAnisotropic(t *testing.T) {
+	h := newHarness(t)
+	params := gl.DefaultTexParams()
+	params.MaxAniso = 8
+	texturedQuadScene(t, h, texemu.FmtRGBA8, params)
+	runBoth(t, h, 10_000_000)
+}
+
+func TestAlphaTestKIL(t *testing.T) {
+	h := newHarness(t)
+	ctx := h.ctx
+	ctx.Enable(gl.CapDepthTest)
+	ctx.Enable(gl.CapAlphaTest)
+	ctx.AlphaFunc(fragemu.CmpGEqual, 0.5)
+	ctx.ClearColor(0, 0, 1, 1)
+	ctx.Clear(gl.ColorBufferBit | gl.DepthBufferBit)
+	// Alpha 0.25 across the whole triangle: everything killed.
+	faint := vmath.Vec4{1, 0, 0, 0.25}
+	uploadTriangle(h, [][12]float32{
+		v12(-1, -1, 0, faint, 0, 0, 1, 0, 0),
+		v12(1, -1, 0, faint, 0, 0, 1, 1, 0),
+		v12(0, 1, 0, faint, 0, 0, 1, 0.5, 1),
+	})
+	ctx.DrawArrays(gpu.Triangles, 0, 3)
+	ctx.SwapBuffers()
+	f, _ := runBoth(t, h, 5_000_000)
+	if c := pixAt(f, 32, 20); c != [4]byte{0, 0, 255, 255} {
+		t.Fatalf("killed fragment wrote color: %v", c)
+	}
+}
+
+func TestFog(t *testing.T) {
+	h := newHarness(t)
+	ctx := h.ctx
+	ctx.Enable(gl.CapDepthTest)
+	ctx.Enable(gl.CapFog)
+	ctx.Fog(1, 10, vmath.Vec4{0.5, 0.5, 0.5, 1})
+	ctx.LoadProjection(vmath.Perspective(math.Pi/2, 1, 0.5, 50))
+	ctx.LoadModelView(vmath.Translate(0, 0, -5))
+	ctx.Clear(gl.ColorBufferBit | gl.DepthBufferBit)
+	red := vmath.Vec4{1, 0, 0, 1}
+	uploadTriangle(h, [][12]float32{
+		v12(-3, -3, 0, red, 0, 0, 1, 0, 0),
+		v12(3, -3, 0, red, 0, 0, 1, 1, 0),
+		v12(0, 3, 0, red, 0, 0, 1, 0.5, 1),
+	})
+	ctx.DrawArrays(gpu.Triangles, 0, 3)
+	ctx.SwapBuffers()
+	f, _ := runBoth(t, h, 5_000_000)
+	c := pixAt(f, 32, 20)
+	// At eye distance 5 with fog [1,10]: f = 5/9 -> mix of red and
+	// grey: red channel between the two.
+	if c[0] == 255 || c[0] < 128 || c[1] == 0 {
+		t.Fatalf("fogged color: %v", c)
+	}
+}
+
+func TestAdditiveBlending(t *testing.T) {
+	h := newHarness(t)
+	ctx := h.ctx
+	ctx.Enable(gl.CapBlend)
+	ctx.BlendFunc(fragemu.BfOne, fragemu.BfOne)
+	ctx.Clear(gl.ColorBufferBit | gl.DepthBufferBit)
+	dim := vmath.Vec4{0.25, 0.1, 0, 1}
+	tri := [][12]float32{
+		v12(-1, -1, 0, dim, 0, 0, 1, 0, 0),
+		v12(1, -1, 0, dim, 0, 0, 1, 1, 0),
+		v12(0, 1, 0, dim, 0, 0, 1, 0.5, 1),
+	}
+	uploadTriangle(h, tri)
+	ctx.DrawArrays(gpu.Triangles, 0, 3)
+	ctx.DrawArrays(gpu.Triangles, 0, 3)
+	ctx.SwapBuffers()
+	f, _ := runBoth(t, h, 5_000_000)
+	c := pixAt(f, 32, 20)
+	// Quantized accumulation: 0.25 -> 64, 64+64 = 128; 0.1 -> 26,
+	// 26+26 = 52.
+	if c != [4]byte{128, 52, 0, 255} {
+		t.Fatalf("additive result: %v", c)
+	}
+}
+
+func TestStencilMasking(t *testing.T) {
+	h := newHarness(t)
+	ctx := h.ctx
+	// Pass 1: stamp stencil=1 where a small triangle covers, color
+	// masked off.
+	ctx.Enable(gl.CapStencilTest)
+	ctx.StencilFunc(fragemu.CmpAlways, 1, 0xFF)
+	ctx.StencilOp(fragemu.StKeep, fragemu.StKeep, fragemu.StReplace)
+	ctx.ColorMask(false, false, false, false)
+	ctx.Clear(gl.ColorBufferBit | gl.DepthBufferBit | gl.StencilBufferBit)
+	white := vmath.Vec4{1, 1, 1, 1}
+	small := uploadTriangle(h, [][12]float32{
+		v12(-0.5, -0.5, 0, white, 0, 0, 1, 0, 0),
+		v12(0.5, -0.5, 0, white, 0, 0, 1, 1, 0),
+		v12(0, 0.5, 0, white, 0, 0, 1, 0.5, 1),
+	})
+	_ = small
+	ctx.DrawArrays(gpu.Triangles, 0, 3)
+	// Pass 2: draw a fullscreen green triangle only where stencil==1.
+	ctx.StencilFunc(fragemu.CmpEqual, 1, 0xFF)
+	ctx.StencilOp(fragemu.StKeep, fragemu.StKeep, fragemu.StKeep)
+	ctx.ColorMask(true, true, true, true)
+	green := vmath.Vec4{0, 1, 0, 1}
+	uploadTriangle(h, [][12]float32{
+		v12(-3, -3, 0, green, 0, 0, 1, 0, 0),
+		v12(3, -3, 0, green, 0, 0, 1, 1, 0),
+		v12(0, 3, 0, green, 0, 0, 1, 0.5, 1),
+	})
+	ctx.DrawArrays(gpu.Triangles, 0, 3)
+	ctx.SwapBuffers()
+	f, _ := runBoth(t, h, 5_000_000)
+	if c := pixAt(f, 32, 30); c != [4]byte{0, 255, 0, 255} {
+		t.Fatalf("inside stencil: %v", c)
+	}
+	if c := pixAt(f, 4, 4); c != [4]byte{0, 0, 0, 0} {
+		t.Fatalf("outside stencil: %v", c)
+	}
+}
+
+func TestARBProgramsDirect(t *testing.T) {
+	h := newHarness(t)
+	ctx := h.ctx
+	vp := ctx.ProgramARB(isa.VertexProgram, "vp", `
+MOV o0, v0
+MOV o1, v1
+END`)
+	fp := ctx.ProgramARB(isa.FragmentProgram, "fp", `
+MUL o0, v1, c0
+END`)
+	ctx.BindProgram(isa.VertexProgram, vp)
+	ctx.BindProgram(isa.FragmentProgram, fp)
+	ctx.ProgramEnv(isa.FragmentProgram, 0, vmath.Vec4{0.5, 0.5, 0.5, 1})
+	ctx.Enable(gl.CapDepthTest)
+	ctx.Clear(gl.ColorBufferBit | gl.DepthBufferBit)
+	white := vmath.Vec4{1, 1, 1, 1}
+	uploadTriangle(h, [][12]float32{
+		v12(-1, -1, 0, white, 0, 0, 1, 0, 0),
+		v12(1, -1, 0, white, 0, 0, 1, 1, 0),
+		v12(0, 1, 0, white, 0, 0, 1, 0.5, 1),
+	})
+	ctx.DrawArrays(gpu.Triangles, 0, 3)
+	ctx.SwapBuffers()
+	f, _ := runBoth(t, h, 5_000_000)
+	if c := pixAt(f, 32, 20); c != fragemu.PackColor(vmath.Vec4{0.5, 0.5, 0.5, 1}) {
+		t.Fatalf("ARB program output: %v", c)
+	}
+}
+
+func TestMultiFrame(t *testing.T) {
+	h := newHarness(t)
+	ctx := h.ctx
+	ctx.Enable(gl.CapDepthTest)
+	colors := []vmath.Vec4{{1, 0, 0, 1}, {0, 1, 0, 1}}
+	for _, col := range colors {
+		ctx.Clear(gl.ColorBufferBit | gl.DepthBufferBit)
+		uploadTriangle(h, [][12]float32{
+			v12(-1, -1, 0, col, 0, 0, 1, 0, 0),
+			v12(1, -1, 0, col, 0, 0, 1, 1, 0),
+			v12(0, 1, 0, col, 0, 0, 1, 0.5, 1),
+		})
+		ctx.DrawArrays(gpu.Triangles, 0, 3)
+		ctx.SwapBuffers()
+	}
+	f, _ := runBoth(t, h, 10_000_000)
+	if c := pixAt(f, 32, 20); c != [4]byte{0, 255, 0, 255} {
+		t.Fatalf("second frame color: %v", c)
+	}
+	if len(h.p.Frames()) != 2 {
+		t.Fatalf("frames: %d", len(h.p.Frames()))
+	}
+}
+
+func TestContextErrorSticky(t *testing.T) {
+	h := newHarness(t)
+	ctx := h.ctx
+	ctx.BufferData(999, 0, []byte{1}) // unknown buffer
+	if ctx.Err() == nil {
+		t.Fatal("error not recorded")
+	}
+}

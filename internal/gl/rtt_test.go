@@ -1,0 +1,89 @@
+package gl_test
+
+import (
+	"testing"
+
+	"attila/internal/emu/texemu"
+	"attila/internal/gl"
+	"attila/internal/gpu"
+	"attila/internal/vmath"
+)
+
+// Render to texture (a paper future-work feature): draw a red
+// triangle into a 64x64 texture, then texture a fullscreen quad with
+// the result. The timing simulator must match the reference renderer
+// bit-exactly, which exercises the color-cache flush and
+// texture-cache invalidation at the render-target switch.
+func TestRenderToTexture(t *testing.T) {
+	h := newHarness(t)
+	ctx := h.ctx
+
+	// Offscreen target: a blank RGBA8 texture with nearest sampling
+	// (no mip chain: only level 0 is rendered).
+	blank := gl.NewImage(64, 64)
+	params := gl.TexParams{
+		MinFilter: texemu.FilterNearest, MagFilter: texemu.FilterNearest,
+		WrapS: texemu.WrapClamp, WrapT: texemu.WrapClamp, MaxAniso: 1,
+	}
+	rtt := ctx.TexImage2D(blank, texemu.FmtRGBA8, params)
+
+	red := vmath.Vec4{1, 0, 0, 1}
+	white := vmath.Vec4{1, 1, 1, 1}
+
+	// Pass 1: render a triangle into the texture.
+	ctx.RenderToTexture(rtt)
+	ctx.Viewport(0, 0, 64, 64)
+	ctx.Enable(gl.CapDepthTest)
+	ctx.ClearColor(0, 0.25, 0, 1)
+	ctx.Clear(gl.ColorBufferBit | gl.DepthBufferBit)
+	uploadTriangle(h, [][12]float32{
+		v12(-0.8, -0.8, 0, red, 0, 0, 1, 0, 0),
+		v12(0.8, -0.8, 0, red, 0, 0, 1, 1, 0),
+		v12(0, 0.8, 0, red, 0, 0, 1, 0.5, 1),
+	})
+	ctx.DrawArrays(gpu.Triangles, 0, 3)
+
+	// Pass 2: back to the screen, sample the rendered texture.
+	ctx.RenderToScreen()
+	ctx.Viewport(0, 0, testW, testH)
+	ctx.Clear(gl.ColorBufferBit | gl.DepthBufferBit)
+	ctx.Enable(gl.CapTexture0)
+	ctx.BindTexture(0, rtt)
+	uploadTriangle(h, [][12]float32{
+		v12(-1, -1, 0, white, 0, 0, 1, 0, 0),
+		v12(1, -1, 0, white, 0, 0, 1, 1, 0),
+		v12(1, 1, 0, white, 0, 0, 1, 1, 1),
+		v12(-1, -1, 0, white, 0, 0, 1, 0, 0),
+		v12(1, 1, 0, white, 0, 0, 1, 1, 1),
+		v12(-1, 1, 0, white, 0, 0, 1, 0, 1),
+	})
+	ctx.DrawArrays(gpu.Triangles, 0, 6)
+	ctx.SwapBuffers()
+
+	f, _ := runBoth(t, h, 20_000_000)
+	// The screen shows the texture: center = red triangle interior,
+	// top corners = the offscreen clear color.
+	if c := pixAt(f, testW/2, testH/4); c != [4]byte{255, 0, 0, 255} {
+		t.Fatalf("triangle in texture: %v", c)
+	}
+	if c := pixAt(f, 2, testH-2); c != [4]byte{0, 64, 0, 255} {
+		t.Fatalf("offscreen clear color: %v", c)
+	}
+}
+
+// Swapping while an offscreen target is bound is a programming error
+// the reference renderer reports (and the simulator panics on).
+func TestRTTSwapWithoutRestoreFails(t *testing.T) {
+	h := newHarness(t)
+	ctx := h.ctx
+	blank := gl.NewImage(8, 8)
+	params := gl.TexParams{MinFilter: texemu.FilterNearest, MagFilter: texemu.FilterNearest}
+	rtt := ctx.TexImage2D(blank, texemu.FmtRGBA8, params)
+	ctx.RenderToTexture(rtt)
+	ctx.SwapBuffers()
+	cmds := ctx.Commands()
+	ref := refrenderNew(h)
+	if err := ref.Execute(cmds); err == nil {
+		t.Fatal("reference accepted swap while rendering to texture")
+	}
+}

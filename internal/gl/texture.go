@@ -1,0 +1,222 @@
+package gl
+
+import (
+	"attila/internal/emu/texemu"
+	"attila/internal/gpu"
+	"attila/internal/isa"
+)
+
+// Image is a simple RGBA texel array for texture uploads.
+type Image struct {
+	W, H int
+	Pix  []texemu.RGBA // row major
+}
+
+// NewImage allocates a w x h image.
+func NewImage(w, h int) *Image {
+	return &Image{W: w, H: h, Pix: make([]texemu.RGBA, w*h)}
+}
+
+// At returns the texel at (x, y), clamped to the image.
+func (im *Image) At(x, y int) texemu.RGBA {
+	if x < 0 {
+		x = 0
+	}
+	if y < 0 {
+		y = 0
+	}
+	if x >= im.W {
+		x = im.W - 1
+	}
+	if y >= im.H {
+		y = im.H - 1
+	}
+	return im.Pix[y*im.W+x]
+}
+
+// Set stores a texel.
+func (im *Image) Set(x, y int, c texemu.RGBA) {
+	im.Pix[y*im.W+x] = c
+}
+
+// halve box-filters the image down one mip level.
+func (im *Image) halve() *Image {
+	w, h := im.W/2, im.H/2
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	out := NewImage(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var sum [4]int
+			for dy := 0; dy < 2; dy++ {
+				for dx := 0; dx < 2; dx++ {
+					c := im.At(x*2+dx, y*2+dy)
+					for ch := 0; ch < 4; ch++ {
+						sum[ch] += int(c[ch])
+					}
+				}
+			}
+			out.Set(x, y, texemu.RGBA{
+				byte(sum[0] / 4), byte(sum[1] / 4), byte(sum[2] / 4), byte(sum[3] / 4),
+			})
+		}
+	}
+	return out
+}
+
+// TexParams configures sampler state at creation.
+type TexParams struct {
+	MinFilter texemu.Filter
+	MagFilter texemu.Filter
+	WrapS     texemu.Wrap
+	WrapT     texemu.Wrap
+	MaxAniso  int
+	Mipmap    bool // generate the full mip chain
+}
+
+// DefaultTexParams returns trilinear repeat sampling.
+func DefaultTexParams() TexParams {
+	return TexParams{
+		MinFilter: texemu.FilterLinearMipLinear,
+		MagFilter: texemu.FilterLinear,
+		WrapS:     texemu.WrapRepeat,
+		WrapT:     texemu.WrapRepeat,
+		MaxAniso:  1,
+		Mipmap:    true,
+	}
+}
+
+// TexImage2D creates a 2D texture object from an image, generating
+// mipmaps when requested, encoding texel tiles in the given format
+// (compressed formats are compressed here, in the "driver"), and
+// uploading every level with buffer write commands. It returns the
+// texture id.
+func (c *Context) TexImage2D(img *Image, format texemu.Format, params TexParams) uint32 {
+	levels := 1
+	if params.Mipmap {
+		w, h := img.W, img.H
+		for w > 1 || h > 1 {
+			levels++
+			w /= 2
+			h /= 2
+			if w < 1 {
+				w = 1
+			}
+			if h < 1 {
+				h = 1
+			}
+		}
+	}
+	tex := &texemu.Texture{
+		Target: isa.Tex2D, Format: format,
+		Width: img.W, Height: img.H, Depth: 1, Levels: levels,
+		WrapS: params.WrapS, WrapT: params.WrapT,
+		MinFilter: params.MinFilter, MagFilter: params.MagFilter,
+		MaxAniso: params.MaxAniso,
+	}
+	if tex.MaxAniso < 1 {
+		tex.MaxAniso = 1
+	}
+	if err := tex.Validate(); err != nil {
+		c.fail("TexImage2D: %v", err)
+		return 0
+	}
+	base, err := c.alloc.Alloc(tex.TotalBytes(), 256)
+	if err != nil {
+		c.fail("TexImage2D: %v", err)
+		return 0
+	}
+	addr := base
+	level := img
+	for l := 0; l < levels; l++ {
+		tex.Base[0][l] = addr
+		data := encodeLevel(tex, l, level)
+		c.cmds = append(c.cmds, gpu.CmdBufferWrite{Addr: addr, Data: data})
+		addr += uint32(tex.LevelBytes(l))
+		if l+1 < levels {
+			level = level.halve()
+		}
+	}
+	c.nextID++
+	c.textures[c.nextID] = tex
+	return c.nextID
+}
+
+// Texture returns the descriptor for a texture id (diagnostics and
+// the reference renderer's tests).
+func (c *Context) Texture(id uint32) *texemu.Texture { return c.textures[id] }
+
+// TexImageCube creates a cube map from six face images (+X, -X, +Y,
+// -Y, +Z, -Z, the OpenGL face order), all square and equally sized.
+func (c *Context) TexImageCube(faces *[6]*Image, format texemu.Format, params TexParams) uint32 {
+	size := faces[0].W
+	for _, f := range faces {
+		if f.W != size || f.H != size {
+			c.fail("TexImageCube: faces must be square and equal")
+			return 0
+		}
+	}
+	levels := 1
+	if params.Mipmap {
+		for w := size; w > 1; w /= 2 {
+			levels++
+		}
+	}
+	tex := &texemu.Texture{
+		Target: isa.TexCube, Format: format,
+		Width: size, Height: size, Depth: 1, Levels: levels,
+		WrapS: texemu.WrapClamp, WrapT: texemu.WrapClamp,
+		MinFilter: params.MinFilter, MagFilter: params.MagFilter,
+		MaxAniso: 1,
+	}
+	if err := tex.Validate(); err != nil {
+		c.fail("TexImageCube: %v", err)
+		return 0
+	}
+	base, err := c.alloc.Alloc(tex.TotalBytes(), 256)
+	if err != nil {
+		c.fail("TexImageCube: %v", err)
+		return 0
+	}
+	addr := base
+	for face := 0; face < texemu.CubeFaces; face++ {
+		level := faces[face]
+		for l := 0; l < levels; l++ {
+			tex.Base[face][l] = addr
+			data := encodeLevel(tex, l, level)
+			c.cmds = append(c.cmds, gpu.CmdBufferWrite{Addr: addr, Data: data})
+			addr += uint32(tex.LevelBytes(l))
+			if l+1 < levels {
+				level = level.halve()
+			}
+		}
+	}
+	c.nextID++
+	c.textures[c.nextID] = tex
+	return c.nextID
+}
+
+// encodeLevel packs one mip level into tiled (and possibly
+// compressed) memory bytes.
+func encodeLevel(tex *texemu.Texture, l int, img *Image) []byte {
+	tilesX, tilesY := tex.LevelTiles(l)
+	tileBytes := tex.Format.TileBytes()
+	out := make([]byte, tilesX*tilesY*tileBytes)
+	var tile [texemu.TileTexels * texemu.TileTexels]texemu.RGBA
+	for ty := 0; ty < tilesY; ty++ {
+		for tx := 0; tx < tilesX; tx++ {
+			for y := 0; y < texemu.TileTexels; y++ {
+				for x := 0; x < texemu.TileTexels; x++ {
+					tile[y*texemu.TileTexels+x] = img.At(tx*texemu.TileTexels+x, ty*texemu.TileTexels+y)
+				}
+			}
+			idx := (ty*tilesX + tx) * tileBytes
+			texemu.EncodeTile(tex.Format, &tile, out[idx:])
+		}
+	}
+	return out
+}

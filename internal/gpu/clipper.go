@@ -1,0 +1,61 @@
+package gpu
+
+import (
+	"attila/internal/core"
+	"attila/internal/emu/clipemu"
+	"attila/internal/isa"
+)
+
+// Clipper performs trivial rejection of triangles completely outside
+// the view frustum (paper §2.2: all other triangles, including
+// partially visible ones, flow free to the rasterizer).
+type Clipper struct {
+	core.BoxBase
+	triIn  *Flow
+	triOut *Flow
+	queue  []*TriWork
+
+	statIn       *core.Counter
+	statRejected *core.Counter
+	statBusy     *core.Counter
+}
+
+// NewClipper builds the box. The output flow's signal latency models
+// the 6-cycle clipper pipeline (Table 1).
+func NewClipper(sim *core.Simulator, triIn, triOut *Flow) *Clipper {
+	c := &Clipper{triIn: triIn, triOut: triOut}
+	c.Init("Clipper")
+	c.statIn = sim.Stats.Counter("Clipper.triangles")
+	c.statRejected = sim.Stats.Counter("Clipper.rejected")
+	c.statBusy = sim.Stats.Counter("Clipper.busyCycles")
+	sim.Register(c)
+	return c
+}
+
+// Clock implements core.Box.
+func (c *Clipper) Clock(cycle int64) {
+	for _, obj := range c.triIn.Recv(cycle) {
+		c.queue = append(c.queue, obj.(*TriWork))
+	}
+	if len(c.queue) == 0 {
+		return
+	}
+	tri := c.queue[0]
+	rejected := clipemu.TriviallyRejected(
+		tri.V[0].Out[isa.AttrPos],
+		tri.V[1].Out[isa.AttrPos],
+		tri.V[2].Out[isa.AttrPos])
+	if !rejected && !c.triOut.CanSend(cycle, 1) {
+		return
+	}
+	c.queue = c.queue[1:]
+	c.triIn.Release(1)
+	c.statIn.Inc()
+	c.statBusy.Inc()
+	if rejected {
+		tri.Batch.TrisRetired++
+		c.statRejected.Inc()
+		return
+	}
+	c.triOut.Send(cycle, tri)
+}

@@ -1,0 +1,49 @@
+package gpu
+
+import (
+	"fmt"
+	"testing"
+
+	"attila/internal/vmath"
+)
+
+func TestDebugHang(t *testing.T) {
+	cfg := BaselineUnified()
+	cfg.StatInterval = 0
+	p, err := New(cfg, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := vmath.Vec4{1, 0, 0, 1}
+	st, vbuf := testState(t, p, 3)
+	verts := buildVerts(
+		vtx(-3, -3, 0, red),
+		vtx(3, -3, 0, red),
+		vtx(0, 3, 0, red),
+	)
+	cmds := []Command{
+		CmdBufferWrite{Addr: vbuf, Data: verts},
+		CmdClearZS{Depth: 1, Stencil: 0},
+		CmdClearColor{Value: [4]byte{0, 0, 64, 255}},
+		CmdDraw{State: st},
+		CmdSwap{},
+	}
+	err = p.Run(cmds, 100_000)
+	if err == nil {
+		t.Skip("no hang")
+	}
+	fmt.Println("cycles:", p.Cycles(), "err:", err)
+	fmt.Println("cp.pc:", p.CP.pc, "active batches:", len(p.CP.active),
+		"waitClear:", p.CP.waitClear, "waitSwap:", p.CP.waitSwap, "swapState:", p.CP.swapState)
+	for _, b := range p.CP.active {
+		fmt.Printf("batch %d: vtxIssued=%d streamerDone=%v paDone=%v trisIn=%d trisRet=%d quadsIn=%d quadsRet=%d shadedQ=%d shadedV=%d\n",
+			b.ID, b.VtxIssued, b.StreamerDone, b.PADone, b.TrisIn, b.TrisRetired,
+			b.QuadsIn, b.QuadsRetired, b.ShadedQuads, b.ShadedVerts)
+	}
+	for _, name := range p.Sim.Stats.Names() {
+		v := p.Sim.Stats.Lookup(name).Value()
+		if v != 0 {
+			fmt.Printf("  %s = %g\n", name, v)
+		}
+	}
+}

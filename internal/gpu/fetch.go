@@ -1,0 +1,85 @@
+package gpu
+
+import (
+	"encoding/binary"
+	"math"
+
+	"attila/internal/mem"
+	"attila/internal/vmath"
+)
+
+// FetchIndex reads index number seq of a batch from GPU memory (pure
+// data path, no timing); sequential draws synthesize indices.
+func FetchIndex(gm *mem.GPUMemory, st *DrawState, seq int) uint32 {
+	if st.IndexAddr == 0 {
+		return uint32(st.First + seq)
+	}
+	addr := st.IndexAddr + uint32((st.First+seq)*st.IndexSize)
+	var buf [4]byte
+	gm.ReadBytes(addr, buf[:st.IndexSize])
+	if st.IndexSize == 2 {
+		return uint32(binary.LittleEndian.Uint16(buf[:2]))
+	}
+	return binary.LittleEndian.Uint32(buf[:4])
+}
+
+// FetchAttr converts one vertex attribute to the internal 4-float
+// format: enabled arrays read Size float32 components with the rest
+// defaulting to (0, 0, 0, 1); disabled slots return the constant.
+// Both the Streamer box and the reference renderer use this exact
+// conversion.
+func FetchAttr(gm *mem.GPUMemory, st *DrawState, slot int, idx uint32) vmath.Vec4 {
+	a := &st.Attribs[slot]
+	if !a.Enabled {
+		return a.Const
+	}
+	base := a.Addr + idx*a.Stride
+	out := vmath.Vec4{0, 0, 0, 1}
+	var buf [16]byte
+	gm.ReadBytes(base, buf[:a.Size*4])
+	for c := 0; c < a.Size; c++ {
+		out[c] = math.Float32frombits(binary.LittleEndian.Uint32(buf[c*4:]))
+	}
+	return out
+}
+
+// TriangleIndices expands a primitive stream into triangles: for each
+// output triangle, the three vertex ordinals (positions in the batch
+// vertex sequence) in rasterization winding order. The PrimAssembly
+// box produces exactly this sequence incrementally; a unit test keeps
+// the two in lockstep.
+func TriangleIndices(mode PrimMode, count int) [][3]int {
+	var out [][3]int
+	switch mode {
+	case Triangles:
+		for i := 2; i < count; i += 3 {
+			out = append(out, [3]int{i - 2, i - 1, i})
+		}
+	case TriangleStrip:
+		for i := 2; i < count; i++ {
+			if i%2 == 0 {
+				out = append(out, [3]int{i - 2, i - 1, i})
+			} else {
+				out = append(out, [3]int{i - 1, i - 2, i})
+			}
+		}
+	case TriangleFan:
+		for i := 2; i < count; i++ {
+			out = append(out, [3]int{0, i - 1, i})
+		}
+	case Quads:
+		for i := 3; i < count; i += 4 {
+			out = append(out, [3]int{i - 3, i - 2, i - 1})
+			out = append(out, [3]int{i - 3, i - 1, i})
+		}
+	case QuadStrip:
+		for i := 2; i < count; i++ {
+			if i%2 == 0 {
+				out = append(out, [3]int{i - 2, i - 1, i})
+			} else {
+				out = append(out, [3]int{i - 2, i, i - 1})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,262 @@
+package gpu
+
+import (
+	"attila/internal/core"
+)
+
+// workKind distinguishes shader work.
+type workKind uint8
+
+const (
+	workVertex workKind = iota
+	workFragment
+)
+
+// ShaderWork is one thread's worth of shader input: a vertex group or
+// a fragment quad, dispatched by the FragmentFIFO to a shader unit.
+type ShaderWork struct {
+	core.DynObject
+	Batch *BatchState
+	Kind  workKind
+	Vtx   *VtxGroup
+	Frag  *Quad
+	Regs  int  // physical registers reserved for the thread
+	VPool bool // reserved from the vertex register pool
+}
+
+// FragmentFIFO is the crossbar and scheduler between the fixed
+// pipeline and the programmable shader pool (paper §3: it receives
+// vertices and fragments from producing boxes, feeds shader units,
+// and returns outputs to the consuming boxes; it also implements the
+// early/late Z datapaths). The §5 case study's global thread window
+// (or in-order shader input queue) lives here.
+type FragmentFIFO struct {
+	core.BoxBase
+	cfg    *Config
+	layout SurfaceLayout
+
+	vtxIn  *Flow // vertex groups from the streamer
+	fragIn *Flow // interpolated quads
+
+	vtxOut    *Flow   // shaded vertex groups back to the streamer
+	fragEarly []*Flow // per ROP: shaded quads to Color Write (early Z done)
+	fragLate  []*Flow // per ROP: shaded quads to Z Stencil (late Z)
+
+	shaderIn  []*Flow // new threads to each shader
+	shaderOut []*Flow // completed threads from each shader
+
+	vtxArrived  []*ShaderWork // received, flow credit still held
+	fragArrived []*ShaderWork
+	vtxPending  []*ShaderWork // admitted to the thread window
+	fragPending []*ShaderWork
+	outbox      []*ShaderWork // completed, waiting for downstream room
+
+	windowUsed int
+	fragRegs   int // fragment/unified register pool in use
+	vtxRegs    int // vertex pool in use (non-unified)
+	rr         int
+
+	statVtxThreads  *core.Counter
+	statFragThreads *core.Counter
+	statKilled      *core.Counter
+	statWindowFull  *core.Counter
+	statRegStall    *core.Counter
+	windowGauge     *core.Gauge
+}
+
+// NewFragmentFIFO builds the box.
+func NewFragmentFIFO(sim *core.Simulator, cfg *Config, layout SurfaceLayout,
+	vtxIn, fragIn, vtxOut *Flow, fragEarly, fragLate, shaderIn, shaderOut []*Flow) *FragmentFIFO {
+	f := &FragmentFIFO{
+		cfg: cfg, layout: layout,
+		vtxIn: vtxIn, fragIn: fragIn, vtxOut: vtxOut,
+		fragEarly: fragEarly, fragLate: fragLate,
+		shaderIn: shaderIn, shaderOut: shaderOut,
+	}
+	f.Init("FragmentFIFO")
+	f.statVtxThreads = sim.Stats.Counter("FFIFO.vertexThreads")
+	f.statFragThreads = sim.Stats.Counter("FFIFO.fragmentThreads")
+	f.statKilled = sim.Stats.Counter("FFIFO.killedQuads")
+	f.statWindowFull = sim.Stats.Counter("FFIFO.windowFullCycles")
+	f.statRegStall = sim.Stats.Counter("FFIFO.regStallCycles")
+	f.windowGauge = sim.Stats.Gauge("FFIFO.windowOccupancy")
+	sim.Register(f)
+	return f
+}
+
+// Clock implements core.Box.
+func (f *FragmentFIFO) Clock(cycle int64) {
+	f.collectCompletions(cycle)
+	f.drainOutbox(cycle)
+	f.acceptInputs(cycle)
+	f.dispatch(cycle)
+	f.windowGauge.Set(float64(f.windowUsed))
+}
+
+func (f *FragmentFIFO) acceptInputs(cycle int64) {
+	// Signals must be drained every cycle; arrivals hold their flow
+	// credit until admitted into the thread window.
+	for _, obj := range f.vtxIn.Recv(cycle) {
+		g := obj.(*VtxGroup)
+		f.vtxArrived = append(f.vtxArrived, &ShaderWork{
+			DynObject: core.DynObject{ID: g.ID, Parent: g.Parent, Tag: "vwork"},
+			Batch:     g.Batch, Kind: workVertex, Vtx: g,
+		})
+	}
+	for _, obj := range f.fragIn.Recv(cycle) {
+		q := obj.(*Quad)
+		f.fragArrived = append(f.fragArrived, &ShaderWork{
+			DynObject: core.DynObject{ID: q.ID, Parent: q.Parent, Tag: "fwork"},
+			Batch:     q.Batch, Kind: workFragment, Frag: q,
+		})
+	}
+	// Admit into the window, vertices first (geometry starvation
+	// stalls the whole pipeline).
+	for f.windowUsed < f.cfg.WindowThreads && len(f.vtxArrived) > 0 {
+		f.vtxPending = append(f.vtxPending, f.vtxArrived[0])
+		f.vtxArrived = f.vtxArrived[1:]
+		f.vtxIn.Release(1)
+		f.windowUsed++
+	}
+	for f.windowUsed < f.cfg.WindowThreads && len(f.fragArrived) > 0 {
+		f.fragPending = append(f.fragPending, f.fragArrived[0])
+		f.fragArrived = f.fragArrived[1:]
+		f.fragIn.Release(1)
+		f.windowUsed++
+	}
+	if f.windowUsed >= f.cfg.WindowThreads {
+		f.statWindowFull.Inc()
+	}
+}
+
+// eligible reports whether shader s may run the given work kind.
+func (f *FragmentFIFO) eligible(s int, kind workKind) bool {
+	if f.cfg.UnifiedShaders {
+		return true
+	}
+	if kind == workVertex {
+		return s < f.cfg.NumVertexShaders
+	}
+	return s >= f.cfg.NumVertexShaders
+}
+
+func (f *FragmentFIFO) dispatch(cycle int64) {
+	n := len(f.shaderIn)
+	for k := 0; k < n; k++ {
+		s := (f.rr + k) % n
+		if !f.shaderIn[s].CanSend(cycle, 1) {
+			continue
+		}
+		var w *ShaderWork
+		switch {
+		case len(f.vtxPending) > 0 && f.eligible(s, workVertex):
+			w = f.vtxPending[0]
+			if !f.reserveRegs(w) {
+				w = nil
+			} else {
+				f.vtxPending = f.vtxPending[1:]
+			}
+		case len(f.fragPending) > 0 && f.eligible(s, workFragment):
+			w = f.fragPending[0]
+			if !f.reserveRegs(w) {
+				w = nil
+			} else {
+				f.fragPending = f.fragPending[1:]
+			}
+		}
+		if w == nil {
+			continue
+		}
+		f.shaderIn[s].Send(cycle, w)
+		if w.Kind == workVertex {
+			f.statVtxThreads.Inc()
+		} else {
+			f.statFragThreads.Inc()
+		}
+	}
+	f.rr = (f.rr + 1) % n
+}
+
+// reserveRegs applies the §2.3 physical-register admission rule: a
+// thread needs 4 registers per temporary the program uses.
+func (f *FragmentFIFO) reserveRegs(w *ShaderWork) bool {
+	prog := w.Batch.State.FragmentProg
+	if w.Kind == workVertex {
+		prog = w.Batch.State.VertexProg
+	}
+	need := shaderLanes * prog.TempsUsed()
+	usesVPool := !f.cfg.UnifiedShaders && w.Kind == workVertex
+	if usesVPool {
+		if f.vtxRegs+need > f.cfg.PhysRegsVertex {
+			f.statRegStall.Inc()
+			return false
+		}
+		f.vtxRegs += need
+	} else {
+		if f.fragRegs+need > f.cfg.PhysRegsFragment {
+			f.statRegStall.Inc()
+			return false
+		}
+		f.fragRegs += need
+	}
+	w.Regs = need
+	w.VPool = usesVPool
+	return true
+}
+
+func (f *FragmentFIFO) collectCompletions(cycle int64) {
+	for s := range f.shaderOut {
+		for _, obj := range f.shaderOut[s].Recv(cycle) {
+			w := obj.(*ShaderWork)
+			f.shaderOut[s].Release(1)
+			if w.VPool {
+				f.vtxRegs -= w.Regs
+			} else {
+				f.fragRegs -= w.Regs
+			}
+			f.outbox = append(f.outbox, w)
+		}
+	}
+}
+
+func (f *FragmentFIFO) drainOutbox(cycle int64) {
+	for len(f.outbox) > 0 {
+		w := f.outbox[0]
+		if !f.route(cycle, w) {
+			return
+		}
+		f.outbox = f.outbox[1:]
+		f.windowUsed--
+	}
+}
+
+// route sends completed work to its consumer; false when the
+// destination has no room this cycle.
+func (f *FragmentFIFO) route(cycle int64, w *ShaderWork) bool {
+	if w.Kind == workVertex {
+		if !f.vtxOut.CanSend(cycle, 1) {
+			return false
+		}
+		f.vtxOut.Send(cycle, w.Vtx)
+		return true
+	}
+	q := w.Frag
+	q.Batch.ShadedQuads++
+	if !q.Alive() {
+		// Every lane killed by KIL: the quad retires here.
+		q.Batch.QuadsRetired++
+		q.Batch.KilledQuads++
+		f.statKilled.Inc()
+		return true
+	}
+	rop := f.layout.BlockIndex(q.X, q.Y) % len(f.fragEarly)
+	out := f.fragLate[rop]
+	if q.Batch.EarlyZ {
+		out = f.fragEarly[rop]
+	}
+	if !out.CanSend(cycle, 1) {
+		return false
+	}
+	out.Send(cycle, q)
+	return true
+}

@@ -1,0 +1,130 @@
+package gpu
+
+import (
+	"attila/internal/core"
+	"attila/internal/emu/fragemu"
+)
+
+// HierarchicalZ tests generated fragment tiles against an on-chip
+// Hierarchical Z buffer to remove non-visible tiles at a very fast
+// rate (up to two 8x8 tiles per cycle, paper §2.2). The buffer holds
+// one conservative maximum depth per 8x8 framebuffer block; reference
+// values are refreshed when lines are evicted from the Z cache and
+// compressed. Surviving tiles are split into 2x2 quads, the work unit
+// of the fragment pipeline, and distributed over the ROP units by
+// block interleaving.
+type HierarchicalZ struct {
+	core.BoxBase
+	cfg     *Config
+	layout  SurfaceLayout
+	tileIn  *Flow
+	earlyZ  []*Flow // per-ROP, early-Z path (HZ -> Z test)
+	lateOut *Flow   // late-Z path (HZ -> interpolator)
+	queue   []*Tile
+	maxZ    []uint32 // per block
+
+	statTiles  *core.Counter
+	statCulled *core.Counter
+	statQuads  *core.Counter
+	statBusy   *core.Counter
+}
+
+// NewHierarchicalZ builds the box. earlyZ carries one flow per ROP
+// unit; lateOut feeds the interpolator when the batch performs Z
+// after shading.
+func NewHierarchicalZ(sim *core.Simulator, cfg *Config, layout SurfaceLayout,
+	tileIn *Flow, earlyZ []*Flow, lateOut *Flow) *HierarchicalZ {
+	h := &HierarchicalZ{
+		cfg: cfg, layout: layout,
+		tileIn: tileIn, earlyZ: earlyZ, lateOut: lateOut,
+		maxZ: make([]uint32, layout.NumBlocks()),
+	}
+	h.Init("HierarchicalZ")
+	for i := range h.maxZ {
+		h.maxZ[i] = fragemu.MaxDepth
+	}
+	h.statTiles = sim.Stats.Counter("HZ.tiles")
+	h.statCulled = sim.Stats.Counter("HZ.culledTiles")
+	h.statQuads = sim.Stats.Counter("HZ.quadsOut")
+	h.statBusy = sim.Stats.Counter("HZ.busyCycles")
+	sim.Register(h)
+	return h
+}
+
+// Update refreshes a block's reference depth from a compressed Z
+// cache eviction (key is the block's memory address).
+func (h *HierarchicalZ) Update(key uint32, maxDepth uint32) {
+	idx := int(key-h.layout.Base) / SurfaceBlockBytes
+	if idx >= 0 && idx < len(h.maxZ) {
+		h.maxZ[idx] = maxDepth
+	}
+}
+
+// Clear resets every block reference to the clear depth (fast Z
+// clear).
+func (h *HierarchicalZ) Clear(depth uint32) {
+	for i := range h.maxZ {
+		h.maxZ[i] = depth
+	}
+}
+
+// ropFor interleaves framebuffer blocks over the ROP units.
+func (h *HierarchicalZ) ropFor(x, y int) int {
+	return h.layout.BlockIndex(x, y) % len(h.earlyZ)
+}
+
+// Clock implements core.Box.
+func (h *HierarchicalZ) Clock(cycle int64) {
+	for _, obj := range h.tileIn.Recv(cycle) {
+		h.queue = append(h.queue, obj.(*Tile))
+	}
+	if len(h.queue) == 0 {
+		return
+	}
+	h.statBusy.Inc()
+	for n := 0; n < h.cfg.HZTilesPerCycle && len(h.queue) > 0; n++ {
+		tile := h.queue[0]
+		if !h.process(cycle, tile) {
+			return // downstream full; retry next cycle
+		}
+		h.queue = h.queue[1:]
+		h.tileIn.Release(1)
+		h.statTiles.Inc()
+	}
+}
+
+func (h *HierarchicalZ) process(cycle int64, tile *Tile) bool {
+	b := tile.Batch
+	if b.HZ {
+		idx := h.layout.BlockIndex(tile.X, tile.Y)
+		if idx >= 0 && idx < len(h.maxZ) && tile.MinDepth > h.maxZ[idx] {
+			// The whole tile is behind everything drawn to the
+			// block: cull it without touching memory.
+			b.QuadsRetired += len(tile.Quads)
+			b.HZCulledQuads += len(tile.Quads)
+			h.statCulled.Inc()
+			return true
+		}
+	}
+	// Split into quads and route. All quads of the tile go out in
+	// one cycle (the 2x64 fragment bandwidth of Table 1); the flow
+	// credits provide backpressure.
+	if b.EarlyZ {
+		rop := h.ropFor(tile.X, tile.Y)
+		if !h.earlyZ[rop].CanSend(cycle, len(tile.Quads)) {
+			return false
+		}
+		for _, q := range tile.Quads {
+			h.earlyZ[rop].Send(cycle, q)
+		}
+	} else {
+		if !h.lateOut.CanSend(cycle, len(tile.Quads)) {
+			return false
+		}
+		for _, q := range tile.Quads {
+			h.lateOut.Send(cycle, q)
+		}
+	}
+	h.statQuads.Add(float64(len(tile.Quads)))
+	return true
+}

@@ -1,0 +1,306 @@
+package gpu
+
+import (
+	"fmt"
+	"io"
+
+	"attila/internal/core"
+	"attila/internal/isa"
+	"attila/internal/mem"
+)
+
+// Framebuffer owns the double-buffered color surface and the
+// depth-stencil surface, plus an optional offscreen render target
+// override (render to texture).
+type Framebuffer struct {
+	color    [2]SurfaceLayout
+	z        SurfaceLayout
+	draw     int
+	override *SurfaceLayout
+}
+
+// Draw returns the current color render target: the offscreen
+// override when set, else the back buffer.
+func (f *Framebuffer) Draw() SurfaceLayout {
+	if f.override != nil {
+		return *f.override
+	}
+	return f.color[f.draw]
+}
+
+// SetOverride redirects color rendering (nil restores the back
+// buffer). Only the command processor calls this, at a drained
+// pipeline point.
+func (f *Framebuffer) SetOverride(l *SurfaceLayout) { f.override = l }
+
+// Front returns the displayed buffer.
+func (f *Framebuffer) Front() SurfaceLayout { return f.color[1-f.draw] }
+
+// Z returns the depth-stencil surface.
+func (f *Framebuffer) Z() SurfaceLayout { return f.z }
+
+// Swap flips front and back.
+func (f *Framebuffer) Swap() { f.draw = 1 - f.draw }
+
+// FramebufferPlan places the two color buffers and the depth-stencil
+// buffer at fixed GPU memory addresses for a render target size, and
+// returns the first free address after them. The timing pipeline and
+// the functional reference renderer share this plan, which is what
+// makes their memory images directly comparable.
+func FramebufferPlan(w, h int) (color0, color1, z SurfaceLayout, reserved uint32) {
+	bytes := uint32(NewSurfaceLayout(0, w, h).Bytes())
+	color0 = NewSurfaceLayout(0, w, h)
+	color1 = NewSurfaceLayout(bytes, w, h)
+	z = NewSurfaceLayout(2*bytes, w, h)
+	return color0, color1, z, 3 * bytes
+}
+
+// Pipeline assembles the complete ATTILA GPU from boxes and signals
+// (Figure 5) for a given configuration and framebuffer size, and
+// drives the simulation.
+type Pipeline struct {
+	Cfg *Config
+	Sim *core.Simulator
+	Mem *mem.GPUMemory
+	FB  *Framebuffer
+
+	CP     *CommandProcessor
+	DACBox *DAC
+
+	streamer *Streamer
+	setupBox *Setup
+	hz       *HierarchicalZ
+	ropzs    []*ZStencil
+	ropcs    []*ColorWrite
+	shaders  []*ShaderUnit
+	tus      []*TextureUnit
+
+	alloc *mem.Allocator
+	w, h  int
+}
+
+// flow provides a signal under the producer's name and binds it for
+// the consumer, wrapping it with queue credits.
+func pFlow(sim *core.Simulator, producer, consumer, name string, bw, lat, maxLat, queue int) *Flow {
+	sig := sim.Binder.Provide(producer, name, bw, lat, maxLat)
+	var bound *core.Signal
+	sim.Binder.Bind(consumer, name, &bound)
+	return NewFlow(sig, queue)
+}
+
+// New builds a pipeline for the configuration and render target size.
+func New(cfg Config, width, height int) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Pipeline{Cfg: &cfg, w: width, h: height}
+	p.Sim = core.NewSimulator(cfg.StatInterval)
+	p.Mem = mem.NewGPUMemory(cfg.GPUMemBytes)
+
+	// Framebuffer allocation: two color buffers plus depth-stencil,
+	// always at the fixed plan addresses so the functional reference
+	// renderer sees identical memory layout.
+	c0, c1, zb, reserved := FramebufferPlan(width, height)
+	if int(reserved) > cfg.GPUMemBytes {
+		return nil, &ConfigError{Config: cfg.Name, Msg: "GPU memory too small for framebuffer"}
+	}
+	p.alloc = mem.NewAllocator(reserved, uint32(cfg.GPUMemBytes)-reserved)
+	p.FB = &Framebuffer{color: [2]SurfaceLayout{c0, c1}, z: zb}
+
+	sim := p.Sim
+	nROP := cfg.NumROPs
+	nShaders := cfg.NumShaders
+	if !cfg.UnifiedShaders {
+		nShaders += cfg.NumVertexShaders
+	}
+	nTU := cfg.NumTextureUnits
+
+	// Flows. Producer/consumer names are the box names; the binder
+	// verifies every signal ends up with exactly one of each.
+	drawFlow := pFlow(sim, "CommandProcessor", "Streamer", "CP.Draw", 1, 1, 0, 2)
+	shadeOut := pFlow(sim, "Streamer", "FragmentFIFO", "Streamer.ShadeIn", 1, 1, 0, 16)
+	vtxShaded := pFlow(sim, "FragmentFIFO", "Streamer", "FFIFO.VtxShaded", 1, 1, 0, 16)
+	vtxOut := pFlow(sim, "Streamer", "PrimAssembly", "Streamer.VtxOut", 1, 1, 0, cfg.PAQueue)
+	paOut := pFlow(sim, "PrimAssembly", "Clipper", "PA.TriOut", 1, 1, 0, cfg.ClipQueue)
+	clipOut := pFlow(sim, "Clipper", "TriangleSetup", "Clipper.TriOut", 1, cfg.ClipLatency, 0, cfg.SetupQueue)
+	setupOut := pFlow(sim, "TriangleSetup", "FragmentGenerator", "Setup.TriOut", 1, cfg.SetupLatency, 0, cfg.FGenQueue)
+	fgenOut := pFlow(sim, "FragmentGenerator", "HierarchicalZ", "FGen.Tiles", cfg.FGenTilesPerCycle, 1, 0, cfg.HZQueue)
+
+	hzEarly := make([]*Flow, nROP)
+	for i := 0; i < nROP; i++ {
+		hzEarly[i] = pFlow(sim, "HierarchicalZ", nameIdx("ZStencil", i),
+			nameIdx("HZ.QuadsEarly.", i), 32, 1, 0, cfg.ROPQueue)
+	}
+	interpIns := make([]*Flow, 0, nROP+1)
+	ropzEarly := make([]*Flow, nROP)
+	for i := 0; i < nROP; i++ {
+		ropzEarly[i] = pFlow(sim, nameIdx("ZStencil", i), "Interpolator",
+			nameIdx("ZStencil.Early.", i), 1, 2, 0, cfg.InterpQueue)
+		interpIns = append(interpIns, ropzEarly[i])
+	}
+	hzLate := pFlow(sim, "HierarchicalZ", "Interpolator", "HZ.QuadsLate", 32, 1, 0, cfg.InterpQueue)
+	interpIns = append(interpIns, hzLate)
+
+	interpMaxLat := cfg.InterpBaseLat + cfg.InterpPerAttrLat*isa.MaxInputs
+	interpOut := pFlow(sim, "Interpolator", "FragmentFIFO", "Interp.Out",
+		cfg.InterpQuadsPerCycle, cfg.InterpBaseLat, interpMaxLat, 32)
+
+	shaderIn := make([]*Flow, nShaders)
+	shaderOut := make([]*Flow, nShaders)
+	texFromShader := make([]*Flow, nShaders)
+	texToShader := make([]*Flow, nShaders)
+	for i := 0; i < nShaders; i++ {
+		vertexOnly := !cfg.UnifiedShaders && i < cfg.NumVertexShaders
+		threads := cfg.ThreadsPerShader
+		if vertexOnly {
+			threads = cfg.VertexThreadsPerShader
+		}
+		shaderIn[i] = pFlow(sim, "FragmentFIFO", nameIdx("Shader", i),
+			nameIdx("FFIFO.ShaderIn.", i), 1, 1, 0, threads)
+		shaderOut[i] = pFlow(sim, nameIdx("Shader", i), "FragmentFIFO",
+			nameIdx("Shader.Out.", i), 1, 1, 0, 4)
+		if !vertexOnly {
+			texFromShader[i] = pFlow(sim, nameIdx("Shader", i), "TexCrossbar",
+				nameIdx("Shader.TexReq.", i), 1, 1, 0, 8)
+			texToShader[i] = pFlow(sim, "TexCrossbar", nameIdx("Shader", i),
+				nameIdx("XBar.Rep.", i), 1, 1, 0, 8)
+		}
+	}
+	texToTU := make([]*Flow, nTU)
+	texFromTU := make([]*Flow, nTU)
+	for i := 0; i < nTU; i++ {
+		texToTU[i] = pFlow(sim, "TexCrossbar", nameIdx("TextureUnit", i),
+			nameIdx("XBar.TUReq.", i), 1, 1, 0, cfg.TexQueue)
+		filterLat := cfg.TexFilterLat
+		if filterLat < 1 {
+			filterLat = 1
+		}
+		texFromTU[i] = pFlow(sim, nameIdx("TextureUnit", i), "TexCrossbar",
+			nameIdx("TU.Rep.", i), 1, 1, filterLat, 8)
+	}
+
+	ffifoEarly := make([]*Flow, nROP) // FFIFO -> ColorWrite (early-Z)
+	ffifoLate := make([]*Flow, nROP)  // FFIFO -> ZStencil (late-Z)
+	ropzLate := make([]*Flow, nROP)   // ZStencil -> ColorWrite (late-Z)
+	for i := 0; i < nROP; i++ {
+		ffifoEarly[i] = pFlow(sim, "FragmentFIFO", nameIdx("ColorWrite", i),
+			nameIdx("FFIFO.ROPc.", i), 4, 1, 0, cfg.ROPQueue)
+		ffifoLate[i] = pFlow(sim, "FragmentFIFO", nameIdx("ZStencil", i),
+			nameIdx("FFIFO.ROPzLate.", i), 4, 1, 0, cfg.ROPQueue)
+		ropzLate[i] = pFlow(sim, nameIdx("ZStencil", i), nameIdx("ColorWrite", i),
+			nameIdx("ZStencil.Late.", i), 1, 2, 0, cfg.ROPQueue)
+	}
+
+	// Boxes. Registration order is the clocking order; with all
+	// signal latencies >= 1 it does not affect results.
+	p.streamer = NewStreamer(sim, &cfg, p.Mem, drawFlow, shadeOut, vtxShaded, vtxOut)
+	pa := NewPrimAssembly(sim, vtxOut, paOut)
+	_ = pa
+	NewClipper(sim, paOut, clipOut)
+	p.setupBox = NewSetup(sim, clipOut, setupOut)
+	NewFragmentGenerator(sim, &cfg, setupOut, fgenOut)
+	p.hz = NewHierarchicalZ(sim, &cfg, p.FB.Z(), fgenOut, hzEarly, hzLate)
+	p.ropzs = make([]*ZStencil, nROP)
+	p.ropcs = make([]*ColorWrite, nROP)
+	for i := 0; i < nROP; i++ {
+		p.ropzs[i] = NewZStencil(sim, &cfg, i, p.FB.Z(),
+			[]*Flow{hzEarly[i], ffifoLate[i]}, ropzEarly[i], ropzLate[i])
+		p.ropzs[i].SetHZ(p.hz)
+		p.ropcs[i] = NewColorWrite(sim, &cfg, i, p.FB.Draw,
+			[]*Flow{ffifoEarly[i], ropzLate[i]})
+	}
+	NewInterpolator(sim, &cfg, interpIns, interpOut)
+	NewFragmentFIFO(sim, &cfg, p.FB.Z(), shadeOut, interpOut, vtxShaded,
+		ffifoEarly, ffifoLate, shaderIn, shaderOut)
+	p.shaders = make([]*ShaderUnit, nShaders)
+	for i := 0; i < nShaders; i++ {
+		vertexOnly := !cfg.UnifiedShaders && i < cfg.NumVertexShaders
+		p.shaders[i] = NewShaderUnit(sim, &cfg, i, vertexOnly,
+			shaderIn[i], shaderOut[i], texFromShader[i], texToShader[i])
+	}
+	NewTexCrossbar(sim, texFromShader, texToTU, texFromTU, texToShader)
+	p.tus = make([]*TextureUnit, nTU)
+	for i := 0; i < nTU; i++ {
+		p.tus[i] = NewTextureUnit(sim, &cfg, i, texToTU[i], texFromTU[i])
+	}
+	p.DACBox = NewDAC(sim, p.ropcs, cfg.DACRefreshCycles, p.FB.Front)
+	p.CP = NewCommandProcessor(sim, &cfg, p.FB, drawFlow, p.ropzs, p.ropcs, p.tus, p.DACBox)
+
+	// Memory controller: one client per port registered above.
+	clients := []string{"CP", "Streamer", "DAC"}
+	for i := 0; i < nROP; i++ {
+		clients = append(clients, nameIdx("ZCache", i), nameIdx("ColorCache", i))
+	}
+	for i := 0; i < nTU; i++ {
+		clients = append(clients, nameIdx("TexCache", i))
+	}
+	mem.NewController(sim, cfg.Memory, p.Mem, clients)
+
+	sim.SetDone(p.CP.Finished)
+	return p, nil
+}
+
+// TraceSignals installs a signal tracer on every wire; the produced
+// signal trace feeds the Signal Trace Visualizer (cmd/sigtrace).
+func (p *Pipeline) TraceSignals(t core.Tracer) { p.Sim.Binder.SetTracer(t) }
+
+// Alloc reserves GPU memory for driver objects (buffers, textures).
+func (p *Pipeline) Alloc(n int, align uint32) (uint32, error) {
+	return p.alloc.Alloc(n, align)
+}
+
+// Width and Height return the render target size.
+func (p *Pipeline) Width() int { return p.w }
+
+// Height returns the render target height.
+func (p *Pipeline) Height() int { return p.h }
+
+// Run executes the command stream to completion (or the cycle limit).
+func (p *Pipeline) Run(cmds []Command, maxCycles int64) error {
+	p.CP.SetCommands(cmds)
+	return p.Sim.Run(maxCycles)
+}
+
+// Cycles returns the simulated cycle count so far.
+func (p *Pipeline) Cycles() int64 { return p.Sim.Cycle() }
+
+// Frames returns the DAC frame dumps.
+func (p *Pipeline) Frames() []*Frame { return p.DACBox.Frames() }
+
+// TexCaches exposes the texture caches (Figure 8 statistics).
+func (p *Pipeline) TexCaches() []*mem.Cache {
+	out := make([]*mem.Cache, len(p.tus))
+	for i, t := range p.tus {
+		out[i] = t.Cache()
+	}
+	return out
+}
+
+// FPS converts the cycles spent so far into frames per second at the
+// configured clock.
+func (p *Pipeline) FPS() float64 {
+	frames := float64(p.CP.Frames())
+	if frames == 0 || p.Sim.Cycle() == 0 {
+		return 0
+	}
+	seconds := float64(p.Sim.Cycle()) / (float64(p.Cfg.ClockMHz) * 1e6)
+	return frames / seconds
+}
+
+// DumpStats writes the cumulative statistics summary.
+func (p *Pipeline) DumpStats(w io.Writer) error {
+	return p.Sim.Stats.WriteSummary(w)
+}
+
+// DumpCSV writes the interval-sampled statistics (the paper's CSV
+// output with ~300 statistics).
+func (p *Pipeline) DumpCSV(w io.Writer) error {
+	return p.Sim.Stats.WriteCSV(w)
+}
+
+// String summarizes the configuration.
+func (p *Pipeline) String() string {
+	return fmt.Sprintf("ATTILA %s: %d shaders (unified=%v), %d ROPs, %d TUs, %dx%d",
+		p.Cfg.Name, p.Cfg.NumShaders, p.Cfg.UnifiedShaders, p.Cfg.NumROPs,
+		p.Cfg.NumTextureUnits, p.w, p.h)
+}

@@ -1,0 +1,315 @@
+package gpu
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"attila/internal/emu/fragemu"
+	"attila/internal/emu/rastemu"
+	"attila/internal/isa"
+	"attila/internal/vmath"
+)
+
+// floatBuf packs float32s little endian.
+func floatBuf(vals ...float32) []byte {
+	out := make([]byte, len(vals)*4)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[i*4:], math.Float32bits(v))
+	}
+	return out
+}
+
+// testState builds a minimal draw state: positions in attrib 0,
+// colors in attrib 1, pass-through shaders.
+func testState(t *testing.T, p *Pipeline, count int) (*DrawState, uint32) {
+	t.Helper()
+	vp := isa.MustAssemble(isa.VertexProgram, "vp", `
+MOV o0, v0
+MOV o1, v1
+END`)
+	fp := isa.MustAssemble(isa.FragmentProgram, "fp", `
+MOV o0, v1
+END`)
+	vbuf, err := p.Alloc(count*7*4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &DrawState{
+		VertexProg: vp, FragmentProg: fp,
+		Viewport:  rastemu.Viewport{X: 0, Y: 0, W: p.Width(), H: p.Height(), Near: 0, Far: 1},
+		Depth:     fragemu.DepthState{Enabled: true, Func: fragemu.CmpLess, WriteMask: true},
+		ColorMask: [4]bool{true, true, true, true},
+		Count:     count,
+		Primitive: Triangles,
+	}
+	st.Attribs[0] = AttribBinding{Enabled: true, Addr: vbuf, Stride: 28, Size: 3}
+	st.Attribs[1] = AttribBinding{Enabled: true, Addr: vbuf + 12, Stride: 28, Size: 4}
+	return st, vbuf
+}
+
+// vtx serializes interleaved position(3) + color(4).
+func vtx(x, y, z float32, c vmath.Vec4) []float32 {
+	return []float32{x, y, z, c[0], c[1], c[2], c[3]}
+}
+
+func buildVerts(vs ...[]float32) []byte {
+	var flat []float32
+	for _, v := range vs {
+		flat = append(flat, v...)
+	}
+	return floatBuf(flat...)
+}
+
+func runPipeline(t *testing.T, cfg Config, w, h int, cmds []Command) *Pipeline {
+	t.Helper()
+	p, err := New(cfg, w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(cmds, 3_000_000); err != nil {
+		t.Fatalf("pipeline run: %v", err)
+	}
+	return p
+}
+
+func pixel(f *Frame, x, y int) [4]byte {
+	var c [4]byte
+	copy(c[:], f.Pix[(y*f.W+x)*4:])
+	return c
+}
+
+func TestPipelineRendersTriangle(t *testing.T) {
+	cfg := BaselineUnified()
+	cfg.StatInterval = 0
+	p, err := New(cfg, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := vmath.Vec4{1, 0, 0, 1}
+	st, vbuf := testState(t, p, 3)
+	verts := buildVerts(
+		vtx(-1, -1, 0, red),
+		vtx(1, -1, 0, red),
+		vtx(0, 1, 0, red),
+	)
+	cmds := []Command{
+		CmdBufferWrite{Addr: vbuf, Data: verts},
+		CmdClearZS{Depth: 1, Stencil: 0},
+		CmdClearColor{Value: [4]byte{0, 0, 64, 255}},
+		CmdDraw{State: st},
+		CmdSwap{},
+	}
+	if err := p.Run(cmds, 3_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	frames := p.Frames()
+	if len(frames) != 1 {
+		t.Fatalf("frames: %d", len(frames))
+	}
+	f := frames[0]
+	// Center covered by the triangle: red.
+	if c := pixel(f, 32, 32); c != [4]byte{255, 0, 0, 255} {
+		t.Fatalf("center pixel: %v", c)
+	}
+	// Top corners outside: clear color.
+	if c := pixel(f, 0, 63); c != [4]byte{0, 0, 64, 255} {
+		t.Fatalf("corner pixel: %v", c)
+	}
+	if p.CP.Frames() != 1 {
+		t.Fatalf("frame count: %d", p.CP.Frames())
+	}
+	if p.Cycles() <= 0 {
+		t.Fatal("no cycles simulated")
+	}
+}
+
+func TestPipelineDepthTestOrderIndependent(t *testing.T) {
+	// A far red triangle drawn after a near green one must lose.
+	for _, order := range []string{"near-first", "far-first"} {
+		cfg := BaselineUnified()
+		cfg.StatInterval = 0
+		p, err := New(cfg, 64, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		green := vmath.Vec4{0, 1, 0, 1}
+		red := vmath.Vec4{1, 0, 0, 1}
+		stNear, vbufNear := testState(t, p, 3)
+		stFar, vbufFar := testState(t, p, 3)
+		near := buildVerts(
+			vtx(-3, -3, -0.5, green), vtx(3, -3, -0.5, green), vtx(0, 3, -0.5, green))
+		far := buildVerts(
+			vtx(-3, -3, 0.5, red), vtx(3, -3, 0.5, red), vtx(0, 3, 0.5, red))
+		draws := []Command{CmdDraw{State: stNear}, CmdDraw{State: stFar}}
+		if order == "far-first" {
+			draws = []Command{CmdDraw{State: stFar}, CmdDraw{State: stNear}}
+		}
+		cmds := []Command{
+			CmdBufferWrite{Addr: vbufNear, Data: near},
+			CmdBufferWrite{Addr: vbufFar, Data: far},
+			CmdClearZS{Depth: 1, Stencil: 0},
+			CmdClearColor{Value: [4]byte{0, 0, 0, 255}},
+		}
+		cmds = append(cmds, draws...)
+		cmds = append(cmds, CmdSwap{})
+		if err := p.Run(cmds, 5_000_000); err != nil {
+			t.Fatalf("%s: run: %v", order, err)
+		}
+		f := p.Frames()[0]
+		if c := pixel(f, 32, 32); c != [4]byte{0, 255, 0, 255} {
+			t.Fatalf("%s: center pixel: %v", order, c)
+		}
+	}
+}
+
+func TestPipelineHZCullsOccludedWork(t *testing.T) {
+	// Draw a big near quad (two triangles), then a far fullscreen
+	// triangle: HZ should cull most of the far triangle's tiles.
+	// The framebuffer must exceed the Z cache capacity (64 lines):
+	// HZ references only refresh when lines are evicted and
+	// compressed (paper §2.2).
+	cfg := BaselineUnified()
+	cfg.StatInterval = 0
+	p, err := New(cfg, 128, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blue := vmath.Vec4{0, 0, 1, 1}
+	red := vmath.Vec4{1, 0, 0, 1}
+	stNear, vbufNear := testState(t, p, 6)
+	stFar, vbufFar := testState(t, p, 3)
+	near := buildVerts(
+		vtx(-1, -1, -0.5, blue), vtx(1, -1, -0.5, blue), vtx(1, 1, -0.5, blue),
+		vtx(-1, -1, -0.5, blue), vtx(1, 1, -0.5, blue), vtx(-1, 1, -0.5, blue))
+	far := buildVerts(
+		vtx(-3, -3, 0.5, red), vtx(3, -3, 0.5, red), vtx(0, 3, 0.5, red))
+	cmds := []Command{
+		CmdBufferWrite{Addr: vbufNear, Data: near},
+		CmdBufferWrite{Addr: vbufFar, Data: far},
+		CmdClearZS{Depth: 1, Stencil: 0},
+		CmdClearColor{Value: [4]byte{0, 0, 0, 255}},
+		CmdDraw{State: stNear},
+		CmdDraw{State: stFar},
+		CmdSwap{},
+	}
+	if err := p.Run(cmds, 5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	f := p.Frames()[0]
+	if c := pixel(f, 32, 32); c != [4]byte{0, 0, 255, 255} {
+		t.Fatalf("center pixel: %v", c)
+	}
+	culled := p.Sim.Stats.Lookup("HZ.culledTiles").Value()
+	if culled == 0 {
+		t.Fatal("HZ culled nothing for a fully occluded triangle")
+	}
+}
+
+func TestPipelineNonUnifiedRenders(t *testing.T) {
+	cfg := Baseline()
+	cfg.StatInterval = 0
+	p, err := New(cfg, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	white := vmath.Vec4{1, 1, 1, 1}
+	st, vbuf := testState(t, p, 3)
+	verts := buildVerts(
+		vtx(-3, -3, 0, white), vtx(3, -3, 0, white), vtx(0, 3, 0, white))
+	cmds := []Command{
+		CmdBufferWrite{Addr: vbuf, Data: verts},
+		CmdClearZS{Depth: 1, Stencil: 0},
+		CmdClearColor{Value: [4]byte{10, 20, 30, 255}},
+		CmdDraw{State: st},
+		CmdSwap{},
+	}
+	if err := p.Run(cmds, 3_000_000); err != nil {
+		t.Fatal(err)
+	}
+	f := p.Frames()[0]
+	if c := pixel(f, 16, 16); c != [4]byte{255, 255, 255, 255} {
+		t.Fatalf("center pixel: %v", c)
+	}
+}
+
+func TestPipelineIndexedDrawUsesVertexCache(t *testing.T) {
+	cfg := BaselineUnified()
+	cfg.StatInterval = 0
+	p, err := New(cfg, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	white := vmath.Vec4{1, 1, 1, 1}
+	st, vbuf := testState(t, p, 6)
+	// 4 unique vertices, 6 indices (two triangles sharing an edge).
+	verts := buildVerts(
+		vtx(-1, -1, 0, white), vtx(1, -1, 0, white),
+		vtx(1, 1, 0, white), vtx(-1, 1, 0, white))
+	ibuf, err := p.Alloc(12, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indices := make([]byte, 12)
+	for i, v := range []uint16{0, 1, 2, 0, 2, 3} {
+		binary.LittleEndian.PutUint16(indices[i*2:], v)
+	}
+	st.IndexAddr = ibuf
+	st.IndexSize = 2
+	cmds := []Command{
+		CmdBufferWrite{Addr: vbuf, Data: verts},
+		CmdBufferWrite{Addr: ibuf, Data: indices},
+		CmdClearZS{Depth: 1, Stencil: 0},
+		CmdClearColor{Value: [4]byte{0, 0, 0, 255}},
+		CmdDraw{State: st},
+		CmdSwap{},
+	}
+	if err := p.Run(cmds, 3_000_000); err != nil {
+		t.Fatal(err)
+	}
+	f := p.Frames()[0]
+	for _, xy := range [][2]int{{5, 5}, {16, 16}, {28, 28}, {5, 28}, {28, 5}} {
+		if c := pixel(f, xy[0], xy[1]); c != [4]byte{255, 255, 255, 255} {
+			t.Fatalf("pixel %v: %v (quad has a crack?)", xy, c)
+		}
+	}
+	hits := p.Sim.Stats.Lookup("Streamer.vcacheHits").Value()
+	if hits < 2 {
+		t.Fatalf("vertex cache hits: %v", hits)
+	}
+	// Shared-edge exactness: with depth LESS and a second pass over
+	// the same quad no pixel may be drawn twice... verified via the
+	// rasterizer property tests; here just confirm full coverage.
+}
+
+func TestPipelineScissor(t *testing.T) {
+	cfg := BaselineUnified()
+	cfg.StatInterval = 0
+	p, err := New(cfg, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	white := vmath.Vec4{1, 1, 1, 1}
+	st, vbuf := testState(t, p, 3)
+	st.ScissorEnabled = true
+	st.ScissorX, st.ScissorY, st.ScissorW, st.ScissorH = 0, 0, 32, 64
+	verts := buildVerts(
+		vtx(-3, -3, 0, white), vtx(3, -3, 0, white), vtx(0, 3, 0, white))
+	cmds := []Command{
+		CmdBufferWrite{Addr: vbuf, Data: verts},
+		CmdClearZS{Depth: 1, Stencil: 0},
+		CmdClearColor{Value: [4]byte{0, 0, 0, 255}},
+		CmdDraw{State: st},
+		CmdSwap{},
+	}
+	if err := p.Run(cmds, 3_000_000); err != nil {
+		t.Fatal(err)
+	}
+	f := p.Frames()[0]
+	if c := pixel(f, 16, 32); c != [4]byte{255, 255, 255, 255} {
+		t.Fatalf("inside scissor: %v", c)
+	}
+	if c := pixel(f, 48, 32); c != [4]byte{0, 0, 0, 255} {
+		t.Fatalf("outside scissor: %v", c)
+	}
+}

@@ -1,0 +1,182 @@
+package gpu
+
+import (
+	"attila/internal/core"
+)
+
+// PrimAssembly stores incoming shaded vertices and assembles them
+// into triangles for the five supported OpenGL primitive modes
+// (paper §2.2): triangle lists, strips and fans, quad lists and
+// strips.
+type PrimAssembly struct {
+	core.BoxBase
+	ids *core.IDSource
+
+	vtxIn  *Flow
+	triOut *Flow
+
+	queue   []*ShadedVertex // input queue (Table 1: 8 entries)
+	window  []*ShadedVertex // primitive assembly window
+	count   int             // vertices consumed for the current batch
+	pending *TriWork        // second triangle of a completed quad
+
+	statTris *core.Counter
+	statBusy *core.Counter
+}
+
+// NewPrimAssembly builds the box.
+func NewPrimAssembly(sim *core.Simulator, vtxIn, triOut *Flow) *PrimAssembly {
+	p := &PrimAssembly{ids: &sim.IDs, vtxIn: vtxIn, triOut: triOut}
+	p.Init("PrimAssembly")
+	p.statTris = sim.Stats.Counter("PrimAssembly.triangles")
+	p.statBusy = sim.Stats.Counter("PrimAssembly.busyCycles")
+	sim.Register(p)
+	return p
+}
+
+// Clock implements core.Box.
+func (p *PrimAssembly) Clock(cycle int64) {
+	for _, obj := range p.vtxIn.Recv(cycle) {
+		p.queue = append(p.queue, obj.(*ShadedVertex))
+	}
+	// A quad's fourth vertex completes two triangles; the second one
+	// goes out the cycle after (one triangle per cycle, Table 1).
+	if p.pending != nil {
+		if !p.triOut.CanSend(cycle, 1) {
+			return
+		}
+		tri := p.pending
+		p.pending = nil
+		p.triOut.Send(cycle, tri)
+		tri.Batch.TrisIn++
+		p.statTris.Inc()
+		p.statBusy.Inc()
+		p.finishBatch(tri.Batch)
+		return
+	}
+	if len(p.queue) == 0 {
+		return
+	}
+	// One vertex consumed, at most one triangle emitted per cycle
+	// (Table 1). A vertex can complete a triangle only when there is
+	// room to send it.
+	v := p.queue[0]
+	tri, second, emits := p.assemble(v)
+	if emits && !p.triOut.CanSend(cycle, 1) {
+		return
+	}
+	p.queue = p.queue[1:]
+	p.vtxIn.Release(1)
+	p.commit(v)
+	if emits {
+		p.triOut.Send(cycle, tri)
+		v.Batch.TrisIn++
+		p.statTris.Inc()
+		p.pending = second
+	}
+	p.statBusy.Inc()
+	p.finishBatch(v.Batch)
+}
+
+// finishBatch marks the batch through primitive assembly once every
+// vertex is consumed and no triangle is still waiting to go out.
+func (p *PrimAssembly) finishBatch(b *BatchState) {
+	if p.pending == nil && p.count == b.State.Count {
+		b.PADone = true
+		p.window = p.window[:0]
+		p.count = 0
+	}
+}
+
+// assemble inspects (without consuming) what accepting v would emit:
+// the triangle to send now, and for quads, the second triangle held
+// for the next cycle.
+func (p *PrimAssembly) assemble(v *ShadedVertex) (*TriWork, *TriWork, bool) {
+	mode := v.Batch.State.Primitive
+	w := p.window
+	n := p.count // vertices consumed before v
+	mk := func(a, b, c *ShadedVertex) *TriWork {
+		return &TriWork{
+			DynObject: core.DynObject{ID: p.ids.Next(), Parent: v.ID, Tag: "tri"},
+			Batch:     v.Batch,
+			V:         [3]*ShadedVertex{a, b, c},
+		}
+	}
+	switch mode {
+	case Triangles:
+		if n%3 == 2 {
+			return mk(w[0], w[1], v), nil, true
+		}
+	case TriangleStrip:
+		if n >= 2 {
+			if n%2 == 0 {
+				return mk(w[0], w[1], v), nil, true
+			}
+			return mk(w[1], w[0], v), nil, true
+		}
+	case TriangleFan:
+		if n >= 2 {
+			return mk(w[0], w[1], v), nil, true
+		}
+	case Quads:
+		// Quad (0,1,2,3) becomes triangles (0,1,2) and (0,2,3),
+		// both emitted only once the quad completes (an incomplete
+		// trailing quad is discarded, per the OpenGL rule).
+		if n%4 == 3 {
+			return mk(w[0], w[1], w[2]), mk(w[0], w[2], v), true
+		}
+	case QuadStrip:
+		// Quad i has perimeter (2i, 2i+1, 2i+3, 2i+2), split along
+		// the 2i+1..2i+2 diagonal so each arriving vertex from the
+		// third on completes exactly one triangle.
+		if n >= 2 && n%2 == 0 {
+			return mk(w[0], w[1], v), nil, true // (2i, 2i+1, 2i+2)
+		}
+		if n >= 3 {
+			return mk(w[1], v, w[2]), nil, true // (2i+1, 2i+3, 2i+2)
+		}
+	}
+	return nil, nil, false
+}
+
+// commit updates the assembly window after consuming v.
+func (p *PrimAssembly) commit(v *ShadedVertex) {
+	mode := v.Batch.State.Primitive
+	n := p.count
+	switch mode {
+	case Triangles:
+		if n%3 == 2 {
+			p.window = p.window[:0]
+		} else {
+			p.window = append(p.window, v)
+		}
+	case TriangleStrip:
+		if n < 2 {
+			p.window = append(p.window, v)
+		} else {
+			p.window = []*ShadedVertex{p.window[1], v}
+		}
+	case TriangleFan:
+		if n == 0 {
+			p.window = append(p.window, v)
+		} else if n == 1 {
+			p.window = append(p.window, v)
+		} else {
+			p.window = []*ShadedVertex{p.window[0], v}
+		}
+	case Quads:
+		switch n % 4 {
+		case 3:
+			p.window = p.window[:0]
+		default:
+			p.window = append(p.window, v)
+		}
+	case QuadStrip:
+		if n < 2 || n%2 == 0 {
+			p.window = append(p.window, v) // [2i, 2i+1] or [2i, 2i+1, 2i+2]
+		} else {
+			p.window = []*ShadedVertex{p.window[2], v} // [2i+2, 2i+3]
+		}
+	}
+	p.count = n + 1
+}

@@ -1,0 +1,170 @@
+package gpu
+
+import (
+	"testing"
+
+	"attila/internal/emu/texemu"
+	"attila/internal/isa"
+	"attila/internal/vmath"
+)
+
+// textureHeavyScene renders a fullscreen textured quad with a given
+// scheduling mode and TU count, returning total cycles. The texture
+// is large enough to miss the cache regularly, so the run exposes
+// texture latency.
+func textureHeavyScene(t *testing.T, mode ScheduleMode, tus int) int64 {
+	t.Helper()
+	cfg := CaseStudy(tus, mode)
+	cfg.StatInterval = 0
+	p, err := New(cfg, 96, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Build a 64x64 texture directly in GPU memory; sampled
+	// magnified so the texture cache hits and TU throughput (not
+	// memory bandwidth) is the exposed cost.
+	tex := &texemu.Texture{
+		Target: isa.Tex2D, Format: texemu.FmtRGBA8,
+		Width: 64, Height: 64, Depth: 1, Levels: 1,
+		MinFilter: texemu.FilterLinear, MagFilter: texemu.FilterLinear,
+		MaxAniso: 1,
+	}
+	base, err := p.Alloc(tex.TotalBytes(), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tex.Base[0][0] = base
+	texData := make([]byte, tex.TotalBytes())
+	for i := range texData {
+		texData[i] = byte(i * 31)
+	}
+
+	vp := isa.MustAssemble(isa.VertexProgram, "vp", "MOV o0, v0\nMOV o4, v1\nEND")
+	fp := isa.MustAssemble(isa.FragmentProgram, "fp", `
+TEX r0, v4, t0, 2D
+TEX r1, v4.yxzw, t0, 2D
+ADD o0, r0, r1
+END`)
+	st, vbuf := testState(t, p, 6)
+	st.VertexProg, st.FragmentProg = vp, fp
+	st.Textures[0] = tex
+	verts := buildVerts(
+		vtx(-1, -1, 0, vmath.Vec4{0, 0, 0, 0}),
+		vtx(1, -1, 0, vmath.Vec4{1, 0, 0, 0}),
+		vtx(1, 1, 0, vmath.Vec4{1, 1, 0, 0}),
+		vtx(-1, -1, 0, vmath.Vec4{0, 0, 0, 0}),
+		vtx(1, 1, 0, vmath.Vec4{1, 1, 0, 0}),
+		vtx(-1, 1, 0, vmath.Vec4{0, 1, 0, 0}),
+	)
+	cmds := []Command{
+		CmdBufferWrite{Addr: base, Data: texData},
+		CmdBufferWrite{Addr: vbuf, Data: verts},
+		CmdClearZS{Depth: 1, Stencil: 0},
+		CmdClearColor{Value: [4]byte{0, 0, 0, 255}},
+		CmdDraw{State: st},
+		CmdSwap{},
+	}
+	if err := p.Run(cmds, 50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return p.Cycles()
+}
+
+// The thread window must hide texture latency better than the
+// in-order input queue (the §5 case study's core claim).
+func TestWindowBeatsInOrderQueue(t *testing.T) {
+	window := textureHeavyScene(t, ScheduleWindow, 2)
+	inorder := textureHeavyScene(t, ScheduleInOrderQueue, 2)
+	if inorder <= window {
+		t.Fatalf("in-order (%d cycles) not slower than window (%d cycles)", inorder, window)
+	}
+	// The gap should be substantial on a texture-bound scene.
+	if float64(inorder) < 1.2*float64(window) {
+		t.Logf("warning: small scheduling gap: window=%d inorder=%d", window, inorder)
+	}
+}
+
+// On a cache-friendly texture-bound scene, extra TUs must help (on
+// memory-bound scenes the Figure 8 line-duplication effect can make
+// extra TUs a wash, which Fig7ShapeTiny covers separately).
+func TestTextureUnitScaling(t *testing.T) {
+	c1 := textureHeavyScene(t, ScheduleWindow, 1)
+	c3 := textureHeavyScene(t, ScheduleWindow, 3)
+	if c3 >= c1 {
+		t.Fatalf("3 TUs (%d cycles) not faster than 1 TU (%d cycles)", c3, c1)
+	}
+}
+
+// Batch pipelining: the geometry phase of batch N+1 overlaps the
+// fragment phase of batch N (§2.2 two-phase pipelining): with two
+// draws in the stream, the command processor must have two batches in
+// flight at some point.
+func TestBatchOverlap(t *testing.T) {
+	cfg := BaselineUnified()
+	cfg.StatInterval = 0
+	p, err := New(cfg, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := vmath.Vec4{1, 0, 0, 1}
+	st1, vbuf := testState(t, p, 3)
+	st2, _ := testState(t, p, 3)
+	st2.Attribs = st1.Attribs
+	verts := buildVerts(
+		vtx(-1, -1, 0.4, red), vtx(1, -1, 0.4, red), vtx(0, 1, 0.4, red))
+	cmds := []Command{
+		CmdBufferWrite{Addr: vbuf, Data: verts},
+		CmdClearZS{Depth: 1, Stencil: 0},
+		CmdClearColor{Value: [4]byte{0, 0, 0, 255}},
+		CmdDraw{State: st1},
+		CmdDraw{State: st2},
+		CmdSwap{},
+	}
+	if err := p.Run(cmds, 5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if v := p.Sim.Stats.Lookup("CP.overlapCycles").Value(); v <= 0 {
+		t.Fatalf("no batch overlap observed for back-to-back draws (%v cycles)", v)
+	}
+}
+
+// DAC screen refresh (paper §2.2): enabling it must add front-buffer
+// read traffic during rendering without changing the image.
+func TestDACRefreshTraffic(t *testing.T) {
+	render := func(refresh int64) (*Frame, float64) {
+		cfg := BaselineUnified()
+		cfg.StatInterval = 0
+		cfg.DACRefreshCycles = refresh
+		p, err := New(cfg, 64, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		red := vmath.Vec4{1, 0, 0, 1}
+		st, vbuf := testState(t, p, 3)
+		verts := buildVerts(
+			vtx(-1, -1, 0, red), vtx(1, -1, 0, red), vtx(0, 1, 0, red))
+		cmds := []Command{
+			CmdBufferWrite{Addr: vbuf, Data: verts},
+			CmdClearZS{Depth: 1, Stencil: 0},
+			CmdClearColor{Value: [4]byte{0, 0, 0, 255}},
+			CmdDraw{State: st},
+			CmdSwap{},
+		}
+		if err := p.Run(cmds, 5_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return p.Frames()[0], p.Sim.Stats.Lookup("DAC.refreshBytes").Value()
+	}
+	fOff, rOff := render(0)
+	fOn, rOn := render(16)
+	if rOff != 0 {
+		t.Fatalf("refresh traffic with refresh disabled: %v", rOff)
+	}
+	if rOn <= 0 {
+		t.Fatal("no refresh traffic with refresh enabled")
+	}
+	if diff, _ := DiffFrames(fOff, fOn); diff != 0 {
+		t.Fatalf("refresh changed the image: %d px", diff)
+	}
+}

@@ -1,0 +1,372 @@
+package gpu
+
+import (
+	"attila/internal/core"
+	"attila/internal/emu/fragemu"
+	"attila/internal/emu/shaderemu"
+	"attila/internal/emu/texemu"
+	"attila/internal/isa"
+	"attila/internal/vmath"
+)
+
+// TexReqMsg is a quad texture request travelling from a shader unit
+// through the texture crossbar to a texture unit.
+type TexReqMsg struct {
+	core.DynObject
+	Shader  int
+	Slot    int // thread slot within the shader
+	Req     *shaderemu.TexRequest
+	Texture *texemu.Texture
+}
+
+// TexRepMsg carries the filtered texels back.
+type TexRepMsg struct {
+	core.DynObject
+	Shader int
+	Slot   int
+	Result [shaderLanes]vmath.Vec4
+}
+
+type threadState uint8
+
+const (
+	threadFree threadState = iota
+	threadRunning
+	threadBlockedTex
+	threadWaitSend // texture request built, waiting for crossbar room
+	threadDone
+)
+
+type shaderThread struct {
+	state   threadState
+	work    *ShaderWork
+	emu     *shaderemu.Emulator
+	t       *shaderemu.Thread
+	ready   [isa.MaxTemps]int64 // temp register scoreboard
+	pending *TexReqMsg
+	arrival int64 // for in-order scheduling
+}
+
+// ShaderUnit is one multithreaded shader processor (paper §2.3): an
+// in-order pipeline (fetch, decode, 1-9 execution stages, write back)
+// that hides instruction and texture latency by interleaving threads,
+// each thread executing a group of four shader inputs in lockstep.
+type ShaderUnit struct {
+	core.BoxBase
+	cfg        *Config
+	idx        int
+	vertexOnly bool
+
+	workIn  *Flow
+	workOut *Flow
+	texReq  *Flow // to crossbar (nil for vertex-only units)
+	texRep  *Flow // from crossbar
+
+	threads []shaderThread
+	rr      int
+	seq     int64
+
+	statInstr   *core.Counter
+	statBusy    *core.Counter
+	statTexWait *core.Counter
+	statThreads *core.Gauge
+}
+
+// NewShaderUnit builds shader unit idx. vertexOnly marks the
+// dedicated vertex shaders of the non-unified model, which have no
+// texture path.
+func NewShaderUnit(sim *core.Simulator, cfg *Config, idx int, vertexOnly bool,
+	workIn, workOut, texReq, texRep *Flow) *ShaderUnit {
+	threads := cfg.ThreadsPerShader
+	if vertexOnly {
+		threads = cfg.VertexThreadsPerShader
+	}
+	s := &ShaderUnit{
+		cfg: cfg, idx: idx, vertexOnly: vertexOnly,
+		workIn: workIn, workOut: workOut, texReq: texReq, texRep: texRep,
+		threads: make([]shaderThread, threads),
+	}
+	s.Init(nameIdx("Shader", idx))
+	s.statInstr = sim.Stats.Counter(s.BoxName() + ".instructions")
+	s.statBusy = sim.Stats.Counter(s.BoxName() + ".busyCycles")
+	s.statTexWait = sim.Stats.Counter(s.BoxName() + ".texWaitCycles")
+	s.statThreads = sim.Stats.Gauge(s.BoxName() + ".threads")
+	sim.Register(s)
+	return s
+}
+
+// Clock implements core.Box.
+func (s *ShaderUnit) Clock(cycle int64) {
+	s.completeTextures(cycle)
+	s.acceptWork(cycle)
+	s.sendPendingTex(cycle)
+	issued := s.issue(cycle)
+	s.retire(cycle)
+
+	resident := 0
+	blocked := 0
+	for i := range s.threads {
+		switch s.threads[i].state {
+		case threadFree:
+		case threadBlockedTex, threadWaitSend:
+			resident++
+			blocked++
+		default:
+			resident++
+		}
+	}
+	s.statThreads.Set(float64(resident))
+	if issued > 0 {
+		s.statBusy.Inc()
+	} else if resident > 0 && blocked == resident {
+		s.statTexWait.Inc()
+	}
+}
+
+func (s *ShaderUnit) completeTextures(cycle int64) {
+	if s.texRep == nil {
+		return
+	}
+	for _, obj := range s.texRep.Recv(cycle) {
+		rep := obj.(*TexRepMsg)
+		s.texRep.Release(1)
+		th := &s.threads[rep.Slot]
+		if th.state != threadBlockedTex {
+			panic("gpu: texture reply for non-blocked thread")
+		}
+		dst := th.t.Blocked.Dst
+		th.emu.CompleteTexture(th.t, rep.Result)
+		if dst.Bank == isa.BankTemp {
+			th.ready[dst.Index] = cycle + 1
+		}
+		th.state = threadRunning
+		if th.t.Done {
+			th.state = threadDone
+		}
+	}
+}
+
+func (s *ShaderUnit) acceptWork(cycle int64) {
+	for _, obj := range s.workIn.Recv(cycle) {
+		w := obj.(*ShaderWork)
+		slot := -1
+		for i := range s.threads {
+			if s.threads[i].state == threadFree {
+				slot = i
+				break
+			}
+		}
+		if slot < 0 {
+			panic("gpu: shader received work with no free thread (flow credits broken)")
+		}
+		th := &s.threads[slot]
+		emu := fragEmulator(w.Batch)
+		if w.Kind == workVertex {
+			emu = vtxEmulator(w.Batch)
+		}
+		th.work = w
+		th.emu = emu
+		if th.t == nil {
+			th.t = emu.NewThread()
+		} else {
+			th.t.Reset(emu.Program().TempsUsed())
+		}
+		for i := range th.ready {
+			th.ready[i] = 0
+		}
+		if w.Kind == workVertex {
+			for l := 0; l < w.Vtx.Count; l++ {
+				th.t.Active[l] = true
+				th.t.In[l] = w.Vtx.In[l]
+			}
+		} else {
+			// All four lanes run, including dead ones: texture
+			// derivatives need complete quads (§2.2).
+			for l := 0; l < shaderLanes; l++ {
+				th.t.Active[l] = true
+				th.t.In[l] = w.Frag.In[l]
+			}
+		}
+		th.state = threadRunning
+		th.arrival = s.seq
+		s.seq++
+	}
+}
+
+func (s *ShaderUnit) sendPendingTex(cycle int64) {
+	for i := range s.threads {
+		th := &s.threads[i]
+		if th.state != threadWaitSend {
+			continue
+		}
+		if !s.texReq.CanSend(cycle, 1) {
+			return
+		}
+		s.texReq.Send(cycle, th.pending)
+		th.pending = nil
+		th.state = threadBlockedTex
+	}
+}
+
+// pickThread selects the next thread allowed to issue. The thread
+// window configuration issues from any ready thread (hiding texture
+// latency); the in-order input queue configuration only ever executes
+// the oldest resident thread, stalling while it waits (§5).
+func (s *ShaderUnit) pickThread() int {
+	if s.cfg.Schedule == ScheduleInOrderQueue {
+		oldest, best := -1, int64(0)
+		for i := range s.threads {
+			th := &s.threads[i]
+			if th.state == threadFree || th.state == threadDone {
+				continue
+			}
+			if oldest < 0 || th.arrival < best {
+				oldest, best = i, th.arrival
+			}
+		}
+		if oldest >= 0 && s.threads[oldest].state == threadRunning {
+			return oldest
+		}
+		return -1
+	}
+	n := len(s.threads)
+	for k := 0; k < n; k++ {
+		i := (s.rr + k) % n
+		if s.threads[i].state == threadRunning {
+			s.rr = (i + 1) % n
+			return i
+		}
+	}
+	return -1
+}
+
+func (s *ShaderUnit) issue(cycle int64) int {
+	issued := 0
+	attempts := len(s.threads)
+	for n := 0; issued < s.cfg.ShaderIssueRate && n < attempts; n++ {
+		i := s.pickThread()
+		if i < 0 {
+			break
+		}
+		th := &s.threads[i]
+		in := th.emu.Program().Instr[th.t.PC]
+		if !s.depsReady(cycle, th, in) {
+			// In the window configuration another thread may issue
+			// instead; round-robin already advanced, so just try
+			// again next iteration (bounded by issue rate).
+			continue
+		}
+		if in.Op.Info().Texture && (s.texReq == nil || th.pending != nil) {
+			continue
+		}
+		executed := th.emu.Step(th.t)
+		s.statInstr.Inc()
+		issued++
+		if th.t.Blocked != nil {
+			msg := &TexReqMsg{
+				DynObject: core.DynObject{ID: th.work.ID, Parent: th.work.Parent, Tag: "texreq"},
+				Shader:    s.idx, Slot: i,
+				Req:     th.t.Blocked,
+				Texture: th.work.Batch.State.Textures[th.t.Blocked.Sampler],
+			}
+			if s.texReq.CanSend(cycle, 1) {
+				s.texReq.Send(cycle, msg)
+				th.state = threadBlockedTex
+			} else {
+				th.pending = msg
+				th.state = threadWaitSend
+			}
+			continue
+		}
+		info := executed.Op.Info()
+		if info.HasDst && executed.Dst.Bank == isa.BankTemp {
+			th.ready[executed.Dst.Index] = cycle + int64(s.execLatency(info.LatencyClass))
+		}
+		if th.t.Done {
+			th.state = threadDone
+		}
+	}
+	return issued
+}
+
+func (s *ShaderUnit) execLatency(class isa.LatClass) int {
+	lat := 1
+	switch class {
+	case isa.LatSimple:
+		lat = s.cfg.ExecLatSimple
+	case isa.LatMAD:
+		lat = s.cfg.ExecLatMAD
+	case isa.LatScalar:
+		lat = s.cfg.ExecLatScalar
+	}
+	if lat < 1 {
+		lat = 1
+	}
+	return lat
+}
+
+// depsReady checks the scoreboard: all temp-register sources written
+// by earlier instructions must have completed execution.
+func (s *ShaderUnit) depsReady(cycle int64, th *shaderThread, in isa.Instruction) bool {
+	info := in.Op.Info()
+	for i := 0; i < info.NSrc; i++ {
+		if in.Src[i].Bank == isa.BankTemp && th.ready[in.Src[i].Index] > cycle {
+			return false
+		}
+	}
+	// Write-after-write on a still-executing destination also stalls.
+	if info.HasDst && in.Dst.Bank == isa.BankTemp && th.ready[in.Dst.Index] > cycle {
+		return false
+	}
+	return true
+}
+
+func (s *ShaderUnit) retire(cycle int64) {
+	for i := range s.threads {
+		th := &s.threads[i]
+		if th.state != threadDone {
+			continue
+		}
+		if !s.workOut.CanSend(cycle, 1) {
+			return
+		}
+		w := th.work
+		if w.Kind == workVertex {
+			for l := 0; l < w.Vtx.Count; l++ {
+				w.Vtx.Out[l] = th.t.Out[l]
+			}
+		} else {
+			prog := th.emu.Program()
+			writesDepth := prog.Outputs()&(1<<isa.FragOutDepth) != 0
+			for l := 0; l < shaderLanes; l++ {
+				w.Frag.Color[l] = th.t.Out[l][isa.FragOutColor]
+				if th.t.Killed[l] {
+					w.Frag.Mask[l] = false
+				}
+				if writesDepth {
+					w.Frag.Depth[l] = fragemu.DepthToFixed(th.t.Out[l][isa.FragOutDepth][0])
+				}
+			}
+		}
+		s.workOut.Send(cycle, w)
+		th.state = threadFree
+		th.work = nil
+		s.workIn.Release(1) // thread slot is free again
+	}
+}
+
+// Batch emulator caches: one ShaderEmulator per program+constants,
+// shared by every thread of the batch.
+func fragEmulator(b *BatchState) *shaderemu.Emulator {
+	if b.fragEmu == nil {
+		b.fragEmu = shaderemu.New(b.State.FragmentProg, b.State.FragConsts)
+	}
+	return b.fragEmu
+}
+
+func vtxEmulator(b *BatchState) *shaderemu.Emulator {
+	if b.vtxEmu == nil {
+		b.vtxEmu = shaderemu.New(b.State.VertexProg, b.State.VertConsts)
+	}
+	return b.vtxEmu
+}

@@ -1,0 +1,294 @@
+package gpu
+
+import (
+	"attila/internal/core"
+	"attila/internal/emu/shaderemu"
+	"attila/internal/emu/texemu"
+	"attila/internal/mem"
+)
+
+// TexCrossbar routes texture requests from shader units to texture
+// units (round-robin — the paper notes its distribution was not
+// specially optimized, which is what spreads overlapping quads over
+// TUs and drives the Figure 8 hit-rate effect) and routes the
+// filtered results back to the requesting shader.
+type TexCrossbar struct {
+	core.BoxBase
+	fromShader []*Flow // one per shader
+	toTU       []*Flow
+	fromTU     []*Flow
+	toShader   []*Flow
+	rrTU       int
+	queue      []*TexReqMsg
+	replies    []*TexRepMsg
+}
+
+// NewTexCrossbar builds the box.
+func NewTexCrossbar(sim *core.Simulator, fromShader, toTU, fromTU, toShader []*Flow) *TexCrossbar {
+	x := &TexCrossbar{fromShader: fromShader, toTU: toTU, fromTU: fromTU, toShader: toShader}
+	x.Init("TexCrossbar")
+	sim.Register(x)
+	return x
+}
+
+// Clock implements core.Box.
+func (x *TexCrossbar) Clock(cycle int64) {
+	for _, in := range x.fromShader {
+		if in == nil {
+			continue
+		}
+		for _, obj := range in.Recv(cycle) {
+			x.queue = append(x.queue, obj.(*TexReqMsg))
+			in.Release(1)
+		}
+	}
+	for _, in := range x.fromTU {
+		for _, obj := range in.Recv(cycle) {
+			x.replies = append(x.replies, obj.(*TexRepMsg))
+			in.Release(1)
+		}
+	}
+	// Distribute requests round-robin over TUs.
+	for len(x.queue) > 0 {
+		tu := x.rrTU % len(x.toTU)
+		if !x.toTU[tu].CanSend(cycle, 1) {
+			break
+		}
+		x.toTU[tu].Send(cycle, x.queue[0])
+		x.queue = x.queue[1:]
+		x.rrTU++
+	}
+	// Return replies to their shaders.
+	for len(x.replies) > 0 {
+		rep := x.replies[0]
+		out := x.toShader[rep.Shader]
+		if !out.CanSend(cycle, 1) {
+			break
+		}
+		out.Send(cycle, rep)
+		x.replies = x.replies[1:]
+	}
+}
+
+// texWork is one in-flight quad sample on a texture unit.
+type texWork struct {
+	msg    *TexReqMsg
+	plans  [shaderLanes]texemu.SamplePlan
+	vals   [][]texemu.RGBA // fetched texels per lane
+	lane   int             // next texel cursor
+	texel  int
+	looked bool // current texel's cache access already counted
+}
+
+// TextureUnit processes texture requests for whole fragment quads
+// (paper §2.2): it computes the mipmap level of detail from the
+// quad's coordinate derivatives, plans bilinear/trilinear/anisotropic
+// samples, fetches texels through a small texture cache (decompressed
+// on fill) and filters them. Throughput is one bilinear sample per
+// cycle, one trilinear every two cycles.
+type TextureUnit struct {
+	core.BoxBase
+	cfg   *Config
+	idx   int
+	cache *mem.Cache
+	hooks *texHooks
+
+	reqIn  *Flow
+	repOut *Flow
+
+	queue   []*TexReqMsg
+	current *texWork
+
+	statReqs     *core.Counter
+	statTexels   *core.Counter
+	statBilinear *core.Counter
+	statBusy     *core.Counter
+	statStall    *core.Counter
+}
+
+// texHooks decode compressed texture tiles into the cache on fill
+// (the cache stores decoded RGBA8 texels; compressed formats fetch
+// fewer bytes from memory).
+type texHooks struct {
+	fmtOf map[uint32]texemu.Format
+}
+
+// FillPlan implements mem.Hooks.
+func (h *texHooks) FillPlan(key uint32) mem.FillPlan {
+	f := h.fmtOf[key]
+	return mem.FillPlan{FetchAddr: key, FetchBytes: f.TileBytes()}
+}
+
+// Synthesize implements mem.Hooks.
+func (h *texHooks) Synthesize(key uint32, line []byte) {
+	panic("gpu: texture lines are never synthesized")
+}
+
+// Decode implements mem.Hooks.
+func (h *texHooks) Decode(key uint32, raw, line []byte) {
+	var tile [texemu.TileTexels * texemu.TileTexels]texemu.RGBA
+	texemu.DecodeTile(h.fmtOf[key], raw, &tile)
+	for i, c := range tile {
+		copy(line[i*4:], c[:])
+	}
+}
+
+// Encode implements mem.Hooks (texture caches are read only).
+func (h *texHooks) Encode(key uint32, line []byte) (uint32, []byte) {
+	panic("gpu: texture cache lines are never written back")
+}
+
+// NewTextureUnit builds texture unit idx.
+func NewTextureUnit(sim *core.Simulator, cfg *Config, idx int, reqIn, repOut *Flow) *TextureUnit {
+	t := &TextureUnit{cfg: cfg, idx: idx, reqIn: reqIn, repOut: repOut}
+	t.Init(nameIdx("TextureUnit", idx))
+	t.hooks = &texHooks{fmtOf: make(map[uint32]texemu.Format)}
+	cc := mem.CacheConfig{
+		Name: nameIdx("TexCache", idx), Sets: cfg.TexCacheSets, Assoc: cfg.TexCacheAssoc,
+		LineBytes: texemu.TileTexels * texemu.TileTexels * 4, MissQ: 8, PortLimit: 8,
+	}
+	t.cache = mem.NewCache(sim, cc, t.hooks)
+	t.statReqs = sim.Stats.Counter(t.BoxName() + ".requests")
+	t.statTexels = sim.Stats.Counter(t.BoxName() + ".texels")
+	t.statBilinear = sim.Stats.Counter(t.BoxName() + ".bilinearSamples")
+	t.statBusy = sim.Stats.Counter(t.BoxName() + ".busyCycles")
+	t.statStall = sim.Stats.Counter(t.BoxName() + ".missStallCycles")
+	sim.Register(t)
+	return t
+}
+
+// Cache exposes the texture cache for statistics (Figure 8).
+func (t *TextureUnit) Cache() *mem.Cache { return t.cache }
+
+// Quiesce reports whether the unit has no request in progress and no
+// cache traffic in flight (render-target switches invalidate the
+// cache at such a point).
+func (t *TextureUnit) Quiesce() bool {
+	return t.current == nil && len(t.queue) == 0 && t.cache.Quiesce()
+}
+
+// Clock implements core.Box.
+func (t *TextureUnit) Clock(cycle int64) {
+	t.cache.Clock(cycle)
+	for _, obj := range t.reqIn.Recv(cycle) {
+		t.queue = append(t.queue, obj.(*TexReqMsg))
+	}
+	if t.current == nil {
+		if len(t.queue) == 0 {
+			return
+		}
+		t.current = t.startWork(t.queue[0])
+		t.queue = t.queue[1:]
+		t.reqIn.Release(1)
+		t.statReqs.Inc()
+	}
+	t.statBusy.Inc()
+
+	w := t.current
+	// Fetch up to TexelsPerCycle texels through the cache ports (4
+	// per cycle = one bilinear sample, matching Table 2's texture
+	// cache port configuration).
+	fetched := 0
+	for fetched < t.cfg.TexelsPerCycle {
+		ref, ok := w.peekTexel()
+		if !ok {
+			break
+		}
+		tex := w.msg.Texture
+		key, texelIdx := tex.TileAddr(ref.Face, ref.Level, ref.Slice, ref.X, ref.Y)
+		if !t.cache.Probe(key) {
+			t.hooks.fmtOf[key] = tex.Format
+			if !w.looked {
+				t.cache.Lookup(cycle, key) // count the miss once
+				w.looked = true
+			}
+			t.cache.RequestFill(cycle, key)
+			t.statStall.Inc()
+			return
+		}
+		if !w.looked {
+			t.cache.Lookup(cycle, key) // count the hit
+		}
+		var buf [4]byte
+		t.cache.Read(key, texelIdx*4, buf[:])
+		w.vals[w.lane] = append(w.vals[w.lane], texemu.RGBA(buf))
+		w.advanceTexel()
+		fetched++
+		t.statTexels.Inc()
+	}
+
+	if !w.done() {
+		return
+	}
+	// All texels present: filter and reply (fixed filter latency).
+	if !t.repOut.CanSend(cycle, 1) {
+		return
+	}
+	rep := &TexRepMsg{
+		DynObject: core.DynObject{ID: w.msg.ID, Parent: w.msg.Parent, Tag: "texrep"},
+		Shader:    w.msg.Shader, Slot: w.msg.Slot,
+	}
+	for l := 0; l < shaderLanes; l++ {
+		i := 0
+		rep.Result[l] = texemu.FilterPlan(w.plans[l], func(texemu.TexelRef) texemu.RGBA {
+			v := w.vals[l][i]
+			i++
+			return v
+		})
+	}
+	lat := t.cfg.TexFilterLat
+	if lat < 1 {
+		lat = 1
+	}
+	t.repOut.SendLat(cycle, rep, lat)
+	t.current = nil
+}
+
+// startWork computes the LOD and sample plans for a quad request.
+func (t *TextureUnit) startWork(msg *TexReqMsg) *texWork {
+	w := &texWork{msg: msg}
+	tex := msg.Texture
+	mode := texemu.ModeNormal
+	lodArg := float32(0)
+	switch msg.Req.Mode {
+	case shaderemu.TexModeBias:
+		mode = texemu.ModeBias
+		lodArg = msg.Req.Coord[0][3]
+	case shaderemu.TexModeProj:
+		mode = texemu.ModeProj
+	case shaderemu.TexModeLod:
+		mode = texemu.ModeLod
+		lodArg = msg.Req.Coord[0][3]
+	}
+	info := tex.QuadLOD(msg.Req.Coord, mode, lodArg)
+	bilinear := 0
+	for l := 0; l < shaderLanes; l++ {
+		c := texemu.PrepareCoord(msg.Req.Coord[l], mode)
+		w.plans[l] = tex.Plan(c, info)
+		bilinear += w.plans[l].BilinearSamples
+		w.vals = append(w.vals, make([]texemu.RGBA, 0, len(w.plans[l].Texels)))
+	}
+	t.statBilinear.Add(float64(bilinear))
+	return w
+}
+
+func (w *texWork) peekTexel() (texemu.TexelRef, bool) {
+	for w.lane < shaderLanes {
+		if w.texel < len(w.plans[w.lane].Texels) {
+			return w.plans[w.lane].Texels[w.texel], true
+		}
+		w.lane++
+		w.texel = 0
+	}
+	return texemu.TexelRef{}, false
+}
+
+func (w *texWork) advanceTexel() {
+	w.texel++
+	w.looked = false
+}
+
+func (w *texWork) done() bool {
+	_, more := w.peekTexel()
+	return !more
+}

@@ -1,0 +1,242 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestAssembleSimpleVertexProgram(t *testing.T) {
+	src := `
+!!ATTILAvp
+# transform position by the 4 rows of the MVP matrix
+DP4 o0.x, v0, c0
+DP4 o0.y, v0, c1
+DP4 o0.z, v0, c2
+DP4 o0.w, v0, c3
+MOV o1, v1;      // pass color through
+END
+`
+	p, err := Assemble(FragmentProgram /* overridden by header */, "mvp", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != VertexProgram {
+		t.Fatalf("kind: %v", p.Kind)
+	}
+	if p.Len() != 6 {
+		t.Fatalf("len: %d", p.Len())
+	}
+	if p.TempsUsed() != 0 {
+		t.Fatalf("temps: %d", p.TempsUsed())
+	}
+	if p.Inputs() != 0b11 {
+		t.Fatalf("inputs mask: %b", p.Inputs())
+	}
+	if p.Outputs() != 0b11 {
+		t.Fatalf("outputs mask: %b", p.Outputs())
+	}
+	if p.UsesTextures() {
+		t.Fatal("no textures expected")
+	}
+}
+
+func TestAssembleFragmentProgramWithTexture(t *testing.T) {
+	src := `
+!!ATTILAfp
+TEX r0, v4, t0, 2D
+MUL_SAT o0, r0, v1
+END
+`
+	p, err := Assemble(VertexProgram, "texmod", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != FragmentProgram {
+		t.Fatalf("kind: %v", p.Kind)
+	}
+	if p.Samplers() != 1 {
+		t.Fatalf("samplers: %b", p.Samplers())
+	}
+	if p.TempsUsed() != 1 {
+		t.Fatalf("temps: %d", p.TempsUsed())
+	}
+	if !p.Instr[1].Saturate {
+		t.Fatal("saturate flag lost")
+	}
+}
+
+func TestAssembleRejectsTextureInVertexProgram(t *testing.T) {
+	_, err := Assemble(VertexProgram, "bad", "TEX r0, v0, t0, 2D\nEND")
+	if err == nil || !strings.Contains(err.Error(), "fragment") {
+		t.Fatalf("want fragment-only error, got %v", err)
+	}
+}
+
+func TestAssembleRejectsMissingEnd(t *testing.T) {
+	_, err := Assemble(VertexProgram, "bad", "MOV r0, v0")
+	if err == nil || !strings.Contains(err.Error(), "END") {
+		t.Fatalf("want missing-END error, got %v", err)
+	}
+}
+
+func TestAssembleRejectsBadOperandCount(t *testing.T) {
+	_, err := Assemble(VertexProgram, "bad", "ADD r0, v0\nEND")
+	if err == nil || !strings.Contains(err.Error(), "operands") {
+		t.Fatalf("want operand-count error, got %v", err)
+	}
+}
+
+func TestAssembleRejectsRangeViolations(t *testing.T) {
+	cases := []string{
+		"MOV r32, v0\nEND",    // temp out of range
+		"MOV r0, c96\nEND",    // const out of range
+		"MOV r0, v16\nEND",    // input out of range
+		"MOV c0, v0\nEND",     // const as destination
+		"ADD r0, o0, v0\nEND", // output as source
+	}
+	for _, src := range cases {
+		if _, err := Assemble(VertexProgram, "bad", src); err == nil {
+			t.Errorf("accepted invalid program %q", src)
+		}
+	}
+}
+
+func TestSwizzleParsing(t *testing.T) {
+	p, err := Assemble(VertexProgram, "swz", "MOV r0.xz, -v0.wzyx\nMOV r1, v0.y\nEND")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := p.Instr[0]
+	if in.Dst.Mask != 0b0101 {
+		t.Fatalf("mask: %04b", in.Dst.Mask)
+	}
+	if !in.Src[0].Negate {
+		t.Fatal("negate lost")
+	}
+	if in.Src[0].Swizzle != MakeSwizzle(3, 2, 1, 0) {
+		t.Fatalf("swizzle: %v", in.Src[0].Swizzle)
+	}
+	if p.Instr[1].Src[0].Swizzle != Broadcast(1) {
+		t.Fatalf("broadcast swizzle: %v", p.Instr[1].Src[0].Swizzle)
+	}
+}
+
+func TestSwizzleComp(t *testing.T) {
+	s := MakeSwizzle(3, 0, 2, 1)
+	want := [4]int{3, 0, 2, 1}
+	for i, w := range want {
+		if s.Comp(i) != w {
+			t.Fatalf("comp %d: want %d got %d", i, w, s.Comp(i))
+		}
+	}
+	if SwizzleXYZW.Comp(0) != 0 || SwizzleXYZW.Comp(3) != 3 {
+		t.Fatal("identity swizzle broken")
+	}
+}
+
+// randomProgram builds a random valid program for roundtrip testing.
+func randomProgram(rng *rand.Rand, kind ProgramKind) *Program {
+	genSrc := func() SrcOperand {
+		banks := []Bank{BankInput, BankTemp, BankConst}
+		b := banks[rng.Intn(len(banks))]
+		op := Src(b, rng.Intn(b.Limit()))
+		switch rng.Intn(3) {
+		case 0:
+			op.Swizzle = Broadcast(rng.Intn(4))
+		case 1:
+			op.Swizzle = MakeSwizzle(rng.Intn(4), rng.Intn(4), rng.Intn(4), rng.Intn(4))
+		}
+		if rng.Intn(2) == 0 {
+			op = op.Neg()
+		}
+		return op
+	}
+	genDst := func() DstOperand {
+		b := BankTemp
+		if rng.Intn(4) == 0 {
+			b = BankOutput
+		}
+		d := Dst(b, rng.Intn(b.Limit()))
+		if rng.Intn(3) == 0 {
+			d.Mask = WriteMask(rng.Intn(15) + 1)
+		}
+		return d
+	}
+	ops := []Opcode{MOV, ADD, SUB, MUL, MAD, DP3, DP4, DPH, MIN, MAX, SLT, SGE,
+		FRC, FLR, ABS, CMP, LRP, XPD, RCP, RSQ, EX2, LG2, POW, LIT, SIN, COS, DST}
+	if kind == FragmentProgram {
+		ops = append(ops, TEX, TXB, TXP, TXL, KIL)
+	}
+	p := &Program{Kind: kind, Name: "random"}
+	n := rng.Intn(20) + 1
+	for i := 0; i < n; i++ {
+		op := ops[rng.Intn(len(ops))]
+		info := op.Info()
+		in := Instruction{Op: op, Saturate: info.HasDst && rng.Intn(4) == 0}
+		if info.HasDst {
+			in.Dst = genDst()
+		}
+		for s := 0; s < info.NSrc; s++ {
+			in.Src[s] = genSrc()
+		}
+		if info.Texture {
+			in.Sampler = uint8(rng.Intn(16))
+			in.Target = TexTarget(rng.Intn(4))
+		}
+		p.Instr = append(p.Instr, in)
+	}
+	p.Instr = append(p.Instr, Instruction{Op: END})
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestDisassembleAssembleRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		kind := VertexProgram
+		if trial%2 == 1 {
+			kind = FragmentProgram
+		}
+		p := randomProgram(rng, kind)
+		text := p.Disassemble()
+		q, err := Assemble(kind, "roundtrip", text)
+		if err != nil {
+			t.Fatalf("trial %d: reassembly failed: %v\n%s", trial, err, text)
+		}
+		if len(q.Instr) != len(p.Instr) {
+			t.Fatalf("trial %d: length mismatch", trial)
+		}
+		for i := range p.Instr {
+			if p.Instr[i] != q.Instr[i] {
+				t.Fatalf("trial %d instr %d: %v != %v\n%s", trial, i,
+					p.Instr[i], q.Instr[i], text)
+			}
+		}
+	}
+}
+
+func TestOpInfoTableComplete(t *testing.T) {
+	for op := Opcode(0); op < opcodeCount; op++ {
+		if op.Info().Name == "" {
+			t.Fatalf("opcode %d has no metadata", op)
+		}
+	}
+	if TEX.Info().LatencyClass != LatTexture || !TEX.Info().Texture {
+		t.Fatal("TEX metadata wrong")
+	}
+	if RCP.Info().Scalar != true {
+		t.Fatal("RCP should be scalar")
+	}
+}
+
+func TestMustAssemblePanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAssemble did not panic")
+		}
+	}()
+	MustAssemble(VertexProgram, "bad", "BOGUS r0\nEND")
+}

@@ -1,0 +1,156 @@
+// Package isa defines the ATTILA shader instruction set, modelled on
+// the ARB vertex/fragment program OpenGL extensions the paper bases
+// its unified shader on (§2.3): 4-component 32-bit float registers,
+// SIMD and scalar instructions, four register banks (input, output,
+// temporary, constant), texture sampling and fragment kill.
+//
+// The package provides the binary instruction representation, an
+// assembler for a textual ARB-like syntax and a disassembler that
+// produces canonical re-assemblable text.
+package isa
+
+import "fmt"
+
+// Opcode identifies a shader instruction.
+type Opcode uint8
+
+// Shader opcodes. Vector ops work per component under the destination
+// write mask; scalar ops (RCP, RSQ, EX2, LG2, SIN, COS, POW) compute
+// one scalar from the source's x component (after swizzling) and
+// replicate it to the masked destination components.
+const (
+	NOP Opcode = iota
+	MOV
+	ADD
+	SUB
+	MUL
+	MAD
+	DP3
+	DP4
+	DPH
+	DST
+	MIN
+	MAX
+	SLT
+	SGE
+	FRC
+	FLR
+	ABS
+	CMP
+	LRP
+	XPD
+	RCP
+	RSQ
+	EX2
+	LG2
+	POW
+	LIT
+	SIN
+	COS
+	TEX
+	TXB
+	TXP
+	TXL
+	KIL
+	END
+	opcodeCount
+)
+
+// OpInfo describes the static properties of an opcode.
+type OpInfo struct {
+	Name    string
+	NSrc    int  // number of source operands
+	HasDst  bool // writes a destination register
+	Scalar  bool // scalar computation replicated over the mask
+	Texture bool // samples a texture (uses Instruction.Sampler/TexTarget)
+	// LatencyClass groups opcodes by execution latency; the shader
+	// box maps classes to configurable cycle counts (paper: 1 to 9
+	// execution stages).
+	LatencyClass LatClass
+}
+
+// LatClass buckets opcodes by execution latency.
+type LatClass uint8
+
+// Latency classes, cheapest first.
+const (
+	LatSimple  LatClass = iota // MOV, ABS, FRC, FLR, min/max/compare
+	LatMAD                     // ADD/SUB/MUL/MAD/dot products/LRP/CMP/XPD/DST/LIT
+	LatScalar                  // RCP/RSQ/EX2/LG2/SIN/COS/POW transcendentals
+	LatTexture                 // TEX* (latency decided by the texture unit)
+	latClassCount
+)
+
+var opInfos = [opcodeCount]OpInfo{
+	NOP: {Name: "NOP"},
+	MOV: {Name: "MOV", NSrc: 1, HasDst: true, LatencyClass: LatSimple},
+	ADD: {Name: "ADD", NSrc: 2, HasDst: true, LatencyClass: LatMAD},
+	SUB: {Name: "SUB", NSrc: 2, HasDst: true, LatencyClass: LatMAD},
+	MUL: {Name: "MUL", NSrc: 2, HasDst: true, LatencyClass: LatMAD},
+	MAD: {Name: "MAD", NSrc: 3, HasDst: true, LatencyClass: LatMAD},
+	DP3: {Name: "DP3", NSrc: 2, HasDst: true, LatencyClass: LatMAD},
+	DP4: {Name: "DP4", NSrc: 2, HasDst: true, LatencyClass: LatMAD},
+	DPH: {Name: "DPH", NSrc: 2, HasDst: true, LatencyClass: LatMAD},
+	DST: {Name: "DST", NSrc: 2, HasDst: true, LatencyClass: LatMAD},
+	MIN: {Name: "MIN", NSrc: 2, HasDst: true, LatencyClass: LatSimple},
+	MAX: {Name: "MAX", NSrc: 2, HasDst: true, LatencyClass: LatSimple},
+	SLT: {Name: "SLT", NSrc: 2, HasDst: true, LatencyClass: LatSimple},
+	SGE: {Name: "SGE", NSrc: 2, HasDst: true, LatencyClass: LatSimple},
+	FRC: {Name: "FRC", NSrc: 1, HasDst: true, LatencyClass: LatSimple},
+	FLR: {Name: "FLR", NSrc: 1, HasDst: true, LatencyClass: LatSimple},
+	ABS: {Name: "ABS", NSrc: 1, HasDst: true, LatencyClass: LatSimple},
+	CMP: {Name: "CMP", NSrc: 3, HasDst: true, LatencyClass: LatMAD},
+	LRP: {Name: "LRP", NSrc: 3, HasDst: true, LatencyClass: LatMAD},
+	XPD: {Name: "XPD", NSrc: 2, HasDst: true, LatencyClass: LatMAD},
+	RCP: {Name: "RCP", NSrc: 1, HasDst: true, Scalar: true, LatencyClass: LatScalar},
+	RSQ: {Name: "RSQ", NSrc: 1, HasDst: true, Scalar: true, LatencyClass: LatScalar},
+	EX2: {Name: "EX2", NSrc: 1, HasDst: true, Scalar: true, LatencyClass: LatScalar},
+	LG2: {Name: "LG2", NSrc: 1, HasDst: true, Scalar: true, LatencyClass: LatScalar},
+	POW: {Name: "POW", NSrc: 2, HasDst: true, Scalar: true, LatencyClass: LatScalar},
+	LIT: {Name: "LIT", NSrc: 1, HasDst: true, LatencyClass: LatScalar},
+	SIN: {Name: "SIN", NSrc: 1, HasDst: true, Scalar: true, LatencyClass: LatScalar},
+	COS: {Name: "COS", NSrc: 1, HasDst: true, Scalar: true, LatencyClass: LatScalar},
+	TEX: {Name: "TEX", NSrc: 1, HasDst: true, Texture: true, LatencyClass: LatTexture},
+	TXB: {Name: "TXB", NSrc: 1, HasDst: true, Texture: true, LatencyClass: LatTexture},
+	TXP: {Name: "TXP", NSrc: 1, HasDst: true, Texture: true, LatencyClass: LatTexture},
+	TXL: {Name: "TXL", NSrc: 1, HasDst: true, Texture: true, LatencyClass: LatTexture},
+	KIL: {Name: "KIL", NSrc: 1, LatencyClass: LatSimple},
+	END: {Name: "END"},
+}
+
+// Info returns the static description of op.
+func (op Opcode) Info() OpInfo {
+	if int(op) >= len(opInfos) {
+		return OpInfo{Name: fmt.Sprintf("OP(%d)", op)}
+	}
+	return opInfos[op]
+}
+
+// String returns the mnemonic.
+func (op Opcode) String() string { return op.Info().Name }
+
+// TexTarget selects the texture dimensionality of a TEX* instruction.
+type TexTarget uint8
+
+// Texture targets.
+const (
+	Tex1D TexTarget = iota
+	Tex2D
+	Tex3D
+	TexCube
+)
+
+// String returns the assembly spelling of the target.
+func (t TexTarget) String() string {
+	switch t {
+	case Tex1D:
+		return "1D"
+	case Tex2D:
+		return "2D"
+	case Tex3D:
+		return "3D"
+	case TexCube:
+		return "CUBE"
+	}
+	return fmt.Sprintf("TARGET(%d)", uint8(t))
+}

@@ -1,0 +1,337 @@
+package mem
+
+import (
+	"fmt"
+
+	"attila/internal/core"
+)
+
+// Op distinguishes read and write transactions.
+type Op uint8
+
+// Transaction operations.
+const (
+	OpRead Op = iota
+	OpWrite
+)
+
+// Request is a memory transaction travelling from a client unit to
+// the memory controller.
+type Request struct {
+	core.DynObject
+	Op   Op
+	Addr uint32
+	Size int    // bytes, <= TransactionSize
+	Data []byte // writes only
+}
+
+// Reply carries read data (or a write acknowledgement) back to the
+// requesting unit. ReqID matches the request's DynObject ID.
+type Reply struct {
+	core.DynObject
+	ReqID uint64
+	Op    Op
+	Addr  uint32
+	Size  int
+	Data  []byte // reads only
+}
+
+// ControllerConfig is the GDDR3-style timing model (paper §2.2): four
+// channels of 16 bytes/cycle in the baseline, modules interleaved on
+// a 256-byte basis, configurable penalties for opening a new page and
+// for read/write bus turnarounds.
+type ControllerConfig struct {
+	Channels      int
+	ChannelBW     int    // bytes per cycle per channel
+	Interleave    uint32 // channel interleave granularity in bytes
+	PageSize      uint32 // bytes per open page (row)
+	PagePenalty   int    // cycles to open a new page
+	ReadToWrite   int    // bus turnaround penalty cycles
+	WriteToRead   int
+	BaseLatency   int // fixed command/CAS latency added to each transaction
+	QueuePerUnit  int // per-client request queue capacity
+	ReplyQueueLen int // max replies delivered per client per cycle
+}
+
+// DefaultControllerConfig returns the baseline of Table 1: four
+// channels x 16 bytes/cycle.
+func DefaultControllerConfig() ControllerConfig {
+	return ControllerConfig{
+		Channels:      4,
+		ChannelBW:     16,
+		Interleave:    256,
+		PageSize:      4096,
+		PagePenalty:   8,
+		ReadToWrite:   4,
+		WriteToRead:   6,
+		BaseLatency:   10,
+		QueuePerUnit:  16,
+		ReplyQueueLen: 4,
+	}
+}
+
+type channelState struct {
+	busyUntil int64
+	openPage  uint32
+	hasPage   bool
+	lastOp    Op
+	current   *inflight
+}
+
+type inflight struct {
+	req    *Request
+	client int
+	done   int64
+}
+
+// Controller is the memory controller box. Each client unit provides
+// a request signal named "<client>.MemReq" and binds the reply signal
+// "MC.<client>.Reply"; the controller binds and provides the
+// counterparts, forming the crossbar of queues and buses the paper
+// describes.
+type Controller struct {
+	core.BoxBase
+	cfg     ControllerConfig
+	mem     *GPUMemory
+	ids     *core.IDSource
+	clients []*mcClient
+	chans   []channelState
+	rr      int // round-robin arbitration pointer
+
+	statReadBytes  *core.Counter
+	statWriteBytes *core.Counter
+	statPageMiss   *core.Counter
+	statTurnaround *core.Counter
+	statBusy       *core.Counter
+	clientRead     []*core.Counter
+	clientWrite    []*core.Counter
+}
+
+type mcClient struct {
+	name  string
+	req   *core.Signal
+	reply *core.Signal
+	queue []*Request
+}
+
+// NewController creates the controller and registers its signal
+// endpoints for every client name.
+func NewController(sim *core.Simulator, cfg ControllerConfig, mem *GPUMemory, clients []string) *Controller {
+	c := &Controller{cfg: cfg, mem: mem, ids: &sim.IDs}
+	c.Init("MemoryController")
+	c.chans = make([]channelState, cfg.Channels)
+	for _, name := range clients {
+		cl := &mcClient{name: name}
+		sim.Binder.Bind(c.BoxName(), name+".MemReq", &cl.req)
+		cl.reply = sim.Binder.Provide(c.BoxName(), "MC."+name+".Reply", cfg.ReplyQueueLen, 1, 0)
+		c.clients = append(c.clients, cl)
+		c.clientRead = append(c.clientRead, sim.Stats.Counter("MC."+name+".readBytes"))
+		c.clientWrite = append(c.clientWrite, sim.Stats.Counter("MC."+name+".writeBytes"))
+	}
+	c.statReadBytes = sim.Stats.Counter("MC.readBytes")
+	c.statWriteBytes = sim.Stats.Counter("MC.writeBytes")
+	c.statPageMiss = sim.Stats.Counter("MC.pageMisses")
+	c.statTurnaround = sim.Stats.Counter("MC.turnarounds")
+	c.statBusy = sim.Stats.Counter("MC.busyCycles")
+	sim.Register(c)
+	return c
+}
+
+// Pending reports whether any transaction is queued or in flight;
+// used by drain logic at batch boundaries.
+func (c *Controller) Pending() bool {
+	for _, cl := range c.clients {
+		if len(cl.queue) > 0 {
+			return true
+		}
+	}
+	for i := range c.chans {
+		if c.chans[i].current != nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Controller) channelOf(addr uint32) int {
+	return int(addr/c.cfg.Interleave) % c.cfg.Channels
+}
+
+// Clock implements core.Box.
+func (c *Controller) Clock(cycle int64) {
+	// Accept new requests into per-client queues.
+	for ci, cl := range c.clients {
+		for _, obj := range cl.req.Read(cycle) {
+			req, ok := obj.(*Request)
+			if !ok {
+				panic(fmt.Sprintf("mem: non-Request on %s.MemReq", cl.name))
+			}
+			if req.Size <= 0 || req.Size > TransactionSize {
+				panic(fmt.Sprintf("mem: bad transaction size %d from %s", req.Size, cl.name))
+			}
+			if len(cl.queue) >= c.cfg.QueuePerUnit {
+				panic(fmt.Sprintf("mem: %s exceeded its request queue (%d); client must bound outstanding requests", cl.name, c.cfg.QueuePerUnit))
+			}
+			cl.queue = append(cl.queue, req)
+			_ = ci
+		}
+	}
+
+	// Complete transactions whose channel time has elapsed.
+	busy := false
+	for i := range c.chans {
+		ch := &c.chans[i]
+		if ch.current != nil {
+			busy = true
+			if cycle >= ch.current.done {
+				c.complete(cycle, ch.current)
+				ch.current = nil
+			}
+		}
+	}
+	if busy {
+		c.statBusy.Inc()
+	}
+
+	// Arbitrate free channels: round-robin over client queue heads.
+	for i := range c.chans {
+		ch := &c.chans[i]
+		if ch.current != nil {
+			continue
+		}
+		c.schedule(cycle, i, ch)
+	}
+}
+
+func (c *Controller) schedule(cycle int64, chIdx int, ch *channelState) {
+	n := len(c.clients)
+	for k := 0; k < n; k++ {
+		ci := (c.rr + k) % n
+		cl := c.clients[ci]
+		if len(cl.queue) == 0 {
+			continue
+		}
+		req := cl.queue[0]
+		if c.channelOf(req.Addr) != chIdx {
+			continue
+		}
+		cl.queue = cl.queue[1:]
+		c.rr = (ci + 1) % n
+
+		dur := (req.Size + c.cfg.ChannelBW - 1) / c.cfg.ChannelBW
+		page := req.Addr / c.cfg.PageSize
+		if !ch.hasPage || ch.openPage != page {
+			dur += c.cfg.PagePenalty
+			ch.openPage = page
+			ch.hasPage = true
+			c.statPageMiss.Inc()
+		}
+		if ch.lastOp != req.Op {
+			if req.Op == OpWrite {
+				dur += c.cfg.ReadToWrite
+			} else {
+				dur += c.cfg.WriteToRead
+			}
+			c.statTurnaround.Inc()
+			ch.lastOp = req.Op
+		}
+		dur += c.cfg.BaseLatency
+		ch.current = &inflight{req: req, client: ci, done: cycle + int64(dur)}
+		return
+	}
+}
+
+func (c *Controller) complete(cycle int64, fl *inflight) {
+	req := fl.req
+	cl := c.clients[fl.client]
+	reply := &Reply{
+		DynObject: core.DynObject{ID: c.ids.Next(), Parent: req.ID, Tag: "memreply"},
+		ReqID:     req.ID,
+		Op:        req.Op,
+		Addr:      req.Addr,
+		Size:      req.Size,
+	}
+	if req.Op == OpWrite {
+		c.mem.WriteBytes(req.Addr, req.Data[:req.Size])
+		c.statWriteBytes.Add(float64(req.Size))
+		c.clientWrite[fl.client].Add(float64(req.Size))
+	} else {
+		reply.Data = make([]byte, req.Size)
+		c.mem.ReadBytes(req.Addr, reply.Data)
+		c.statReadBytes.Add(float64(req.Size))
+		c.clientRead[fl.client].Add(float64(req.Size))
+	}
+	cl.reply.Write(cycle, reply)
+}
+
+// Port is a client-side connection to the memory controller: it owns
+// the request signal, tracks outstanding transactions against the
+// controller's queue bound and collects replies.
+type Port struct {
+	name        string
+	req         *core.Signal
+	reply       *core.Signal
+	ids         *core.IDSource
+	outstanding int
+	limit       int
+}
+
+// NewPort registers the client side of a controller connection. Call
+// before or after NewController in any order; limit must not exceed
+// the controller's QueuePerUnit.
+func NewPort(sim *core.Simulator, client string, limit int) *Port {
+	p := &Port{name: client, ids: &sim.IDs, limit: limit}
+	// The request wire can burst up to the outstanding budget in one
+	// cycle (cache flushes issue a whole line's transactions at
+	// once); the controller's queues provide the real throttling.
+	p.req = sim.Binder.Provide(client, client+".MemReq", limit, 1, 0)
+	sim.Binder.Bind(client, "MC."+client+".Reply", &p.reply)
+	return p
+}
+
+// CanIssue reports whether another transaction fits in the client's
+// outstanding budget.
+func (p *Port) CanIssue() bool { return p.outstanding < p.limit }
+
+// Free returns how many transactions may still be issued.
+func (p *Port) Free() int { return p.limit - p.outstanding }
+
+// Read issues a read transaction and returns its id. parent links the
+// transaction to the object that caused it for signal tracing.
+func (p *Port) Read(cycle int64, addr uint32, size int, parent uint64) uint64 {
+	req := &Request{
+		DynObject: core.DynObject{ID: p.ids.Next(), Parent: parent, Tag: "rd"},
+		Op:        OpRead, Addr: addr, Size: size,
+	}
+	p.req.Write(cycle, req)
+	p.outstanding++
+	return req.ID
+}
+
+// Write issues a write transaction of len(data) bytes.
+func (p *Port) Write(cycle int64, addr uint32, data []byte, parent uint64) uint64 {
+	req := &Request{
+		DynObject: core.DynObject{ID: p.ids.Next(), Parent: parent, Tag: "wr"},
+		Op:        OpWrite, Addr: addr, Size: len(data), Data: data,
+	}
+	p.req.Write(cycle, req)
+	p.outstanding++
+	return req.ID
+}
+
+// Replies returns the transactions completed this cycle.
+func (p *Port) Replies(cycle int64) []*Reply {
+	objs := p.reply.Read(cycle)
+	if len(objs) == 0 {
+		return nil
+	}
+	out := make([]*Reply, len(objs))
+	for i, o := range objs {
+		out[i] = o.(*Reply)
+		p.outstanding--
+	}
+	return out
+}
+
+// Outstanding returns the number of in-flight transactions.
+func (p *Port) Outstanding() int { return p.outstanding }

@@ -1,0 +1,334 @@
+// Package refrender is the functional reference renderer: it executes
+// the same gpu.Command streams as the timing pipeline but with
+// straight-line code and no timing model, producing golden frames for
+// the Figure 10 style verification (it stands in for the paper's real
+// GPU reference, and doubles as the "light emulator to skip fast
+// through regions of graphic traces" the paper lists as future work).
+//
+// It shares every arithmetic path with the timing simulator — the
+// shader, texture, fragment-operation and rasterization emulators,
+// the attribute fetch conversion, the primitive decomposition and the
+// framebuffer memory layout — but none of the box/signal timing code,
+// so a divergence between its output and the DAC dump indicates a bug
+// in the timing side (or here).
+package refrender
+
+import (
+	"fmt"
+
+	"attila/internal/emu/clipemu"
+	"attila/internal/emu/fragemu"
+	"attila/internal/emu/rastemu"
+	"attila/internal/emu/shaderemu"
+	"attila/internal/emu/texemu"
+	"attila/internal/gpu"
+	"attila/internal/isa"
+	"attila/internal/mem"
+	"attila/internal/vmath"
+)
+
+// Renderer executes command streams functionally.
+type Renderer struct {
+	mem      *mem.GPUMemory
+	color    [2]gpu.SurfaceLayout
+	z        gpu.SurfaceLayout
+	draw     int
+	override *gpu.SurfaceLayout
+	w, h     int
+	frames   []*gpu.Frame
+}
+
+// New creates a renderer with the same framebuffer plan as a pipeline
+// of the same size.
+func New(memBytes, w, h int) *Renderer {
+	c0, c1, z, _ := gpu.FramebufferPlan(w, h)
+	return &Renderer{
+		mem:   mem.NewGPUMemory(memBytes),
+		color: [2]gpu.SurfaceLayout{c0, c1},
+		z:     z,
+		w:     w,
+		h:     h,
+	}
+}
+
+// Memory exposes the renderer's GPU memory (tests).
+func (r *Renderer) Memory() *mem.GPUMemory { return r.mem }
+
+// Frames returns the frames captured at each swap.
+func (r *Renderer) Frames() []*gpu.Frame { return r.frames }
+
+// Execute runs a command stream.
+func (r *Renderer) Execute(cmds []gpu.Command) error {
+	for i, cmd := range cmds {
+		var err error
+		switch c := cmd.(type) {
+		case gpu.CmdBufferWrite:
+			r.mem.WriteBytes(c.Addr, c.Data)
+		case gpu.CmdClearColor:
+			r.clearColor(c.Value)
+		case gpu.CmdClearZS:
+			r.clearZS(c.Depth, c.Stencil)
+		case gpu.CmdDraw:
+			err = r.drawBatch(c.State)
+		case gpu.CmdSwap:
+			if r.override != nil {
+				err = fmt.Errorf("swap while rendering to a texture")
+				break
+			}
+			r.swap()
+		case gpu.CmdSetRenderTarget:
+			if c.Default {
+				r.override = nil
+			} else {
+				target := c.Target
+				r.override = &target
+			}
+		default:
+			err = fmt.Errorf("refrender: unknown command %T", cmd)
+		}
+		if err != nil {
+			return fmt.Errorf("refrender: command %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (r *Renderer) target() gpu.SurfaceLayout {
+	if r.override != nil {
+		return *r.override
+	}
+	return r.color[r.draw]
+}
+
+func (r *Renderer) clearColor(value [4]byte) {
+	layout := r.target()
+	for y := 0; y < layout.H; y++ {
+		for x := 0; x < layout.W; x++ {
+			addr := layout.BlockAddr(x, y) + uint32(layout.Offset(x, y))
+			r.mem.WriteBytes(addr, value[:])
+		}
+	}
+}
+
+func (r *Renderer) clearZS(depth float32, stencil uint8) {
+	packed := fragemu.PackDS(fragemu.DepthToFixed(depth), stencil)
+	for y := 0; y < r.h; y++ {
+		for x := 0; x < r.w; x++ {
+			addr := r.z.BlockAddr(x, y) + uint32(r.z.Offset(x, y))
+			r.mem.Write32(addr, packed)
+		}
+	}
+}
+
+func (r *Renderer) swap() {
+	r.draw = 1 - r.draw
+	layout := r.color[1-r.draw] // the new front buffer
+	pix := make([]byte, r.w*r.h*4)
+	for y := 0; y < r.h; y++ {
+		for x := 0; x < r.w; x++ {
+			addr := layout.BlockAddr(x, y) + uint32(layout.Offset(x, y))
+			r.mem.ReadBytes(addr, pix[(y*r.w+x)*4:(y*r.w+x)*4+4])
+		}
+	}
+	r.frames = append(r.frames, &gpu.Frame{W: r.w, H: r.h, Pix: pix})
+}
+
+// drawBatch renders one batch: vertex shading, primitive assembly,
+// trivial clipping, setup, quad rasterization with interpolation,
+// fragment shading (with quad-granular texture sampling), kill, depth
+// and stencil test and blend.
+func (r *Renderer) drawBatch(st *gpu.DrawState) error {
+	vEmu := shaderemu.New(st.VertexProg, st.VertConsts)
+	fEmu := shaderemu.New(st.FragmentProg, st.FragConsts)
+
+	// Shade all vertices (deduplicating indexed vertices like the
+	// post-shading vertex cache, which also keeps shading counts
+	// honest for degenerate index streams).
+	shaded := make(map[uint32]*[isa.MaxOutputs]vmath.Vec4)
+	order := make([]uint32, st.Count)
+	for seq := 0; seq < st.Count; seq++ {
+		idx := gpu.FetchIndex(r.mem, st, seq)
+		order[seq] = idx
+		if _, ok := shaded[idx]; ok {
+			continue
+		}
+		th := vEmu.NewThread()
+		th.Active[0] = true
+		for slot := 0; slot < isa.MaxInputs; slot++ {
+			th.In[0][slot] = gpu.FetchAttr(r.mem, st, slot, idx)
+		}
+		if _, err := vEmu.Run(th, nil); err != nil {
+			return err
+		}
+		out := th.Out[0]
+		shaded[idx] = &out
+	}
+
+	sampler := func(req *shaderemu.TexRequest) [4]vmath.Vec4 {
+		tex := st.Textures[req.Sampler]
+		if tex == nil {
+			return [4]vmath.Vec4{}
+		}
+		var mode texemu.Mode
+		switch req.Mode {
+		case shaderemu.TexModeBias:
+			mode = texemu.ModeBias
+		case shaderemu.TexModeProj:
+			mode = texemu.ModeProj
+		case shaderemu.TexModeLod:
+			mode = texemu.ModeLod
+		}
+		return tex.SampleQuad(r.mem, req.Coord, mode)
+	}
+
+	for _, tri := range gpu.TriangleIndices(st.Primitive, st.Count) {
+		v := [3]*[isa.MaxOutputs]vmath.Vec4{
+			shaded[order[tri[0]]], shaded[order[tri[1]]], shaded[order[tri[2]]],
+		}
+		if clipemu.TriviallyRejected(v[0][isa.AttrPos], v[1][isa.AttrPos], v[2][isa.AttrPos]) {
+			continue
+		}
+		clip := [3]vmath.Vec4{v[0][isa.AttrPos], v[1][isa.AttrPos], v[2][isa.AttrPos]}
+		setup, ok := rastemu.Setup(clip, st.Viewport, st.CullFront, st.CullBack)
+		if !ok {
+			continue
+		}
+		if err := r.rasterize(st, fEmu, &setup, v, sampler); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Renderer) covered(st *gpu.DrawState, x, y int) bool {
+	vp := st.Viewport
+	if x < vp.X || y < vp.Y || x >= vp.X+vp.W || y >= vp.Y+vp.H {
+		return false
+	}
+	if st.ScissorEnabled {
+		if x < st.ScissorX || y < st.ScissorY ||
+			x >= st.ScissorX+st.ScissorW || y >= st.ScissorY+st.ScissorH {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Renderer) rasterize(st *gpu.DrawState, fEmu *shaderemu.Emulator,
+	tri *rastemu.Triangle, verts [3]*[isa.MaxOutputs]vmath.Vec4,
+	sampler shaderemu.SampleFunc) error {
+
+	interpMask := st.InterpAttrs()
+	var attrs [isa.MaxOutputs][3]vmath.Vec4
+	for slot := 0; slot < isa.MaxOutputs; slot++ {
+		if interpMask&(1<<slot) == 0 {
+			continue
+		}
+		for i := 0; i < 3; i++ {
+			attrs[slot][i] = verts[i][slot]
+		}
+	}
+
+	// Traverse 2x2 quads on even coordinates, exactly like the
+	// fragment pipeline's quad decomposition.
+	minX := tri.MinX &^ 1
+	minY := tri.MinY &^ 1
+	for qy := minY; qy <= tri.MaxY; qy += 2 {
+		for qx := minX; qx <= tri.MaxX; qx += 2 {
+			var mask [4]bool
+			var depth [4]uint32
+			var in [4][isa.MaxInputs]vmath.Vec4
+			any := false
+			for l := 0; l < 4; l++ {
+				px, py := qx+l%2, qy+l/2
+				e := tri.EvalEdges(px, py)
+				cov := r.covered(st, px, py) && tri.Inside(e)
+				if cov {
+					any = true
+					mask[l] = true
+					depth[l] = fragemu.DepthToFixed(tri.Depth(px, py))
+				}
+				// All lanes get inputs: texture derivatives need
+				// complete quads.
+				for slot := 0; slot < isa.MaxInputs; slot++ {
+					if interpMask&(1<<slot) == 0 || slot == isa.AttrPos {
+						continue
+					}
+					in[l][slot] = tri.Interpolate(e, &attrs[slot])
+				}
+				invW := (e[0]*tri.InvW[0] + e[1]*tri.InvW[1] + e[2]*tri.InvW[2]) / tri.Area
+				in[l][isa.AttrPos] = vmath.Vec4{
+					float32(px) + 0.5, float32(py) + 0.5,
+					float32(depth[l]) / float32(fragemu.MaxDepth), invW,
+				}
+			}
+			if !any {
+				continue
+			}
+			if err := r.shadeQuad(st, fEmu, qx, qy, mask, depth, &in, sampler, tri.FrontFacing); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (r *Renderer) shadeQuad(st *gpu.DrawState, fEmu *shaderemu.Emulator,
+	qx, qy int, mask [4]bool, depth [4]uint32,
+	in *[4][isa.MaxInputs]vmath.Vec4, sampler shaderemu.SampleFunc, frontFacing bool) error {
+
+	th := fEmu.NewThread()
+	for l := 0; l < 4; l++ {
+		th.Active[l] = true
+		th.In[l] = in[l]
+	}
+	if _, err := fEmu.Run(th, sampler); err != nil {
+		return err
+	}
+	writesDepth := st.FragmentProg.Outputs()&(1<<isa.FragOutDepth) != 0
+
+	for l := 0; l < 4; l++ {
+		if !mask[l] || th.Killed[l] {
+			continue
+		}
+		px, py := qx+l%2, qy+l/2
+		d := depth[l]
+		if writesDepth {
+			d = fragemu.DepthToFixed(th.Out[l][isa.FragOutDepth][0])
+		}
+		// Depth and stencil (back-facing state under two-sided
+		// stencil).
+		stencil := st.Stencil
+		if st.TwoSidedStencil && !frontFacing {
+			stencil = st.StencilBack
+			stencil.Enabled = st.Stencil.Enabled
+		}
+		if st.Depth.Enabled || stencil.Enabled {
+			addr := r.z.BlockAddr(px, py) + uint32(r.z.Offset(px, py))
+			stored := r.mem.Read32(addr)
+			res := fragemu.ZStencilTest(st.Depth, stencil, d, stored)
+			if res.Out != stored {
+				r.mem.Write32(addr, res.Out)
+			}
+			if !res.Pass {
+				continue
+			}
+		}
+		// Color write.
+		cm := st.ColorMask
+		if !cm[0] && !cm[1] && !cm[2] && !cm[3] {
+			continue
+		}
+		layout := r.target()
+		addr := layout.BlockAddr(px, py) + uint32(layout.Offset(px, py))
+		var buf [4]byte
+		r.mem.ReadBytes(addr, buf[:])
+		dst := fragemu.UnpackColor(buf)
+		blended := fragemu.Blend(st.Blend, th.Out[l][isa.FragOutColor], dst)
+		out := fragemu.ApplyColorMask(cm, buf, fragemu.PackColor(blended))
+		if out != buf {
+			r.mem.WriteBytes(addr, out[:])
+		}
+	}
+	return nil
+}

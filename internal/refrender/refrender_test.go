@@ -1,0 +1,133 @@
+package refrender
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"attila/internal/emu/fragemu"
+	"attila/internal/emu/rastemu"
+	"attila/internal/gpu"
+	"attila/internal/isa"
+)
+
+func triState(w, h int, vbuf uint32, count int) *gpu.DrawState {
+	vp := isa.MustAssemble(isa.VertexProgram, "vp", "MOV o0, v0\nMOV o1, v1\nEND")
+	fp := isa.MustAssemble(isa.FragmentProgram, "fp", "MOV o0, v1\nEND")
+	st := &gpu.DrawState{
+		VertexProg: vp, FragmentProg: fp,
+		Viewport:  rastemu.Viewport{X: 0, Y: 0, W: w, H: h, Near: 0, Far: 1},
+		Depth:     fragemu.DepthState{Enabled: true, Func: fragemu.CmpLess, WriteMask: true},
+		ColorMask: [4]bool{true, true, true, true},
+		Count:     count,
+		Primitive: gpu.Triangles,
+	}
+	st.Attribs[0] = gpu.AttribBinding{Enabled: true, Addr: vbuf, Stride: 28, Size: 3}
+	st.Attribs[1] = gpu.AttribBinding{Enabled: true, Addr: vbuf + 12, Stride: 28, Size: 4}
+	return st
+}
+
+func packVerts(verts [][7]float32) []byte {
+	out := make([]byte, 0, len(verts)*28)
+	for _, v := range verts {
+		for _, f := range v {
+			var b [4]byte
+			binary.LittleEndian.PutUint32(b[:], math.Float32bits(f))
+			out = append(out, b[:]...)
+		}
+	}
+	return out
+}
+
+func TestClearAndTriangle(t *testing.T) {
+	const w, h = 32, 32
+	r := New(8<<20, w, h)
+	_, _, _, reserved := gpu.FramebufferPlan(w, h)
+	vbuf := reserved
+	verts := packVerts([][7]float32{
+		{-1, -1, 0, 1, 0, 0, 1},
+		{1, -1, 0, 1, 0, 0, 1},
+		{0, 1, 0, 1, 0, 0, 1},
+	})
+	cmds := []gpu.Command{
+		gpu.CmdBufferWrite{Addr: vbuf, Data: verts},
+		gpu.CmdClearZS{Depth: 1},
+		gpu.CmdClearColor{Value: [4]byte{0, 0, 50, 255}},
+		gpu.CmdDraw{State: triState(w, h, vbuf, 3)},
+		gpu.CmdSwap{},
+	}
+	if err := r.Execute(cmds); err != nil {
+		t.Fatal(err)
+	}
+	f := r.Frames()[0]
+	center := f.Pix[(16*w+16)*4 : (16*w+16)*4+4]
+	if center[0] != 255 || center[2] != 0 {
+		t.Fatalf("center: %v", center)
+	}
+	corner := f.Pix[(31*w)*4 : (31*w)*4+4]
+	if corner[2] != 50 {
+		t.Fatalf("corner: %v", corner)
+	}
+}
+
+func TestDoubleBuffering(t *testing.T) {
+	const w, h = 16, 16
+	r := New(8<<20, w, h)
+	cmds := []gpu.Command{
+		gpu.CmdClearColor{Value: [4]byte{10, 0, 0, 255}},
+		gpu.CmdSwap{},
+		gpu.CmdClearColor{Value: [4]byte{0, 20, 0, 255}},
+		gpu.CmdSwap{},
+	}
+	if err := r.Execute(cmds); err != nil {
+		t.Fatal(err)
+	}
+	frames := r.Frames()
+	if len(frames) != 2 {
+		t.Fatalf("frames: %d", len(frames))
+	}
+	if frames[0].Pix[0] != 10 || frames[1].Pix[1] != 20 {
+		t.Fatalf("frame contents: %v %v", frames[0].Pix[:4], frames[1].Pix[:4])
+	}
+}
+
+func TestIndexedDedupShadesOncePerVertex(t *testing.T) {
+	// Six indices over four vertices: the dedup map must still
+	// produce a full quad (two triangles sharing an edge, no crack).
+	const w, h = 32, 32
+	r := New(8<<20, w, h)
+	_, _, _, reserved := gpu.FramebufferPlan(w, h)
+	vbuf := reserved
+	ibuf := vbuf + 4096
+	verts := packVerts([][7]float32{
+		{-1, -1, 0, 1, 1, 1, 1},
+		{1, -1, 0, 1, 1, 1, 1},
+		{1, 1, 0, 1, 1, 1, 1},
+		{-1, 1, 0, 1, 1, 1, 1},
+	})
+	idx := make([]byte, 12)
+	for i, v := range []uint16{0, 1, 2, 0, 2, 3} {
+		binary.LittleEndian.PutUint16(idx[i*2:], v)
+	}
+	st := triState(w, h, vbuf, 6)
+	st.IndexAddr = ibuf
+	st.IndexSize = 2
+	cmds := []gpu.Command{
+		gpu.CmdBufferWrite{Addr: vbuf, Data: verts},
+		gpu.CmdBufferWrite{Addr: ibuf, Data: idx},
+		gpu.CmdClearZS{Depth: 1},
+		gpu.CmdClearColor{Value: [4]byte{0, 0, 0, 255}},
+		gpu.CmdDraw{State: st},
+		gpu.CmdSwap{},
+	}
+	if err := r.Execute(cmds); err != nil {
+		t.Fatal(err)
+	}
+	f := r.Frames()[0]
+	for _, xy := range [][2]int{{1, 1}, {16, 16}, {30, 30}, {1, 30}, {30, 1}} {
+		px := f.Pix[(xy[1]*w+xy[0])*4]
+		if px != 255 {
+			t.Fatalf("pixel %v not covered: %d", xy, px)
+		}
+	}
+}

@@ -1,0 +1,549 @@
+// Package trace implements the trace file format of the OpenGL
+// framework (paper §4): a self-contained stream of low-level GPU
+// commands with all referenced buffer and texture data inlined, the
+// equivalent of the files GLInterceptor captures from running
+// applications. Traces are replayed into the timing simulator
+// (cmd/attilasim) or validated with the functional reference renderer
+// (cmd/traceplay, the GLPlayer stand-in).
+//
+// The reader supports the paper's "hot start" technique: because
+// frames are independent, simulation can start at any frame; draws,
+// clears and swaps of skipped frames are dropped while state and
+// buffer writes are preserved.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"attila/internal/emu/fragemu"
+	"attila/internal/emu/texemu"
+	"attila/internal/gpu"
+	"attila/internal/isa"
+	"attila/internal/vmath"
+)
+
+// Magic identifies trace files; the trailing digit is the format
+// version.
+const Magic = "ATTILATRACE2"
+
+// Header carries the trace-wide metadata.
+type Header struct {
+	Width  int
+	Height int
+	Frames int
+	Label  string // workload name
+}
+
+const (
+	recBufferWrite byte = 1
+	recDraw        byte = 2
+	recClearColor  byte = 3
+	recClearZS     byte = 4
+	recSwap        byte = 5
+	recSetTarget   byte = 6
+	recEnd         byte = 0xFF
+)
+
+// Writer serializes a command stream.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriter writes the header and returns a Writer.
+func NewWriter(w io.Writer, h Header) (*Writer, error) {
+	tw := &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+	tw.bytes([]byte(Magic))
+	tw.u32(uint32(h.Width))
+	tw.u32(uint32(h.Height))
+	tw.u32(uint32(h.Frames))
+	tw.str(h.Label)
+	return tw, tw.err
+}
+
+// WriteCommands appends commands to the trace.
+func (t *Writer) WriteCommands(cmds []gpu.Command) error {
+	for _, cmd := range cmds {
+		switch c := cmd.(type) {
+		case gpu.CmdBufferWrite:
+			t.u8(recBufferWrite)
+			t.u32(c.Addr)
+			t.u32(uint32(len(c.Data)))
+			t.bytes(c.Data)
+		case gpu.CmdDraw:
+			t.u8(recDraw)
+			t.drawState(c.State)
+		case gpu.CmdClearColor:
+			t.u8(recClearColor)
+			t.bytes(c.Value[:])
+		case gpu.CmdClearZS:
+			t.u8(recClearZS)
+			t.f32(c.Depth)
+			t.u8(c.Stencil)
+		case gpu.CmdSwap:
+			t.u8(recSwap)
+		case gpu.CmdSetRenderTarget:
+			t.u8(recSetTarget)
+			t.boolb(c.Default)
+			t.u32(c.Target.Base)
+			t.i32(c.Target.W)
+			t.i32(c.Target.H)
+		default:
+			return fmt.Errorf("trace: unknown command %T", cmd)
+		}
+	}
+	return t.err
+}
+
+// Close finishes the trace.
+func (t *Writer) Close() error {
+	t.u8(recEnd)
+	if err := t.w.Flush(); t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+func (t *Writer) u8(v byte) {
+	if t.err == nil {
+		t.err = t.w.WriteByte(v)
+	}
+}
+
+func (t *Writer) bytes(b []byte) {
+	if t.err == nil {
+		_, t.err = t.w.Write(b)
+	}
+}
+
+func (t *Writer) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	t.bytes(b[:])
+}
+
+func (t *Writer) i32(v int) { t.u32(uint32(int32(v))) }
+
+func (t *Writer) f32(v float32) { t.u32(math.Float32bits(v)) }
+
+func (t *Writer) boolb(v bool) {
+	if v {
+		t.u8(1)
+	} else {
+		t.u8(0)
+	}
+}
+
+func (t *Writer) str(s string) {
+	t.u32(uint32(len(s)))
+	t.bytes([]byte(s))
+}
+
+func (t *Writer) vec(v vmath.Vec4) {
+	for i := 0; i < 4; i++ {
+		t.f32(v[i])
+	}
+}
+
+func (t *Writer) vecs(vs []vmath.Vec4) {
+	t.u32(uint32(len(vs)))
+	for _, v := range vs {
+		t.vec(v)
+	}
+}
+
+func (t *Writer) drawState(st *gpu.DrawState) {
+	t.str(st.VertexProg.Disassemble())
+	t.str(st.FragmentProg.Disassemble())
+	t.vecs(st.VertConsts)
+	t.vecs(st.FragConsts)
+
+	t.i32(st.Viewport.X)
+	t.i32(st.Viewport.Y)
+	t.i32(st.Viewport.W)
+	t.i32(st.Viewport.H)
+	t.f32(st.Viewport.Near)
+	t.f32(st.Viewport.Far)
+	t.boolb(st.ScissorEnabled)
+	t.i32(st.ScissorX)
+	t.i32(st.ScissorY)
+	t.i32(st.ScissorW)
+	t.i32(st.ScissorH)
+	t.boolb(st.CullFront)
+	t.boolb(st.CullBack)
+
+	t.boolb(st.Depth.Enabled)
+	t.u8(byte(st.Depth.Func))
+	t.boolb(st.Depth.WriteMask)
+
+	t.boolb(st.Stencil.Enabled)
+	t.u8(byte(st.Stencil.Func))
+	t.u8(st.Stencil.Ref)
+	t.u8(st.Stencil.ReadMask)
+	t.u8(st.Stencil.WriteMask)
+	t.u8(byte(st.Stencil.SFail))
+	t.u8(byte(st.Stencil.DPFail))
+	t.u8(byte(st.Stencil.DPPass))
+	t.boolb(st.TwoSidedStencil)
+	t.u8(byte(st.StencilBack.Func))
+	t.u8(st.StencilBack.Ref)
+	t.u8(st.StencilBack.ReadMask)
+	t.u8(st.StencilBack.WriteMask)
+	t.u8(byte(st.StencilBack.SFail))
+	t.u8(byte(st.StencilBack.DPFail))
+	t.u8(byte(st.StencilBack.DPPass))
+
+	t.boolb(st.Blend.Enabled)
+	t.u8(byte(st.Blend.SrcRGB))
+	t.u8(byte(st.Blend.DstRGB))
+	t.u8(byte(st.Blend.SrcA))
+	t.u8(byte(st.Blend.DstA))
+	t.u8(byte(st.Blend.EqRGB))
+	t.u8(byte(st.Blend.EqA))
+	t.vec(st.Blend.Const)
+
+	for i := 0; i < 4; i++ {
+		t.boolb(st.ColorMask[i])
+	}
+
+	// Textures.
+	n := 0
+	for _, tex := range st.Textures {
+		if tex != nil {
+			n++
+		}
+	}
+	t.u32(uint32(n))
+	for unit, tex := range st.Textures {
+		if tex == nil {
+			continue
+		}
+		t.u32(uint32(unit))
+		t.texture(tex)
+	}
+
+	// Attributes.
+	for i := range st.Attribs {
+		a := &st.Attribs[i]
+		t.boolb(a.Enabled)
+		t.vec(a.Const)
+		t.u32(a.Addr)
+		t.u32(a.Stride)
+		t.i32(a.Size)
+	}
+
+	t.u32(st.IndexAddr)
+	t.i32(st.IndexSize)
+	t.i32(st.First)
+	t.i32(st.Count)
+	t.u8(byte(st.Primitive))
+}
+
+func (t *Writer) texture(tex *texemu.Texture) {
+	t.u8(byte(tex.Target))
+	t.u8(byte(tex.Format))
+	t.i32(tex.Width)
+	t.i32(tex.Height)
+	t.i32(tex.Depth)
+	t.i32(tex.Levels)
+	t.u8(byte(tex.WrapS))
+	t.u8(byte(tex.WrapT))
+	t.u8(byte(tex.WrapR))
+	t.u8(byte(tex.MinFilter))
+	t.u8(byte(tex.MagFilter))
+	t.i32(tex.MaxAniso)
+	for f := 0; f < tex.Faces(); f++ {
+		for l := 0; l < tex.Levels; l++ {
+			t.u32(tex.Base[f][l])
+		}
+	}
+}
+
+// Reader deserializes a trace.
+type Reader struct {
+	r   *bufio.Reader
+	hdr Header
+	err error
+}
+
+// NewReader reads and validates the header.
+func NewReader(r io.Reader) (*Reader, error) {
+	tr := &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(tr.r, magic); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	tr.hdr.Width = int(tr.u32())
+	tr.hdr.Height = int(tr.u32())
+	tr.hdr.Frames = int(tr.u32())
+	tr.hdr.Label = tr.str()
+	return tr, tr.err
+}
+
+// Header returns the trace metadata.
+func (t *Reader) Header() Header { return t.hdr }
+
+// ReadAll reads every command. startFrame > 0 applies hot start:
+// commands belonging to earlier frames are dropped except buffer
+// writes. endFrame < 0 reads to the end; otherwise reading stops
+// after that frame's swap (exclusive upper bound on frame index).
+func (t *Reader) ReadAll(startFrame, endFrame int) ([]gpu.Command, error) {
+	var out []gpu.Command
+	frame := 0
+	for {
+		rec, err := t.r.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: truncated stream: %w", err)
+		}
+		skip := frame < startFrame
+		switch rec {
+		case recEnd:
+			return out, t.err
+		case recBufferWrite:
+			addr := t.u32()
+			n := t.u32()
+			data := make([]byte, n)
+			if t.err == nil {
+				_, t.err = io.ReadFull(t.r, data)
+			}
+			out = append(out, gpu.CmdBufferWrite{Addr: addr, Data: data})
+		case recDraw:
+			st := t.drawState()
+			if !skip {
+				out = append(out, gpu.CmdDraw{State: st})
+			}
+		case recClearColor:
+			var v [4]byte
+			if t.err == nil {
+				_, t.err = io.ReadFull(t.r, v[:])
+			}
+			if !skip {
+				out = append(out, gpu.CmdClearColor{Value: v})
+			}
+		case recClearZS:
+			d := t.f32()
+			s := t.u8()
+			if !skip {
+				out = append(out, gpu.CmdClearZS{Depth: d, Stencil: s})
+			}
+		case recSetTarget:
+			def := t.boolb()
+			base := t.u32()
+			w := t.i32()
+			hh := t.i32()
+			cmd := gpu.CmdSetRenderTarget{Default: def}
+			if !def {
+				cmd.Target = gpu.NewSurfaceLayout(base, w, hh)
+			}
+			out = append(out, cmd)
+		case recSwap:
+			if !skip {
+				out = append(out, gpu.CmdSwap{})
+			}
+			frame++
+			if endFrame >= 0 && frame >= endFrame {
+				return out, t.err
+			}
+		default:
+			return nil, fmt.Errorf("trace: unknown record %d", rec)
+		}
+		if t.err != nil {
+			return nil, t.err
+		}
+	}
+}
+
+func (t *Reader) u8() byte {
+	if t.err != nil {
+		return 0
+	}
+	b, err := t.r.ReadByte()
+	t.err = err
+	return b
+}
+
+func (t *Reader) u32() uint32 {
+	var b [4]byte
+	if t.err == nil {
+		_, t.err = io.ReadFull(t.r, b[:])
+	}
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+func (t *Reader) i32() int { return int(int32(t.u32())) }
+
+func (t *Reader) f32() float32 { return math.Float32frombits(t.u32()) }
+
+func (t *Reader) boolb() bool { return t.u8() != 0 }
+
+func (t *Reader) str() string {
+	n := t.u32()
+	if t.err != nil || n > 1<<26 {
+		if t.err == nil {
+			t.err = fmt.Errorf("trace: unreasonable string length %d", n)
+		}
+		return ""
+	}
+	b := make([]byte, n)
+	if t.err == nil {
+		_, t.err = io.ReadFull(t.r, b)
+	}
+	return string(b)
+}
+
+func (t *Reader) vec() vmath.Vec4 {
+	var v vmath.Vec4
+	for i := 0; i < 4; i++ {
+		v[i] = t.f32()
+	}
+	return v
+}
+
+func (t *Reader) vecs() []vmath.Vec4 {
+	n := t.u32()
+	if t.err != nil || n > isa.MaxConsts {
+		if t.err == nil && n > isa.MaxConsts {
+			t.err = fmt.Errorf("trace: constant bank too large: %d", n)
+		}
+		return nil
+	}
+	out := make([]vmath.Vec4, n)
+	for i := range out {
+		out[i] = t.vec()
+	}
+	return out
+}
+
+func (t *Reader) drawState() *gpu.DrawState {
+	st := &gpu.DrawState{}
+	vpText := t.str()
+	fpText := t.str()
+	if t.err == nil {
+		vp, err := isa.Assemble(isa.VertexProgram, "trace-vp", vpText)
+		if err != nil {
+			t.err = err
+			return st
+		}
+		fp, err := isa.Assemble(isa.FragmentProgram, "trace-fp", fpText)
+		if err != nil {
+			t.err = err
+			return st
+		}
+		st.VertexProg, st.FragmentProg = vp, fp
+	}
+	st.VertConsts = t.vecs()
+	st.FragConsts = t.vecs()
+
+	st.Viewport.X = t.i32()
+	st.Viewport.Y = t.i32()
+	st.Viewport.W = t.i32()
+	st.Viewport.H = t.i32()
+	st.Viewport.Near = t.f32()
+	st.Viewport.Far = t.f32()
+	st.ScissorEnabled = t.boolb()
+	st.ScissorX = t.i32()
+	st.ScissorY = t.i32()
+	st.ScissorW = t.i32()
+	st.ScissorH = t.i32()
+	st.CullFront = t.boolb()
+	st.CullBack = t.boolb()
+
+	st.Depth.Enabled = t.boolb()
+	st.Depth.Func = fragemu.CompareFunc(t.u8())
+	st.Depth.WriteMask = t.boolb()
+
+	st.Stencil.Enabled = t.boolb()
+	st.Stencil.Func = fragemu.CompareFunc(t.u8())
+	st.Stencil.Ref = t.u8()
+	st.Stencil.ReadMask = t.u8()
+	st.Stencil.WriteMask = t.u8()
+	st.Stencil.SFail = fragemu.StencilOp(t.u8())
+	st.Stencil.DPFail = fragemu.StencilOp(t.u8())
+	st.Stencil.DPPass = fragemu.StencilOp(t.u8())
+	st.TwoSidedStencil = t.boolb()
+	st.StencilBack.Func = fragemu.CompareFunc(t.u8())
+	st.StencilBack.Ref = t.u8()
+	st.StencilBack.ReadMask = t.u8()
+	st.StencilBack.WriteMask = t.u8()
+	st.StencilBack.SFail = fragemu.StencilOp(t.u8())
+	st.StencilBack.DPFail = fragemu.StencilOp(t.u8())
+	st.StencilBack.DPPass = fragemu.StencilOp(t.u8())
+
+	st.Blend.Enabled = t.boolb()
+	st.Blend.SrcRGB = fragemu.BlendFactor(t.u8())
+	st.Blend.DstRGB = fragemu.BlendFactor(t.u8())
+	st.Blend.SrcA = fragemu.BlendFactor(t.u8())
+	st.Blend.DstA = fragemu.BlendFactor(t.u8())
+	st.Blend.EqRGB = fragemu.BlendEq(t.u8())
+	st.Blend.EqA = fragemu.BlendEq(t.u8())
+	st.Blend.Const = t.vec()
+
+	for i := 0; i < 4; i++ {
+		st.ColorMask[i] = t.boolb()
+	}
+
+	nTex := t.u32()
+	if t.err == nil && nTex > 16 {
+		t.err = fmt.Errorf("trace: too many textures: %d", nTex)
+		return st
+	}
+	for i := uint32(0); i < nTex && t.err == nil; i++ {
+		unit := t.u32()
+		tex := t.texture()
+		if unit < 16 {
+			st.Textures[unit] = tex
+		}
+	}
+
+	for i := range st.Attribs {
+		a := &st.Attribs[i]
+		a.Enabled = t.boolb()
+		a.Const = t.vec()
+		a.Addr = t.u32()
+		a.Stride = t.u32()
+		a.Size = t.i32()
+	}
+
+	st.IndexAddr = t.u32()
+	st.IndexSize = t.i32()
+	st.First = t.i32()
+	st.Count = t.i32()
+	st.Primitive = gpu.PrimMode(t.u8())
+	return st
+}
+
+func (t *Reader) texture() *texemu.Texture {
+	tex := &texemu.Texture{}
+	tex.Target = isa.TexTarget(t.u8())
+	tex.Format = texemu.Format(t.u8())
+	tex.Width = t.i32()
+	tex.Height = t.i32()
+	tex.Depth = t.i32()
+	tex.Levels = t.i32()
+	tex.WrapS = texemu.Wrap(t.u8())
+	tex.WrapT = texemu.Wrap(t.u8())
+	tex.WrapR = texemu.Wrap(t.u8())
+	tex.MinFilter = texemu.Filter(t.u8())
+	tex.MagFilter = texemu.Filter(t.u8())
+	tex.MaxAniso = t.i32()
+	if t.err != nil {
+		return tex
+	}
+	if err := tex.Validate(); err != nil {
+		t.err = fmt.Errorf("trace: %w", err)
+		return tex
+	}
+	for f := 0; f < tex.Faces(); f++ {
+		for l := 0; l < tex.Levels; l++ {
+			tex.Base[f][l] = t.u32()
+		}
+	}
+	return tex
+}

@@ -1,0 +1,143 @@
+package trace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"attila/internal/gpu"
+	"attila/internal/mem"
+	"attila/internal/refrender"
+	"attila/internal/trace"
+	"attila/internal/workload"
+)
+
+const memBytes = 48 << 20
+
+func buildTrace(t *testing.T, name string, frames int) ([]gpu.Command, trace.Header) {
+	t.Helper()
+	p := workload.DefaultParams()
+	p.Width, p.Height = 128, 96
+	p.Frames = frames
+	alloc := mem.NewAllocator(1<<20, memBytes)
+	cmds, hdr, err := workload.Build(name, alloc, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cmds, hdr
+}
+
+func roundTrip(t *testing.T, cmds []gpu.Command, hdr trace.Header, start, end int) []gpu.Command {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteCommands(cmds); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Header() != hdr {
+		t.Fatalf("header mismatch: %+v vs %+v", r.Header(), hdr)
+	}
+	out, err := r.ReadAll(start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func render(t *testing.T, cmds []gpu.Command, w, h int) []*gpu.Frame {
+	t.Helper()
+	ref := refrender.New(memBytes+1<<20, w, h)
+	if err := ref.Execute(cmds); err != nil {
+		t.Fatal(err)
+	}
+	return ref.Frames()
+}
+
+func TestTraceRoundTripRendersIdentically(t *testing.T) {
+	for _, name := range []string{"simple", "doom3"} {
+		cmds, hdr := buildTrace(t, name, 1)
+		replayed := roundTrip(t, cmds, hdr, 0, -1)
+		f1 := render(t, cmds, hdr.Width, hdr.Height)
+		f2 := render(t, replayed, hdr.Width, hdr.Height)
+		if len(f1) != len(f2) {
+			t.Fatalf("%s: frame counts %d vs %d", name, len(f1), len(f2))
+		}
+		for i := range f1 {
+			if diff, _ := gpu.DiffFrames(f1[i], f2[i]); diff != 0 {
+				t.Fatalf("%s: frame %d differs after trace roundtrip (%d px)", name, i, diff)
+			}
+		}
+	}
+}
+
+func TestTraceHotStart(t *testing.T) {
+	cmds, hdr := buildTrace(t, "spinner", 3)
+	full := render(t, roundTrip(t, cmds, hdr, 0, -1), hdr.Width, hdr.Height)
+	// Hot start at frame 2: buffer writes preserved, earlier frames'
+	// draws dropped.
+	hot := roundTrip(t, cmds, hdr, 2, -1)
+	hotFrames := render(t, hot, hdr.Width, hdr.Height)
+	if len(hotFrames) != 1 {
+		t.Fatalf("hot start frames: %d", len(hotFrames))
+	}
+	if diff, maxd := gpu.DiffFrames(full[2], hotFrames[0]); diff != 0 {
+		t.Fatalf("hot-start frame differs from full run: %d px (max %d)", diff, maxd)
+	}
+	// Draw commands of skipped frames must be gone.
+	var draws int
+	for _, c := range hot {
+		if _, ok := c.(gpu.CmdDraw); ok {
+			draws++
+		}
+	}
+	fullDraws := 0
+	for _, c := range cmds {
+		if _, ok := c.(gpu.CmdDraw); ok {
+			fullDraws++
+		}
+	}
+	if draws >= fullDraws || draws == 0 {
+		t.Fatalf("hot start draws: %d of %d", draws, fullDraws)
+	}
+}
+
+func TestTraceFrameRange(t *testing.T) {
+	cmds, hdr := buildTrace(t, "spinner", 3)
+	// Only the first frame.
+	head := roundTrip(t, cmds, hdr, 0, 1)
+	frames := render(t, head, hdr.Width, hdr.Height)
+	if len(frames) != 1 {
+		t.Fatalf("frames: %d", len(frames))
+	}
+	full := render(t, roundTrip(t, cmds, hdr, 0, -1), hdr.Width, hdr.Height)
+	if diff, _ := gpu.DiffFrames(full[0], frames[0]); diff != 0 {
+		t.Fatalf("first frame differs: %d px", diff)
+	}
+}
+
+func TestTraceRejectsGarbage(t *testing.T) {
+	if _, err := trace.NewReader(bytes.NewReader([]byte("NOTATRACE___"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	var buf bytes.Buffer
+	w, _ := trace.NewWriter(&buf, trace.Header{Width: 8, Height: 8})
+	w.Close()
+	data := buf.Bytes()
+	// Truncate after the header: the reader must fail cleanly.
+	r, err := trace.NewReader(bytes.NewReader(data[:len(data)-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadAll(0, -1); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}

@@ -1,0 +1,224 @@
+// Package vmath provides the 4-component 32-bit float vector and 4x4
+// matrix math used throughout the simulator. All GPU-internal data is
+// held in Vec4 values (the paper's "internal format: 4 component 32
+// bit float point vectors").
+package vmath
+
+import "math"
+
+// Vec4 is a 4-component float32 vector (x, y, z, w).
+type Vec4 [4]float32
+
+// X, Y, Z and W return the named component.
+func (v Vec4) X() float32 { return v[0] }
+
+// Y returns the second component.
+func (v Vec4) Y() float32 { return v[1] }
+
+// Z returns the third component.
+func (v Vec4) Z() float32 { return v[2] }
+
+// W returns the fourth component.
+func (v Vec4) W() float32 { return v[3] }
+
+// Add returns v + o componentwise.
+func (v Vec4) Add(o Vec4) Vec4 {
+	return Vec4{v[0] + o[0], v[1] + o[1], v[2] + o[2], v[3] + o[3]}
+}
+
+// Sub returns v - o componentwise.
+func (v Vec4) Sub(o Vec4) Vec4 {
+	return Vec4{v[0] - o[0], v[1] - o[1], v[2] - o[2], v[3] - o[3]}
+}
+
+// Mul returns v * o componentwise.
+func (v Vec4) Mul(o Vec4) Vec4 {
+	return Vec4{v[0] * o[0], v[1] * o[1], v[2] * o[2], v[3] * o[3]}
+}
+
+// Scale returns v * s.
+func (v Vec4) Scale(s float32) Vec4 {
+	return Vec4{v[0] * s, v[1] * s, v[2] * s, v[3] * s}
+}
+
+// Dot3 returns the 3-component dot product.
+func (v Vec4) Dot3(o Vec4) float32 {
+	return v[0]*o[0] + v[1]*o[1] + v[2]*o[2]
+}
+
+// Dot4 returns the 4-component dot product.
+func (v Vec4) Dot4(o Vec4) float32 {
+	return v[0]*o[0] + v[1]*o[1] + v[2]*o[2] + v[3]*o[3]
+}
+
+// Cross returns the 3-component cross product (w = 0).
+func (v Vec4) Cross(o Vec4) Vec4 {
+	return Vec4{
+		v[1]*o[2] - v[2]*o[1],
+		v[2]*o[0] - v[0]*o[2],
+		v[0]*o[1] - v[1]*o[0],
+		0,
+	}
+}
+
+// Length3 returns the euclidean length of the xyz part.
+func (v Vec4) Length3() float32 {
+	return float32(math.Sqrt(float64(v.Dot3(v))))
+}
+
+// Normalize3 returns v with its xyz part scaled to unit length; w is
+// preserved. The zero vector is returned unchanged.
+func (v Vec4) Normalize3() Vec4 {
+	l := v.Length3()
+	if l == 0 {
+		return v
+	}
+	inv := 1 / l
+	return Vec4{v[0] * inv, v[1] * inv, v[2] * inv, v[3]}
+}
+
+// Clamp01 clamps every component to [0, 1].
+func (v Vec4) Clamp01() Vec4 {
+	return Vec4{clamp01(v[0]), clamp01(v[1]), clamp01(v[2]), clamp01(v[3])}
+}
+
+func clamp01(f float32) float32 {
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// Clamp01 clamps a scalar to [0, 1].
+func Clamp01(f float32) float32 { return clamp01(f) }
+
+// Lerp returns a + t*(b-a) componentwise.
+func Lerp(a, b Vec4, t float32) Vec4 {
+	return a.Add(b.Sub(a).Scale(t))
+}
+
+// Mat4 is a 4x4 float32 matrix in row-major order: m[row][col].
+type Mat4 [4]Vec4
+
+// Identity returns the identity matrix.
+func Identity() Mat4 {
+	return Mat4{
+		{1, 0, 0, 0},
+		{0, 1, 0, 0},
+		{0, 0, 1, 0},
+		{0, 0, 0, 1},
+	}
+}
+
+// MulVec returns m * v (v as a column vector).
+func (m Mat4) MulVec(v Vec4) Vec4 {
+	return Vec4{m[0].Dot4(v), m[1].Dot4(v), m[2].Dot4(v), m[3].Dot4(v)}
+}
+
+// Mul returns the matrix product m * o.
+func (m Mat4) Mul(o Mat4) Mat4 {
+	var r Mat4
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			var s float32
+			for k := 0; k < 4; k++ {
+				s += m[i][k] * o[k][j]
+			}
+			r[i][j] = s
+		}
+	}
+	return r
+}
+
+// Transpose returns the transposed matrix.
+func (m Mat4) Transpose() Mat4 {
+	var r Mat4
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			r[i][j] = m[j][i]
+		}
+	}
+	return r
+}
+
+// Row returns row i as a Vec4 (useful for loading matrices into
+// shader constant banks as four DP4 rows).
+func (m Mat4) Row(i int) Vec4 { return m[i] }
+
+// Translate returns a translation matrix.
+func Translate(x, y, z float32) Mat4 {
+	m := Identity()
+	m[0][3], m[1][3], m[2][3] = x, y, z
+	return m
+}
+
+// ScaleM returns a scaling matrix.
+func ScaleM(x, y, z float32) Mat4 {
+	var m Mat4
+	m[0][0], m[1][1], m[2][2], m[3][3] = x, y, z, 1
+	return m
+}
+
+// RotateY returns a rotation matrix about the Y axis (radians).
+func RotateY(rad float32) Mat4 {
+	s := float32(math.Sin(float64(rad)))
+	c := float32(math.Cos(float64(rad)))
+	m := Identity()
+	m[0][0], m[0][2] = c, s
+	m[2][0], m[2][2] = -s, c
+	return m
+}
+
+// RotateX returns a rotation matrix about the X axis (radians).
+func RotateX(rad float32) Mat4 {
+	s := float32(math.Sin(float64(rad)))
+	c := float32(math.Cos(float64(rad)))
+	m := Identity()
+	m[1][1], m[1][2] = c, -s
+	m[2][1], m[2][2] = s, c
+	return m
+}
+
+// Perspective returns an OpenGL-style perspective projection matrix.
+// fovy is in radians; near and far are positive distances.
+func Perspective(fovy, aspect, near, far float32) Mat4 {
+	f := float32(1 / math.Tan(float64(fovy)/2))
+	var m Mat4
+	m[0][0] = f / aspect
+	m[1][1] = f
+	m[2][2] = (far + near) / (near - far)
+	m[2][3] = 2 * far * near / (near - far)
+	m[3][2] = -1
+	return m
+}
+
+// LookAt returns a view matrix for an eye position looking at a
+// target with the given up direction.
+func LookAt(eye, center, up Vec4) Mat4 {
+	f := center.Sub(eye).Normalize3()
+	s := f.Cross(up).Normalize3()
+	u := s.Cross(f)
+	m := Mat4{
+		{s[0], s[1], s[2], -s.Dot3(eye)},
+		{u[0], u[1], u[2], -u.Dot3(eye)},
+		{-f[0], -f[1], -f[2], f.Dot3(eye)},
+		{0, 0, 0, 1},
+	}
+	return m
+}
+
+// Ortho returns an orthographic projection matrix.
+func Ortho(left, right, bottom, top, near, far float32) Mat4 {
+	var m Mat4
+	m[0][0] = 2 / (right - left)
+	m[0][3] = -(right + left) / (right - left)
+	m[1][1] = 2 / (top - bottom)
+	m[1][3] = -(top + bottom) / (top - bottom)
+	m[2][2] = -2 / (far - near)
+	m[2][3] = -(far + near) / (far - near)
+	m[3][3] = 1
+	return m
+}

@@ -1,0 +1,233 @@
+package vmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func nearf(a, b float32) bool { return math.Abs(float64(a-b)) < 1e-5 }
+
+func vecNear(a, b Vec4, eps float64) bool {
+	for i := range a {
+		if math.Abs(float64(a[i]-b[i])) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+func TestVecOps(t *testing.T) {
+	a := Vec4{1, 2, 3, 4}
+	b := Vec4{5, 6, 7, 8}
+	if got := a.Add(b); got != (Vec4{6, 8, 10, 12}) {
+		t.Fatalf("Add: %v", got)
+	}
+	if got := b.Sub(a); got != (Vec4{4, 4, 4, 4}) {
+		t.Fatalf("Sub: %v", got)
+	}
+	if got := a.Mul(b); got != (Vec4{5, 12, 21, 32}) {
+		t.Fatalf("Mul: %v", got)
+	}
+	if got := a.Dot3(b); got != 38 {
+		t.Fatalf("Dot3: %v", got)
+	}
+	if got := a.Dot4(b); got != 70 {
+		t.Fatalf("Dot4: %v", got)
+	}
+	if got := a.Scale(2); got != (Vec4{2, 4, 6, 8}) {
+		t.Fatalf("Scale: %v", got)
+	}
+}
+
+func TestCrossOrthogonality(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float32) bool {
+		// Keep inputs in a range where float32 products don't
+		// overflow; quick generates values up to ~1e38.
+		cl := func(x float32) float32 {
+			if x != x {
+				return 0
+			}
+			for x > 1e4 || x < -1e4 {
+				x /= 1e4
+			}
+			return x
+		}
+		a := Vec4{cl(ax), cl(ay), cl(az), 0}
+		b := Vec4{cl(bx), cl(by), cl(bz), 0}
+		c := a.Cross(b)
+		// Cross product is orthogonal to both inputs (within fp
+		// tolerance scaled by magnitudes).
+		tol := 1e-3 * (1 + float64(a.Length3())*float64(b.Length3()))
+		return math.Abs(float64(c.Dot3(a))) <= tol && math.Abs(float64(c.Dot3(b))) <= tol
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalize3(t *testing.T) {
+	v := Vec4{3, 4, 0, 9}.Normalize3()
+	if !nearf(v.Length3(), 1) {
+		t.Fatalf("length: %v", v.Length3())
+	}
+	if v[3] != 9 {
+		t.Fatalf("w not preserved: %v", v)
+	}
+	zero := Vec4{}
+	if zero.Normalize3() != zero {
+		t.Fatal("zero vector changed by Normalize3")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	v := Vec4{-1, 0.5, 2, 1}.Clamp01()
+	if v != (Vec4{0, 0.5, 1, 1}) {
+		t.Fatalf("Clamp01: %v", v)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a := Vec4{0, 0, 0, 0}
+	b := Vec4{2, 4, 6, 8}
+	if got := Lerp(a, b, 0.5); got != (Vec4{1, 2, 3, 4}) {
+		t.Fatalf("Lerp: %v", got)
+	}
+	if Lerp(a, b, 0) != a || Lerp(a, b, 1) != b {
+		t.Fatal("Lerp endpoints wrong")
+	}
+}
+
+func TestMatIdentity(t *testing.T) {
+	v := Vec4{1, 2, 3, 1}
+	if got := Identity().MulVec(v); got != v {
+		t.Fatalf("Identity.MulVec: %v", got)
+	}
+	m := Translate(1, 2, 3)
+	if got := m.MulVec(Vec4{0, 0, 0, 1}); got != (Vec4{1, 2, 3, 1}) {
+		t.Fatalf("Translate: %v", got)
+	}
+}
+
+func TestMatMulAssociativityWithVec(t *testing.T) {
+	f := func(tx, ty, tz, ang float32) bool {
+		if ang != ang || tx != tx || ty != ty || tz != tz { // NaN guard
+			return true
+		}
+		// Keep magnitudes sane for fp comparison.
+		clampf := func(x float32) float32 {
+			if x > 100 {
+				return 100
+			}
+			if x < -100 {
+				return -100
+			}
+			return x
+		}
+		tx, ty, tz = clampf(tx), clampf(ty), clampf(tz)
+		ang = float32(math.Mod(float64(ang), math.Pi*2))
+		a := Translate(tx, ty, tz)
+		b := RotateY(ang)
+		v := Vec4{1, 2, 3, 1}
+		lhs := a.Mul(b).MulVec(v)
+		rhs := a.MulVec(b.MulVec(v))
+		return vecNear(lhs, rhs, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	m := Perspective(1.0, 1.333, 0.1, 100)
+	if m.Transpose().Transpose() != m {
+		t.Fatal("transpose not an involution")
+	}
+}
+
+func TestPerspectiveMapsNearFar(t *testing.T) {
+	near, far := float32(1), float32(101)
+	m := Perspective(math.Pi/2, 1, near, far)
+	// Point on the near plane maps to z_ndc = -1, far plane to +1.
+	pn := m.MulVec(Vec4{0, 0, -near, 1})
+	pf := m.MulVec(Vec4{0, 0, -far, 1})
+	if !nearf(pn[2]/pn[3], -1) {
+		t.Fatalf("near plane z: %v", pn[2]/pn[3])
+	}
+	if !nearf(pf[2]/pf[3], 1) {
+		t.Fatalf("far plane z: %v", pf[2]/pf[3])
+	}
+}
+
+func TestLookAtMapsEyeToOrigin(t *testing.T) {
+	eye := Vec4{5, 3, 8, 1}
+	m := LookAt(eye, Vec4{0, 0, 0, 1}, Vec4{0, 1, 0, 0})
+	p := m.MulVec(eye)
+	if !vecNear(p, Vec4{0, 0, 0, 1}, 1e-4) {
+		t.Fatalf("eye maps to %v", p)
+	}
+	// The target should land on the -Z axis.
+	q := m.MulVec(Vec4{0, 0, 0, 1})
+	if !nearf(q[0], 0) || !nearf(q[1], 0) || q[2] >= 0 {
+		t.Fatalf("target maps to %v", q)
+	}
+}
+
+func TestOrthoMapsCorners(t *testing.T) {
+	m := Ortho(-2, 2, -1, 1, 0, 10)
+	p := m.MulVec(Vec4{2, 1, -10, 1})
+	if !vecNear(p, Vec4{1, 1, 1, 1}, 1e-5) {
+		t.Fatalf("corner maps to %v", p)
+	}
+}
+
+func TestScaleM(t *testing.T) {
+	m := ScaleM(2, 3, 4)
+	if got := m.MulVec(Vec4{1, 1, 1, 1}); got != (Vec4{2, 3, 4, 1}) {
+		t.Fatalf("ScaleM: %v", got)
+	}
+}
+
+func TestRotateXPreservesX(t *testing.T) {
+	m := RotateX(math.Pi / 2)
+	got := m.MulVec(Vec4{0, 1, 0, 1})
+	if !vecNear(got, Vec4{0, 0, 1, 1}, 1e-6) {
+		t.Fatalf("RotateX(pi/2) of +Y: %v", got)
+	}
+	got = m.MulVec(Vec4{5, 0, 0, 1})
+	if !vecNear(got, Vec4{5, 0, 0, 1}, 1e-6) {
+		t.Fatalf("RotateX must keep X: %v", got)
+	}
+}
+
+func TestRotationsPreserveLengthProperty(t *testing.T) {
+	f := func(ang float32, x, y, z float32) bool {
+		cl := func(v float32) float32 {
+			if v != v || v > 1e3 || v < -1e3 {
+				return 1
+			}
+			return v
+		}
+		x, y, z = cl(x), cl(y), cl(z)
+		ang = float32(math.Mod(float64(cl(ang)), math.Pi*2))
+		v := Vec4{x, y, z, 0}
+		for _, m := range []Mat4{RotateX(ang), RotateY(ang)} {
+			r := m.MulVec(v)
+			if math.Abs(float64(r.Length3()-v.Length3())) > 1e-2*(1+float64(v.Length3())) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowAccess(t *testing.T) {
+	m := Translate(1, 2, 3)
+	if m.Row(0) != (Vec4{1, 0, 0, 1}) {
+		t.Fatalf("Row(0): %v", m.Row(0))
+	}
+}

@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"encoding/binary"
+	"math"
+
+	"attila/internal/gl"
+	"attila/internal/gpu"
+	"attila/internal/isa"
+	"attila/internal/vmath"
+)
+
+// Vertex is the interleaved vertex layout shared by the workloads:
+// position (3), color (4), normal (3), uv0 (2), uv1 (2) — 14 floats,
+// 56 bytes.
+type Vertex struct {
+	Pos    [3]float32
+	Color  vmath.Vec4
+	Normal [3]float32
+	UV0    [2]float32
+	UV1    [2]float32
+}
+
+// VertexStride is the byte stride of the interleaved layout.
+const VertexStride = 14 * 4
+
+// Mesh accumulates vertices and indices.
+type Mesh struct {
+	Verts   []Vertex
+	Indices []uint16
+}
+
+// Add appends a vertex and returns its index.
+func (m *Mesh) Add(v Vertex) uint16 {
+	m.Verts = append(m.Verts, v)
+	return uint16(len(m.Verts) - 1)
+}
+
+// Tri appends a triangle.
+func (m *Mesh) Tri(a, b, c uint16) {
+	m.Indices = append(m.Indices, a, b, c)
+}
+
+// Quad appends a quad as two triangles (a, b, c, d counterclockwise).
+func (m *Mesh) Quad(a, b, c, d uint16) {
+	m.Tri(a, b, c)
+	m.Tri(a, c, d)
+}
+
+// Pack serializes the vertex array.
+func (m *Mesh) Pack() []byte {
+	out := make([]byte, 0, len(m.Verts)*VertexStride)
+	putF := func(f float32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], math.Float32bits(f))
+		out = append(out, b[:]...)
+	}
+	for _, v := range m.Verts {
+		putF(v.Pos[0])
+		putF(v.Pos[1])
+		putF(v.Pos[2])
+		for i := 0; i < 4; i++ {
+			putF(v.Color[i])
+		}
+		putF(v.Normal[0])
+		putF(v.Normal[1])
+		putF(v.Normal[2])
+		putF(v.UV0[0])
+		putF(v.UV0[1])
+		putF(v.UV1[0])
+		putF(v.UV1[1])
+	}
+	return out
+}
+
+// PackIndices serializes the 16-bit index array.
+func (m *Mesh) PackIndices() []byte {
+	out := make([]byte, len(m.Indices)*2)
+	for i, idx := range m.Indices {
+		binary.LittleEndian.PutUint16(out[i*2:], idx)
+	}
+	return out
+}
+
+// MeshBuffers are the GPU buffer objects of an uploaded mesh.
+type MeshBuffers struct {
+	VB, IB uint32
+	count  int
+}
+
+// Upload creates and fills buffer objects for the mesh.
+func (m *Mesh) Upload(ctx *gl.Context) MeshBuffers {
+	vb := ctx.GenBuffer(len(m.Verts) * VertexStride)
+	ctx.BufferData(vb, 0, m.Pack())
+	ib := ctx.GenBuffer(len(m.Indices) * 2)
+	ctx.BufferData(ib, 0, m.PackIndices())
+	return MeshBuffers{VB: vb, IB: ib, count: len(m.Indices)}
+}
+
+// Bind points the standard attribute slots at the mesh's buffers.
+func (mb MeshBuffers) Bind(ctx *gl.Context) {
+	(&Mesh{}).BindAttribs(ctx, mb.VB)
+}
+
+// Draw binds and renders the whole mesh.
+func (mb MeshBuffers) Draw(ctx *gl.Context) {
+	mb.Bind(ctx)
+	ctx.DrawElements(gpu.Triangles, mb.count, mb.IB, 2, 0)
+}
+
+// BindAttribs points the standard attribute slots at a vertex buffer
+// holding this layout.
+func (m *Mesh) BindAttribs(ctx *gl.Context, vb uint32) {
+	ctx.VertexAttribPointer(isa.AttrPos, vb, 0, VertexStride, 3)
+	ctx.VertexAttribPointer(isa.AttrColor, vb, 12, VertexStride, 4)
+	ctx.VertexAttribPointer(isa.AttrNormal, vb, 28, VertexStride, 3)
+	ctx.VertexAttribPointer(isa.AttrTex0, vb, 40, VertexStride, 2)
+	ctx.VertexAttribPointer(isa.AttrTex0+1, vb, 48, VertexStride, 2)
+}
+
+// v3 is a small position/vector helper.
+type v3 = [3]float32
+
+func sub3(a, b v3) v3 { return v3{a[0] - b[0], a[1] - b[1], a[2] - b[2]} }
+
+func add3(a, b v3) v3 { return v3{a[0] + b[0], a[1] + b[1], a[2] + b[2]} }
+
+func scale3(a v3, s float32) v3 { return v3{a[0] * s, a[1] * s, a[2] * s} }
+
+func dot3(a, b v3) float32 { return a[0]*b[0] + a[1]*b[1] + a[2]*b[2] }
+
+func norm3(a v3) v3 {
+	l := float32(math.Sqrt(float64(dot3(a, a))))
+	if l == 0 {
+		return a
+	}
+	return scale3(a, 1/l)
+}

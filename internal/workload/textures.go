@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"attila/internal/emu/texemu"
+	"attila/internal/gl"
+)
+
+// Procedural texture synthesis: deterministic value noise and pattern
+// generators used to build the workload textures (the traces must be
+// reproducible, so no global randomness).
+
+// hash32 is a small avalanche hash for lattice noise.
+func hash32(x, y, seed int64) uint32 {
+	h := uint64(x)*0x9E3779B97F4A7C15 ^ uint64(y)*0xC2B2AE3D27D4EB4F ^ uint64(seed)*0x165667B19E3779F9
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return uint32(h)
+}
+
+// valueNoise returns smooth noise in [0,1) at (x, y) with the given
+// lattice cell size.
+func valueNoise(x, y float64, cell float64, seed int64) float64 {
+	gx, gy := x/cell, y/cell
+	x0, y0 := int64(gx), int64(gy)
+	fx, fy := gx-float64(x0), gy-float64(y0)
+	sx := fx * fx * (3 - 2*fx)
+	sy := fy * fy * (3 - 2*fy)
+	v := func(ix, iy int64) float64 {
+		return float64(hash32(ix, iy, seed)&0xFFFF) / 65536
+	}
+	a := v(x0, y0)*(1-sx) + v(x0+1, y0)*sx
+	b := v(x0, y0+1)*(1-sx) + v(x0+1, y0+1)*sx
+	return a*(1-sy) + b*sy
+}
+
+// fbm layers noise octaves.
+func fbm(x, y float64, cell float64, octaves int, seed int64) float64 {
+	sum, amp, norm := 0.0, 1.0, 0.0
+	for o := 0; o < octaves; o++ {
+		sum += valueNoise(x, y, cell, seed+int64(o)) * amp
+		norm += amp
+		amp *= 0.5
+		cell /= 2
+	}
+	return sum / norm
+}
+
+func lerpB(a, b byte, t float64) byte {
+	return byte(float64(a) + (float64(b)-float64(a))*t)
+}
+
+// grassTexture synthesizes a grassy diffuse map.
+func grassTexture(size int, seed int64) *gl.Image {
+	img := gl.NewImage(size, size)
+	dark := texemu.RGBA{36, 84, 28, 255}
+	light := texemu.RGBA{96, 160, 64, 255}
+	for y := 0; y < size; y++ {
+		for x := 0; x < size; x++ {
+			t := fbm(float64(x), float64(y), float64(size)/8, 4, seed)
+			img.Set(x, y, texemu.RGBA{
+				lerpB(dark[0], light[0], t),
+				lerpB(dark[1], light[1], t),
+				lerpB(dark[2], light[2], t),
+				255,
+			})
+		}
+	}
+	return img
+}
+
+// rockTexture synthesizes a rocky/wall diffuse map.
+func rockTexture(size int, seed int64) *gl.Image {
+	img := gl.NewImage(size, size)
+	for y := 0; y < size; y++ {
+		for x := 0; x < size; x++ {
+			t := fbm(float64(x), float64(y), float64(size)/4, 5, seed)
+			v := byte(60 + t*140)
+			img.Set(x, y, texemu.RGBA{v, v, byte(float64(v) * 0.9), 255})
+		}
+	}
+	return img
+}
+
+// lightmapTexture synthesizes a smooth static-lighting map.
+func lightmapTexture(size int, seed int64) *gl.Image {
+	img := gl.NewImage(size, size)
+	for y := 0; y < size; y++ {
+		for x := 0; x < size; x++ {
+			t := fbm(float64(x), float64(y), float64(size)/2, 2, seed)
+			v := byte(90 + t*165)
+			img.Set(x, y, texemu.RGBA{v, v, v, 255})
+		}
+	}
+	return img
+}
+
+// foliageTexture synthesizes an alpha-cutout leaf pattern (alpha 0
+// outside the fronds, 255 inside) for the alpha-test path.
+func foliageTexture(size int, seed int64) *gl.Image {
+	img := gl.NewImage(size, size)
+	c := float64(size) / 2
+	for y := 0; y < size; y++ {
+		for x := 0; x < size; x++ {
+			dx, dy := float64(x)-c, float64(y)-c
+			r := dx*dx + dy*dy
+			n := fbm(float64(x), float64(y), float64(size)/6, 3, seed)
+			inside := r < (c*c)*(0.3+0.6*n)
+			if inside {
+				img.Set(x, y, texemu.RGBA{byte(30 + n*60), byte(100 + n*100), 40, 255})
+			} else {
+				img.Set(x, y, texemu.RGBA{0, 0, 0, 0})
+			}
+		}
+	}
+	return img
+}
+
+// checkerTexture is the classic debug pattern.
+func checkerTexture(size, square int, a, b texemu.RGBA) *gl.Image {
+	img := gl.NewImage(size, size)
+	for y := 0; y < size; y++ {
+		for x := 0; x < size; x++ {
+			if (x/square+y/square)%2 == 0 {
+				img.Set(x, y, a)
+			} else {
+				img.Set(x, y, b)
+			}
+		}
+	}
+	return img
+}

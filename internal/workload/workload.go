@@ -1,0 +1,80 @@
+// Package workload generates the synthetic graphic workloads that
+// stand in for the paper's UT2004 and Doom3 traces (see DESIGN.md for
+// the substitution rationale): scenes built through the GL framework
+// whose command streams exercise the same pipeline paths the paper's
+// case study measures — multitextured terrain with anisotropic
+// filtering and alpha-tested foliage (UT2004-like), and a multi-pass
+// stencil shadow volume renderer (Doom3-like).
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"attila/internal/gl"
+	"attila/internal/gpu"
+	"attila/internal/trace"
+)
+
+// Params configures a workload build.
+type Params struct {
+	Width  int
+	Height int
+	Frames int
+	Aniso  int   // max anisotropy for scene textures (paper: 8)
+	Seed   int64 // procedural content seed
+}
+
+// DefaultParams returns the scaled-down equivalent of the case
+// study's settings (the paper ran 1024x768, aniso 8x).
+func DefaultParams() Params {
+	return Params{Width: 256, Height: 192, Frames: 2, Aniso: 8, Seed: 1}
+}
+
+// Generator builds a workload's command stream into a context.
+type Generator func(ctx *gl.Context, p Params) error
+
+var registry = map[string]Generator{
+	"simple":  Simple,
+	"ut2004":  UT2004Like,
+	"doom3":   Doom3Like,
+	"doom3ds": Doom3TwoSided,
+	"spinner": Spinner,
+}
+
+// Names lists the available workloads, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns a workload generator by name.
+func Lookup(name string) (Generator, error) {
+	g, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown workload %q (have %v)", name, Names())
+	}
+	return g, nil
+}
+
+// Build runs a generator against an allocator and returns the command
+// stream plus a trace header describing it.
+func Build(name string, alloc gl.Allocator, p Params) ([]gpu.Command, trace.Header, error) {
+	g, err := Lookup(name)
+	if err != nil {
+		return nil, trace.Header{}, err
+	}
+	ctx := gl.NewContext(alloc, p.Width, p.Height)
+	if err := g(ctx, p); err != nil {
+		return nil, trace.Header{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, trace.Header{}, fmt.Errorf("workload %s: %w", name, err)
+	}
+	hdr := trace.Header{Width: p.Width, Height: p.Height, Frames: ctx.FrameCount(), Label: name}
+	return ctx.Commands(), hdr, nil
+}
