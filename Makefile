@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test check bench-parallel
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the concurrency gate: vet plus the race detector over the
+# packages that run under the parallel clock loop.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/core/... ./internal/mem/...
+
+# bench-parallel reproduces the BENCH_parallel.json snapshot.
+bench-parallel:
+	$(GO) test -run '^$$' -bench 'BenchmarkTable1Baseline' -benchtime 3x .

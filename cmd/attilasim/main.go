@@ -38,6 +38,7 @@ func main() {
 	sigOut := flag.String("sigtrace", "", "write a signal trace file (large!)")
 	verify := flag.Bool("verify", false, "compare frames against the functional reference")
 	maxCycles := flag.Int64("max-cycles", 2_000_000_000, "cycle budget")
+	workers := flag.Int("workers", 0, "host worker shards for the clock loop (0/1 = serial; results identical)")
 	flag.Parse()
 
 	if *in == "" {
@@ -73,6 +74,7 @@ func main() {
 	if *rops > 0 {
 		cfg.NumROPs = *rops
 	}
+	cfg.Workers = *workers
 
 	f, err := os.Open(*in)
 	if err != nil {

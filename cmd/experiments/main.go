@@ -25,10 +25,12 @@ func main() {
 	frames := flag.Int("frames", 2, "frames per trace")
 	aniso := flag.Int("aniso", 8, "max anisotropy (paper: 8)")
 	out := flag.String("out", "", "directory for PPM frame dumps (fig10)")
+	workers := flag.Int("workers", 0, "host worker shards for the clock loop (0/1 = serial; results identical)")
 	flag.Parse()
 
 	p := experiments.DefaultRunParams()
 	p.Width, p.Height, p.Frames, p.Aniso = *width, *height, *frames, *aniso
+	p.Workers = *workers
 
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {

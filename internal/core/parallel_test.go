@@ -1,0 +1,273 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// buildFanout wires n independent producer/consumer pairs, the
+// smallest network that actually exercises sharding (each pair may
+// land on a different worker). Each producer gets a private IDSource:
+// the shared one hands out IDs in host scheduling order across
+// shards, which would make trace bytes (and nothing else) vary.
+func buildFanout(sim *Simulator, pairs, count int) []*consumer {
+	consumers := make([]*consumer, pairs)
+	for i := 0; i < pairs; i++ {
+		p := &producer{ids: new(IDSource), count: count}
+		p.Init(fmt.Sprintf("Producer%d", i))
+		c := &consumer{}
+		c.Init(fmt.Sprintf("Consumer%d", i))
+		name := fmt.Sprintf("pipe%d", i)
+		p.out = sim.Binder.Provide(p.BoxName(), name, 1, 2, 0)
+		sim.Binder.Bind(c.BoxName(), name, &c.in)
+		sim.Register(c)
+		sim.Register(p)
+		consumers[i] = c
+	}
+	return consumers
+}
+
+func allReceived(consumers []*consumer, count int) func() bool {
+	return func() bool {
+		for _, c := range consumers {
+			if len(c.received) != count {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// A parallel run must be indistinguishable from the serial one: same
+// cycle count, same delivery order, byte-identical statistics CSV and
+// signal trace.
+func TestParallelMatchesSerialCore(t *testing.T) {
+	type result struct {
+		cycles int64
+		recv   [][]int
+		csv    []byte
+		trace  []byte
+	}
+	run := func(workers int) result {
+		sim := NewSimulator(10)
+		consumers := buildFanout(sim, 5, 37)
+		var traceBuf bytes.Buffer
+		tr := NewSigTraceWriter(&traceBuf)
+		sim.Binder.SetTracer(tr)
+		sim.SetWorkers(workers)
+		sim.SetDone(allReceived(consumers, 37))
+		if err := sim.Run(1000); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		var csv bytes.Buffer
+		if err := sim.Stats.WriteCSV(&csv); err != nil {
+			t.Fatal(err)
+		}
+		res := result{cycles: sim.Cycle(), csv: csv.Bytes(), trace: traceBuf.Bytes()}
+		for _, c := range consumers {
+			res.recv = append(res.recv, c.received)
+		}
+		return res
+	}
+
+	serial := run(0)
+	for _, workers := range []int{2, 3, 8} {
+		par := run(workers)
+		if par.cycles != serial.cycles {
+			t.Errorf("workers=%d: %d cycles, serial %d", workers, par.cycles, serial.cycles)
+		}
+		for i := range serial.recv {
+			if len(par.recv[i]) != len(serial.recv[i]) {
+				t.Fatalf("workers=%d consumer %d: %d received, serial %d",
+					workers, i, len(par.recv[i]), len(serial.recv[i]))
+			}
+			for j := range serial.recv[i] {
+				if par.recv[i][j] != serial.recv[i][j] {
+					t.Fatalf("workers=%d consumer %d: delivery order differs", workers, i)
+				}
+			}
+		}
+		if !bytes.Equal(par.csv, serial.csv) {
+			t.Errorf("workers=%d: stats CSV differs from serial", workers)
+		}
+		if !bytes.Equal(par.trace, serial.trace) {
+			t.Errorf("workers=%d: signal trace differs from serial", workers)
+		}
+	}
+}
+
+// overdriver owns a bandwidth-1 signal and writes it twice per cycle:
+// a model violation raised from whichever shard clocks it, with the
+// single-writer contract intact.
+type overdriver struct {
+	BoxBase
+	out *Signal
+	ids *IDSource
+}
+
+func (o *overdriver) Clock(cycle int64) {
+	o.out.Write(cycle, newObj(o.ids, 0))
+	o.out.Write(cycle, newObj(o.ids, 1))
+}
+
+// A model violation on a worker shard must surface as *SimError from
+// Run — not a panic, not a deadlocked barrier.
+func TestParallelSimErrorSurfaces(t *testing.T) {
+	sim := NewSimulator(0)
+	buildPipe(sim, 10)
+	bad := &overdriver{ids: &sim.IDs}
+	bad.Init("Bad")
+	bad.out = sim.Binder.Provide("Bad", "bad.out", 1, 1, 0)
+	sink := &consumer{}
+	sink.Init("BadSink")
+	sim.Binder.Bind("BadSink", "bad.out", &sink.in)
+	sim.Register(bad)
+	sim.Register(sink)
+	sim.SetWorkers(4)
+	sim.SetDone(func() bool { return false })
+	err := sim.Run(10)
+	var se *SimError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *SimError, got %v", err)
+	}
+}
+
+type panicBox struct {
+	BoxBase
+	at int64
+}
+
+func (b *panicBox) Clock(cycle int64) {
+	if cycle == b.at {
+		panic("programming error in a box")
+	}
+}
+
+// Non-SimError panics are programming errors and must propagate out
+// of Run in parallel mode exactly as in serial mode.
+func TestParallelPanicPropagates(t *testing.T) {
+	sim := NewSimulator(0)
+	buildFanout(sim, 3, 100)
+	pb := &panicBox{at: 5}
+	pb.Init("Panicker")
+	sim.Register(pb)
+	sim.SetWorkers(3)
+	sim.SetDone(func() bool { return false })
+	defer func() {
+		if r := recover(); r != "programming error in a box" {
+			t.Fatalf("want the box panic value, got %v", r)
+		}
+	}()
+	_ = sim.Run(100)
+	t.Fatal("Run returned instead of panicking")
+}
+
+type hookRecorder struct {
+	BoxBase
+	clocked *atomic.Int64
+}
+
+func (h *hookRecorder) Clock(cycle int64) { h.clocked.Add(1) }
+
+// End-of-cycle hooks run on the coordinator after every box clock of
+// the cycle, in registration order — in both execution modes.
+func TestEndCycleHookOrder(t *testing.T) {
+	for _, workers := range []int{0, 4} {
+		sim := NewSimulator(0)
+		var clocked atomic.Int64
+		for i := 0; i < 6; i++ {
+			b := &hookRecorder{clocked: &clocked}
+			b.Init(fmt.Sprintf("Box%d", i))
+			sim.Register(b)
+		}
+		var order []int
+		for i := 0; i < 3; i++ {
+			i := i
+			sim.OnEndCycle(func(cycle int64) {
+				if got := clocked.Load(); got != 6*(cycle+1) {
+					t.Errorf("workers=%d hook %d at cycle %d: %d clocks, want %d",
+						workers, i, cycle, got, 6*(cycle+1))
+				}
+				order = append(order, i)
+			})
+		}
+		sim.SetWorkers(workers)
+		cycles := 0
+		sim.SetDone(func() bool { cycles++; return cycles == 4 })
+		if err := sim.Run(100); err != nil {
+			t.Fatal(err)
+		}
+		if len(order) != 12 {
+			t.Fatalf("workers=%d: %d hook runs, want 12", workers, len(order))
+		}
+		for i, v := range order {
+			if v != i%3 {
+				t.Fatalf("workers=%d: hooks out of registration order: %v", workers, order)
+			}
+		}
+	}
+}
+
+// Pinned boxes must share a shard; the split must depend only on
+// registration and pin order.
+func TestPartitionPinning(t *testing.T) {
+	sim := NewSimulator(0)
+	boxes := make([]Box, 8)
+	for i := range boxes {
+		b := &panicBox{at: -1}
+		b.Init(fmt.Sprintf("Box%d", i))
+		boxes[i] = b
+		sim.Register(b)
+	}
+	sim.Pin("grp", boxes[1], boxes[4], boxes[6])
+	shards := sim.partition(3)
+	if len(shards) != 3 {
+		t.Fatalf("want 3 shards, got %d", len(shards))
+	}
+	shardOf := make(map[Box]int)
+	total := 0
+	for i, sh := range shards {
+		for _, b := range sh {
+			shardOf[b] = i
+			total++
+		}
+	}
+	if total != 8 {
+		t.Fatalf("partition lost boxes: %d of 8", total)
+	}
+	if shardOf[boxes[1]] != shardOf[boxes[4]] || shardOf[boxes[1]] != shardOf[boxes[6]] {
+		t.Fatalf("pinned boxes split across shards: %d %d %d",
+			shardOf[boxes[1]], shardOf[boxes[4]], shardOf[boxes[6]])
+	}
+	// More workers than units: shard count collapses to the unit count.
+	if got := len(sim.partition(100)); got != 6 {
+		t.Fatalf("want 6 shards for 6 units, got %d", got)
+	}
+}
+
+// Stress the single-writer/single-reader signal contract across
+// shards; meaningful under `go test -race`, which would flag any
+// cross-goroutine slot the latency argument does not actually
+// separate.
+func TestSignalParallelStress(t *testing.T) {
+	sim := NewSimulator(0)
+	consumers := buildFanout(sim, 16, 200)
+	sim.SetWorkers(8)
+	sim.SetDone(allReceived(consumers, 200))
+	if err := sim.Run(5000); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range consumers {
+		for j, v := range c.received {
+			if v != j {
+				t.Fatalf("consumer %d: out of order delivery at %d", i, j)
+			}
+		}
+	}
+}

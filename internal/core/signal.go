@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Signal models a wire between two boxes. A signal is created with a
 // bandwidth (maximum objects written per cycle) and a latency (cycles
@@ -11,6 +14,19 @@ import "fmt"
 // Boxes with variable-latency operations (multistage ALUs, memory)
 // may override the latency per write with WriteLat, up to the MaxLat
 // the signal was created with.
+//
+// Concurrency contract (parallel simulation mode): a signal has
+// exactly one producing box and one consuming box, which may be
+// clocked on different goroutines within the same cycle. This is safe
+// because latency >= 1 keeps their ring slots disjoint: the ring has
+// maxLat+1 slots, a write at cycle C with latency L lands in slot
+// (C+L) mod (maxLat+1), and a read at cycle C touches slot C mod
+// (maxLat+1); those collide only if L == 0 mod (maxLat+1), which
+// L in [1, maxLat] rules out. The writer-only fields (wrCycle,
+// wrCount) and reader-only fields (traceBuf) are single-goroutine;
+// produced/consumed are atomic so Pending and Traffic may be read
+// from either side. Cross-cycle accesses are ordered by the
+// simulator's cycle barrier.
 type Signal struct {
 	name     string
 	bw       int
@@ -18,11 +34,22 @@ type Signal struct {
 	maxLat   int
 	ring     [][]Dynamic // indexed by cycle % len(ring)
 	stamp    []int64     // cycle each ring slot was last written for
-	wrCycle  int64       // cycle of the most recent writes
-	wrCount  int         // writes performed during wrCycle
-	produced uint64
-	consumed uint64
+	wrCycle  int64       // cycle of the most recent writes (writer-only)
+	wrCount  int         // writes performed during wrCycle (writer-only)
+	produced atomic.Uint64
+	consumed atomic.Uint64
+
+	// Tracing: the reader appends to traceBuf during its clock; the
+	// simulator drains every buffer into the shared tracer at the
+	// cycle barrier, in signal-name order, so the trace is identical
+	// for any worker count.
 	tracer   Tracer
+	traceBuf []traceEntry
+}
+
+type traceEntry struct {
+	cycle int64
+	obj   *DynObject
 }
 
 // SimError reports a violation of the simulation model (bandwidth
@@ -44,8 +71,9 @@ func simFail(where string, cycle int64, format string, args ...any) {
 }
 
 // NewSignal creates a signal. Latency must be at least 1 cycle: the
-// framework relies on it for determinism. maxLat extends the ring for
-// WriteLat; pass 0 to allow only the default latency.
+// framework relies on it for determinism and for race-free parallel
+// clocking. maxLat extends the ring for WriteLat; pass 0 to allow
+// only the default latency.
 func NewSignal(name string, bandwidth, latency, maxLat int) *Signal {
 	if bandwidth < 1 {
 		panic(fmt.Sprintf("signal %s: bandwidth must be >= 1", name))
@@ -107,7 +135,7 @@ func (s *Signal) WriteLat(cycle int64, lat int, obj Dynamic) {
 	}
 	s.stamp[slot] = arrive
 	s.ring[slot] = append(s.ring[slot], obj)
-	s.produced++
+	s.produced.Add(1)
 }
 
 // Read returns the objects arriving at the given cycle, removing them
@@ -121,10 +149,10 @@ func (s *Signal) Read(cycle int64) []Dynamic {
 	}
 	out := s.ring[slot]
 	s.ring[slot] = nil
-	s.consumed += uint64(len(out))
+	s.consumed.Add(uint64(len(out)))
 	if s.tracer != nil {
 		for _, o := range out {
-			s.tracer.Trace(cycle, s.name, o.DynInfo())
+			s.traceBuf = append(s.traceBuf, traceEntry{cycle, o.DynInfo()})
 		}
 	}
 	return out
@@ -132,17 +160,35 @@ func (s *Signal) Read(cycle int64) []Dynamic {
 
 // Pending reports whether any objects are still in flight (written
 // but not yet read). Used by drain logic and the end-of-simulation
-// assertion.
-func (s *Signal) Pending() bool { return s.produced != s.consumed }
+// assertion; safe to call from either side of the wire.
+func (s *Signal) Pending() bool { return s.produced.Load() != s.consumed.Load() }
 
 // Traffic returns the total objects produced and consumed so far.
-func (s *Signal) Traffic() (produced, consumed uint64) { return s.produced, s.consumed }
+func (s *Signal) Traffic() (produced, consumed uint64) {
+	return s.produced.Load(), s.consumed.Load()
+}
 
 // Tracer receives every object as it leaves a signal, one call per
 // object. The signal trace file consumed by the Signal Trace
 // Visualizer (cmd/sigtrace) is produced through this interface.
+// Tracers are shared by every signal, so the framework buffers trace
+// entries per signal and drains them single-threaded at each cycle
+// barrier: a Tracer implementation needs no locking of its own.
 type Tracer interface {
 	Trace(cycle int64, signal string, obj *DynObject)
 }
 
 func (s *Signal) setTracer(t Tracer) { s.tracer = t }
+
+// flushTrace drains the buffered trace entries into the tracer. The
+// simulator calls it at the cycle barrier, never concurrently with
+// the consumer's Read.
+func (s *Signal) flushTrace() {
+	if s.tracer == nil || len(s.traceBuf) == 0 {
+		return
+	}
+	for _, e := range s.traceBuf {
+		s.tracer.Trace(e.cycle, s.name, e.obj)
+	}
+	s.traceBuf = s.traceBuf[:0]
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Box is a timing module. Clock is called exactly once per simulated
@@ -26,17 +27,39 @@ func (b *BoxBase) Init(name string) { b.name = name }
 // BoxName implements Box.
 func (b *BoxBase) BoxName() string { return b.name }
 
+// EndCycleFunc runs once per simulated cycle after every box has been
+// clocked and before statistics are sampled. Hooks always run on the
+// coordinating goroutine, in registration order, in both serial and
+// parallel mode: they are the cycle barrier at which cross-shard
+// state is published (flow credits folded, quiesce snapshots taken,
+// trace buffers drained).
+type EndCycleFunc func(cycle int64)
+
 // Simulator owns the clock loop: a set of boxes, the signal binder,
 // the statistics manager, and an object-identifier source shared by
 // everything in one simulated GPU.
+//
+// By default all boxes are clocked serially from one goroutine. With
+// SetWorkers(n > 1), boxes are partitioned into shards that are
+// clocked concurrently with one barrier per simulated cycle. Because
+// every signal has latency >= 1 (a cycle's reads never observe that
+// cycle's writes) and all non-signal cross-box state is only touched
+// at the barrier, parallel runs are bit-identical to serial runs.
+// Boxes that share mutable state directly (method calls, shared
+// counters) must be kept on one shard with Pin.
 type Simulator struct {
 	Binder *Binder
 	Stats  *StatManager
 	IDs    IDSource
 
-	boxes []Box
-	cycle int64
-	done  func() bool
+	boxes     []Box
+	cycle     int64
+	done      func() bool
+	workers   int
+	pinGroup  map[Box]string
+	hooks     []EndCycleFunc
+	traced    []*Signal // signals with a tracer, flushed each cycle
+	tracedSet bool
 }
 
 // NewSimulator creates a simulator with the given statistics sampling
@@ -52,8 +75,41 @@ func NewSimulator(statInterval int64) *Simulator {
 func (s *Simulator) Register(b Box) { s.boxes = append(s.boxes, b) }
 
 // SetDone installs the termination predicate checked after every
-// cycle (typically "command processor has retired all commands").
+// cycle (typically "command processor has retired all commands"). The
+// predicate runs at the cycle barrier, never concurrently with box
+// clocks.
 func (s *Simulator) SetDone(done func() bool) { s.done = done }
+
+// SetWorkers selects the execution mode: n <= 1 clocks all boxes
+// serially (the default), n > 1 clocks box shards on n goroutines
+// with a barrier per cycle. Results are identical in both modes.
+func (s *Simulator) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.workers = n
+}
+
+// Workers returns the configured worker count (0 or 1 means serial).
+func (s *Simulator) Workers() int { return s.workers }
+
+// Pin assigns boxes to a named affinity group: all boxes pinned to
+// the same group are clocked on the same worker, in registration
+// order relative to each other. Pin boxes that share mutable state
+// outside the signal model (direct method calls, a shared batch
+// descriptor); unpinned boxes may each be clocked on any worker.
+func (s *Simulator) Pin(group string, boxes ...Box) {
+	if s.pinGroup == nil {
+		s.pinGroup = make(map[Box]string)
+	}
+	for _, b := range boxes {
+		s.pinGroup[b] = group
+	}
+}
+
+// OnEndCycle registers a hook to run at every cycle barrier, in
+// registration order.
+func (s *Simulator) OnEndCycle(fn EndCycleFunc) { s.hooks = append(s.hooks, fn) }
 
 // Cycle returns the current simulation cycle.
 func (s *Simulator) Cycle() int64 { return s.cycle }
@@ -64,7 +120,8 @@ var ErrCycleLimit = errors.New("core: cycle limit reached")
 
 // Run clocks all boxes until the done predicate reports true or
 // maxCycles elapse. Model violations (signal bandwidth, lost data)
-// surface as *SimError.
+// surface as *SimError — also from worker goroutines in parallel
+// mode, without deadlocking the cycle barrier.
 func (s *Simulator) Run(maxCycles int64) error {
 	if err := s.Binder.Validate(); err != nil {
 		return err
@@ -72,12 +129,56 @@ func (s *Simulator) Run(maxCycles int64) error {
 	if s.done == nil {
 		return errors.New("core: no termination predicate installed")
 	}
-	err := s.run(maxCycles)
+	s.refreshTraced()
+	var err error
+	if s.workers > 1 {
+		err = s.runParallel(maxCycles, s.workers)
+	} else {
+		err = s.runSerial(maxCycles)
+	}
+	// A failing cycle stops before its barrier: drain whatever trace
+	// entries its boxes produced so the trace shows the violation.
+	s.flushTraces()
 	s.Stats.Flush(s.cycle)
 	return err
 }
 
-func (s *Simulator) run(maxCycles int64) (err error) {
+// EndCycle runs the end-of-cycle hooks and drains signal trace
+// buffers. Run calls it automatically after every cycle; only test
+// harnesses that clock boxes manually (outside Run) need to call it
+// themselves.
+func (s *Simulator) EndCycle(cycle int64) {
+	for _, fn := range s.hooks {
+		fn(cycle)
+	}
+	s.flushTraces()
+}
+
+// refreshTraced caches the traced-signal list. Sorted by signal name
+// (Binder.Signals order), so the drained trace is deterministic
+// regardless of worker count or clocking order.
+func (s *Simulator) refreshTraced() {
+	s.traced = s.traced[:0]
+	for _, sig := range s.Binder.Signals() {
+		if sig.tracer != nil {
+			s.traced = append(s.traced, sig)
+		}
+	}
+	s.tracedSet = true
+}
+
+func (s *Simulator) flushTraces() {
+	if !s.tracedSet {
+		// Manual harness clocking boxes outside Run: resolve the
+		// traced set on first use.
+		s.refreshTraced()
+	}
+	for _, sig := range s.traced {
+		sig.flushTrace()
+	}
+}
+
+func (s *Simulator) runSerial(maxCycles int64) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if se, ok := r.(*SimError); ok {
@@ -92,6 +193,122 @@ func (s *Simulator) run(maxCycles int64) (err error) {
 		for _, b := range s.boxes {
 			b.Clock(s.cycle)
 		}
+		s.EndCycle(s.cycle)
+		s.Stats.Tick(s.cycle)
+		s.cycle++
+		if s.done() {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w after %d cycles", ErrCycleLimit, maxCycles)
+}
+
+// worker is one member of the persistent pool: it owns a shard of
+// boxes and sleeps on its wake channel between cycles.
+type worker struct {
+	wake  chan int64
+	boxes []Box
+	// Failure state, written before wg.Done and read by the
+	// coordinator after wg.Wait (the barrier orders both).
+	simErr *SimError
+	panicV any
+}
+
+func (w *worker) clock(cycle int64, wg *sync.WaitGroup) {
+	// The barrier must complete even when a box fails, so the recover
+	// and the Done are both deferred: a panicking shard parks like any
+	// other and the coordinator inspects the failure after Wait.
+	defer wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			if se, ok := r.(*SimError); ok {
+				w.simErr = se
+			} else {
+				w.panicV = r
+			}
+		}
+	}()
+	for _, b := range w.boxes {
+		b.Clock(cycle)
+	}
+}
+
+// partition splits the registered boxes into per-worker shards: boxes
+// pinned to one group form an indivisible unit anchored at the
+// group's first registration position, every unpinned box is its own
+// unit, and units are dealt round-robin to workers. The split depends
+// only on registration and pin order, never on scheduling.
+func (s *Simulator) partition(nw int) [][]Box {
+	var units [][]Box
+	groupIdx := make(map[string]int)
+	for _, b := range s.boxes {
+		if g, pinned := s.pinGroup[b]; pinned {
+			if i, seen := groupIdx[g]; seen {
+				units[i] = append(units[i], b)
+				continue
+			}
+			groupIdx[g] = len(units)
+		}
+		units = append(units, []Box{b})
+	}
+	if nw > len(units) {
+		nw = len(units)
+	}
+	shards := make([][]Box, nw)
+	for i, u := range units {
+		w := i % nw
+		shards[w] = append(shards[w], u...)
+	}
+	return shards
+}
+
+func (s *Simulator) runParallel(maxCycles int64, nw int) error {
+	shards := s.partition(nw)
+	// Shard 0 runs inline on the coordinating goroutine — it would
+	// otherwise sleep through the whole cycle — so only shards 1..n-1
+	// get pool workers.
+	workers := make([]*worker, len(shards))
+	var wg sync.WaitGroup
+	for i, shard := range shards {
+		w := &worker{boxes: shard}
+		workers[i] = w
+		if i == 0 {
+			continue
+		}
+		w.wake = make(chan int64, 1)
+		go func() {
+			for cycle := range w.wake {
+				w.clock(cycle, &wg)
+			}
+		}()
+	}
+	defer func() {
+		for _, w := range workers[1:] {
+			close(w.wake)
+		}
+	}()
+
+	limit := s.cycle + maxCycles
+	for s.cycle < limit {
+		wg.Add(len(workers))
+		for _, w := range workers[1:] {
+			w.wake <- s.cycle
+		}
+		workers[0].clock(s.cycle, &wg)
+		wg.Wait()
+		for _, w := range workers {
+			if w.panicV != nil {
+				panic(w.panicV) // programming error: propagate like serial mode
+			}
+		}
+		for _, w := range workers {
+			if w.simErr != nil {
+				// Several shards may fail in the same cycle; report
+				// the lowest worker index for a deterministic error.
+				return w.simErr
+			}
+		}
+		s.EndCycle(s.cycle)
 		s.Stats.Tick(s.cycle)
 		s.cycle++
 		if s.done() {

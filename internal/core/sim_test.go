@@ -251,6 +251,55 @@ func TestSigTraceRoundTrip(t *testing.T) {
 	}
 }
 
+// A run ending exactly on a sampling boundary already has its final
+// interval sampled by Tick; the Flush one cycle later (cycle counter
+// post-incremented) must not append a near-duplicate row.
+func TestStatManagerFlushOnBoundary(t *testing.T) {
+	m := NewStatManager(10)
+	c := m.Counter("Box.events")
+	for cyc := int64(0); cyc <= 20; cyc++ {
+		c.Inc()
+		m.Tick(cyc)
+	}
+	// Simulator.Run flushes at Cycle(), one past the last clocked
+	// cycle 20 whose Tick just sampled.
+	m.Flush(21)
+	cycles, deltas := m.Samples("Box.events")
+	if len(cycles) != 2 || cycles[0] != 10 || cycles[1] != 20 {
+		t.Fatalf("want samples at cycles [10 20], got %v", cycles)
+	}
+	if deltas[0] != 11 || deltas[1] != 10 {
+		t.Fatalf("want deltas [11 10], got %v", deltas)
+	}
+	// A later flush with real uncovered cycles still records.
+	c.Add(5)
+	m.Flush(25)
+	if cycles, _ := m.Samples("Box.events"); len(cycles) != 3 || cycles[2] != 25 {
+		t.Fatalf("flush past the boundary lost data: %v", cycles)
+	}
+}
+
+// Gauges sample by value: a delta of an instantaneous quantity is
+// meaningless (a steady queue depth of 40 would show as 0).
+func TestStatManagerGaugeByValue(t *testing.T) {
+	m := NewStatManager(10)
+	g := m.Gauge("Box.queue")
+	for cyc := int64(0); cyc < 25; cyc++ {
+		g.Set(40)
+		m.Tick(cyc)
+	}
+	m.Flush(25)
+	_, vals := m.Samples("Box.queue")
+	if len(vals) != 3 {
+		t.Fatalf("want 3 samples, got %v", vals)
+	}
+	for i, v := range vals {
+		if v != 40 {
+			t.Fatalf("sample %d: want the gauge value 40, got %g (delta sampling?)", i, v)
+		}
+	}
+}
+
 func TestBinderTracerSeesTraffic(t *testing.T) {
 	sim := NewSimulator(0)
 	_, c := buildPipe(sim, 3)

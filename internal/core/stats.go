@@ -66,15 +66,23 @@ func (g *Gauge) Set(v float64) {
 }
 
 // StatManager registers statistics and produces the CSV output. A
-// sample records, for each stat, the delta of its value over the
+// sample records, for each counter, the delta of its value over the
 // sampling interval (so utilization-style plots fall directly out of
-// counters), plus the cumulative value at end of run.
+// counters); gauges are sampled by value, since a delta of a sampled
+// quantity is meaningless. Cumulative values remain available at end
+// of run.
+//
+// Stats are mutated by their owning box and sampled at the cycle
+// barrier, so no locking is needed in parallel simulation mode.
 type StatManager struct {
 	stats    []Stat
 	byName   map[string]Stat
 	interval int64
 	rows     []sampleRow
 	last     []float64
+
+	lastSample int64
+	hasSample  bool
 }
 
 type sampleRow struct {
@@ -135,9 +143,15 @@ func (m *StatManager) Tick(cycle int64) {
 	m.sample(cycle)
 }
 
-// Flush records a final partial sample at the given cycle.
+// Flush records a final partial sample at the given cycle. When the
+// run ended on (or immediately after) a sampling boundary, the
+// boundary sample already covers every completed cycle, so Flush
+// skips the redundant near-duplicate row.
 func (m *StatManager) Flush(cycle int64) {
 	if m.interval <= 0 {
+		return
+	}
+	if m.hasSample && cycle <= m.lastSample+1 {
 		return
 	}
 	m.sample(cycle)
@@ -147,14 +161,21 @@ func (m *StatManager) sample(cycle int64) {
 	row := sampleRow{cycle: cycle, deltas: make([]float64, len(m.stats))}
 	for i, s := range m.stats {
 		v := s.Value()
-		row.deltas[i] = v - m.last[i]
+		if _, byValue := s.(*Gauge); byValue {
+			row.deltas[i] = v
+		} else {
+			row.deltas[i] = v - m.last[i]
+		}
 		m.last[i] = v
 	}
 	m.rows = append(m.rows, row)
+	m.lastSample = cycle
+	m.hasSample = true
 }
 
-// Samples returns the recorded per-interval deltas for one stat, with
-// the cycle at which each sample was taken.
+// Samples returns the recorded samples for one stat — per-interval
+// deltas for counters, instantaneous values for gauges — with the
+// cycle at which each sample was taken.
 func (m *StatManager) Samples(name string) (cycles []int64, deltas []float64) {
 	idx := -1
 	for i, s := range m.stats {
@@ -174,7 +195,7 @@ func (m *StatManager) Samples(name string) (cycles []int64, deltas []float64) {
 }
 
 // WriteCSV dumps all interval samples: header row of stat names, then
-// one row per sample with the per-interval deltas.
+// one row per sample (counter deltas, gauge values).
 func (m *StatManager) WriteCSV(w io.Writer) error {
 	var sb strings.Builder
 	sb.WriteString("cycle")

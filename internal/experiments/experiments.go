@@ -25,6 +25,10 @@ type RunParams struct {
 	Aniso     int
 	Seed      int64
 	MaxCycles int64
+	// Workers selects the host clocking mode (gpu.Config.Workers):
+	// 0/1 serial, >1 parallel shards. Results are identical either
+	// way.
+	Workers int
 }
 
 // DefaultRunParams returns the scaled-down case-study settings.
@@ -39,6 +43,7 @@ func (p RunParams) workloadParams() workload.Params {
 // runOne builds the named workload for a fresh pipeline and simulates
 // it, returning the pipeline for statistics inspection.
 func runOne(cfg gpu.Config, name string, p RunParams) (*gpu.Pipeline, error) {
+	cfg.Workers = p.Workers
 	pipe, err := gpu.New(cfg, p.Width, p.Height)
 	if err != nil {
 		return nil, err

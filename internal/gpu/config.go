@@ -138,6 +138,13 @@ type Config struct {
 
 	// ClockMHz scales cycle counts to frame rates for reporting.
 	ClockMHz int
+
+	// Workers selects the host-side clocking mode: 0 or 1 clocks
+	// every box on one goroutine; >1 shards the boxes over that many
+	// persistent workers with a barrier per simulated cycle. Results
+	// are bit-identical in either mode — the knob only trades host
+	// time. Presets leave it 0 (serial).
+	Workers int
 }
 
 // Baseline returns the paper's baseline architecture (Tables 1 and
@@ -291,6 +298,7 @@ func (c *Config) Validate() error {
 		{c.Memory.Channels >= 1, "memory channels must be >= 1"},
 		{c.GPUMemBytes >= 1<<20, "GPU memory too small"},
 		{c.StatInterval >= 0, "StatInterval must be >= 0"},
+		{c.Workers >= 0, "Workers must be >= 0"},
 	}
 	for _, ch := range checks {
 		if !ch.ok {

@@ -5,6 +5,7 @@ import (
 
 	"attila/internal/core"
 	"attila/internal/emu/fragemu"
+	"attila/internal/emu/shaderemu"
 	"attila/internal/mem"
 )
 
@@ -242,6 +243,14 @@ func (cp *CommandProcessor) newBatch(st *DrawState) *BatchState {
 	b := &BatchState{
 		DynObject: core.DynObject{ID: uint64(cp.nextBatchID), Tag: "batch"},
 		State:     st,
+	}
+	// The shader emulators are built eagerly: shader units run on
+	// other worker shards and must never mutate shared batch state.
+	if st.FragmentProg != nil {
+		b.fragEmu = shaderemu.New(st.FragmentProg, st.FragConsts)
+	}
+	if st.VertexProg != nil {
+		b.vtxEmu = shaderemu.New(st.VertexProg, st.VertConsts)
 	}
 	b.EarlyZ = cp.cfg.EarlyZ && st.EarlyZAllowed()
 	// Hierarchical Z is only sound when the depth test culls

@@ -51,6 +51,9 @@ func (h *paHarness) run(t *testing.T, count int) [][3]int {
 			h.out.Release(1)
 			h.tris = append(h.tris, [3]int{tw.V[0].Seq, tw.V[1].Seq, tw.V[2].Seq})
 		}
+		// Manual harness: run the cycle barrier so released flow
+		// credits become visible to the producer next cycle.
+		h.sim.EndCycle(cycle)
 	}
 	return h.tris
 }
@@ -240,9 +243,16 @@ func TestFlowCreditAccounting(t *testing.T) {
 	if f.CanSend(2, 1) {
 		t.Fatal("credits not exhausted")
 	}
+	// Releases are deferred: they fold into the producer-visible
+	// credit pool at the cycle barrier, not the instant Release runs
+	// (that is what makes box clocking order irrelevant).
 	f.Release(2)
+	if f.CanSend(2, 1) {
+		t.Fatal("release visible before the cycle barrier")
+	}
+	f.EndCycle(2)
 	if !f.CanSend(2, 2) {
-		t.Fatal("release did not restore credits")
+		t.Fatal("release did not restore credits after the barrier")
 	}
 }
 

@@ -162,9 +162,12 @@ func (CmdSwap) isCommand()            {}
 func (CmdSetRenderTarget) isCommand() {}
 
 // BatchState tracks one draw through the pipeline. All boxes share
-// the pointer (the simulator is single threaded); counters retire the
-// batch when every vertex, triangle and fragment quad is accounted
-// for.
+// the pointer; counters retire the batch when every vertex, triangle
+// and fragment quad is accounted for. The counters are mutated by the
+// fixed-pipeline boxes only, which the pipeline pins to one worker
+// shard ("pipe"); shader and texture units treat the batch as
+// read-only (the emulators are created eagerly by the command
+// processor), which is what lets them run on other shards.
 type BatchState struct {
 	core.DynObject
 	State *DrawState
@@ -299,10 +302,22 @@ type TriWork struct {
 // also tracks the signal's per-cycle bandwidth so producers can ask
 // "may I send now" with CanSend instead of tripping the signal's
 // bandwidth check.
+//
+// Released credits take effect at the end of the cycle, not
+// immediately: Release accumulates into a consumer-side count that
+// EndCycle folds into the producer-visible credit pool at the
+// simulator's cycle barrier. This makes the credit protocol
+// independent of box clocking order (a producer clocked after its
+// consumer no longer sees same-cycle releases early) and race-free
+// when producer and consumer are clocked on different worker shards.
+// Flows built by the pipeline register EndCycle with
+// core.Simulator.OnEndCycle; standalone harnesses must drive it
+// themselves (e.g. via Simulator.EndCycle).
 type Flow struct {
 	sig       *core.Signal
-	credits   int
-	sentCycle int64
+	credits   int   // producer-visible pool (producer side)
+	released  int   // returned this cycle, folded at the barrier (consumer side)
+	sentCycle int64 // producer side
 	sentCount int
 }
 
@@ -355,8 +370,16 @@ func (f *Flow) SendLat(cycle int64, obj core.Dynamic, lat int) {
 func (f *Flow) Recv(cycle int64) []core.Dynamic { return f.sig.Read(cycle) }
 
 // Release returns n credits after the consumer retires items from
-// its input queue.
-func (f *Flow) Release(n int) { f.credits += n }
+// its input queue. The credits become visible to the producer at the
+// next cycle barrier.
+func (f *Flow) Release(n int) { f.released += n }
+
+// EndCycle folds released credits into the producer-visible pool. It
+// runs at the simulator's cycle barrier (core.EndCycleFunc).
+func (f *Flow) EndCycle(cycle int64) {
+	f.credits += f.released
+	f.released = 0
+}
 
 // SurfaceLayout maps framebuffer pixels to tiled GPU memory: 8x8
 // pixel blocks of 4 bytes per pixel, one block per 256-byte cache

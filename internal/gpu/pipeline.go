@@ -80,12 +80,15 @@ type Pipeline struct {
 }
 
 // flow provides a signal under the producer's name and binds it for
-// the consumer, wrapping it with queue credits.
+// the consumer, wrapping it with queue credits. Credit releases fold
+// at the simulator's cycle barrier.
 func pFlow(sim *core.Simulator, producer, consumer, name string, bw, lat, maxLat, queue int) *Flow {
 	sig := sim.Binder.Provide(producer, name, bw, lat, maxLat)
 	var bound *core.Signal
 	sim.Binder.Bind(consumer, name, &bound)
-	return NewFlow(sig, queue)
+	f := NewFlow(sig, queue)
+	sim.OnEndCycle(f.EndCycle)
+	return f
 }
 
 // New builds a pipeline for the configuration and render target size.
@@ -195,10 +198,9 @@ func New(cfg Config, width, height int) (*Pipeline, error) {
 	// signal latencies >= 1 it does not affect results.
 	p.streamer = NewStreamer(sim, &cfg, p.Mem, drawFlow, shadeOut, vtxShaded, vtxOut)
 	pa := NewPrimAssembly(sim, vtxOut, paOut)
-	_ = pa
-	NewClipper(sim, paOut, clipOut)
+	clip := NewClipper(sim, paOut, clipOut)
 	p.setupBox = NewSetup(sim, clipOut, setupOut)
-	NewFragmentGenerator(sim, &cfg, setupOut, fgenOut)
+	fgen := NewFragmentGenerator(sim, &cfg, setupOut, fgenOut)
 	p.hz = NewHierarchicalZ(sim, &cfg, p.FB.Z(), fgenOut, hzEarly, hzLate)
 	p.ropzs = make([]*ZStencil, nROP)
 	p.ropcs = make([]*ColorWrite, nROP)
@@ -209,8 +211,8 @@ func New(cfg Config, width, height int) (*Pipeline, error) {
 		p.ropcs[i] = NewColorWrite(sim, &cfg, i, p.FB.Draw,
 			[]*Flow{ffifoEarly[i], ropzLate[i]})
 	}
-	NewInterpolator(sim, &cfg, interpIns, interpOut)
-	NewFragmentFIFO(sim, &cfg, p.FB.Z(), shadeOut, interpOut, vtxShaded,
+	interp := NewInterpolator(sim, &cfg, interpIns, interpOut)
+	ffifo := NewFragmentFIFO(sim, &cfg, p.FB.Z(), shadeOut, interpOut, vtxShaded,
 		ffifoEarly, ffifoLate, shaderIn, shaderOut)
 	p.shaders = make([]*ShaderUnit, nShaders)
 	for i := 0; i < nShaders; i++ {
@@ -218,7 +220,7 @@ func New(cfg Config, width, height int) (*Pipeline, error) {
 		p.shaders[i] = NewShaderUnit(sim, &cfg, i, vertexOnly,
 			shaderIn[i], shaderOut[i], texFromShader[i], texToShader[i])
 	}
-	NewTexCrossbar(sim, texFromShader, texToTU, texFromTU, texToShader)
+	xbar := NewTexCrossbar(sim, texFromShader, texToTU, texFromTU, texToShader)
 	p.tus = make([]*TextureUnit, nTU)
 	for i := 0; i < nTU; i++ {
 		p.tus[i] = NewTextureUnit(sim, &cfg, i, texToTU[i], texFromTU[i])
@@ -234,7 +236,28 @@ func New(cfg Config, width, height int) (*Pipeline, error) {
 	for i := 0; i < nTU; i++ {
 		clients = append(clients, nameIdx("TexCache", i))
 	}
-	mem.NewController(sim, cfg.Memory, p.Mem, clients)
+	mc := mem.NewController(sim, cfg.Memory, p.Mem, clients)
+
+	// Shard affinity for the parallel clock loop: the fixed-pipeline
+	// boxes couple through shared state outside the signal model (the
+	// BatchState counters, direct CP <-> ROP/DAC method calls, HZ
+	// updates from Z-stencil, GPU memory touched by the streamer and
+	// the controller) and therefore form one indivisible unit. Shader
+	// units, the texture crossbar and the texture units interact with
+	// the rest of the chip only through signals, so each may be
+	// clocked on its own worker — they are also where the host time
+	// goes, which is what makes the parallel mode pay off.
+	pinned := []core.Box{p.streamer, pa, clip, p.setupBox, fgen, p.hz}
+	for _, z := range p.ropzs {
+		pinned = append(pinned, z)
+	}
+	for _, c := range p.ropcs {
+		pinned = append(pinned, c)
+	}
+	pinned = append(pinned, interp, ffifo, p.DACBox, p.CP, mc)
+	sim.Pin("pipe", pinned...)
+	_ = xbar // free: flow-mediated only, may land on any shard
+	sim.SetWorkers(cfg.Workers)
 
 	sim.SetDone(p.CP.Finished)
 	return p, nil

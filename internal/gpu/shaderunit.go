@@ -356,7 +356,10 @@ func (s *ShaderUnit) retire(cycle int64) {
 }
 
 // Batch emulator caches: one ShaderEmulator per program+constants,
-// shared by every thread of the batch.
+// shared by every thread of the batch. The command processor builds
+// them eagerly in newBatch (shader units must not mutate shared batch
+// state in parallel mode); the lazy path below only serves test
+// harnesses that construct a BatchState directly.
 func fragEmulator(b *BatchState) *shaderemu.Emulator {
 	if b.fragEmu == nil {
 		b.fragEmu = shaderemu.New(b.State.FragmentProg, b.State.FragConsts)

@@ -98,6 +98,10 @@ type TextureUnit struct {
 
 	queue   []*TexReqMsg
 	current *texWork
+	// quiesced is the barrier-published snapshot of the idle
+	// condition, read by the command processor, which may be clocked
+	// on a different worker shard.
+	quiesced bool
 
 	statReqs     *core.Counter
 	statTexels   *core.Counter
@@ -140,8 +144,9 @@ func (h *texHooks) Encode(key uint32, line []byte) (uint32, []byte) {
 
 // NewTextureUnit builds texture unit idx.
 func NewTextureUnit(sim *core.Simulator, cfg *Config, idx int, reqIn, repOut *Flow) *TextureUnit {
-	t := &TextureUnit{cfg: cfg, idx: idx, reqIn: reqIn, repOut: repOut}
+	t := &TextureUnit{cfg: cfg, idx: idx, reqIn: reqIn, repOut: repOut, quiesced: true}
 	t.Init(nameIdx("TextureUnit", idx))
+	sim.OnEndCycle(t.publishQuiesce)
 	t.hooks = &texHooks{fmtOf: make(map[uint32]texemu.Format)}
 	cc := mem.CacheConfig{
 		Name: nameIdx("TexCache", idx), Sets: cfg.TexCacheSets, Assoc: cfg.TexCacheAssoc,
@@ -160,11 +165,18 @@ func NewTextureUnit(sim *core.Simulator, cfg *Config, idx int, reqIn, repOut *Fl
 // Cache exposes the texture cache for statistics (Figure 8).
 func (t *TextureUnit) Cache() *mem.Cache { return t.cache }
 
-// Quiesce reports whether the unit has no request in progress and no
-// cache traffic in flight (render-target switches invalidate the
-// cache at such a point).
-func (t *TextureUnit) Quiesce() bool {
-	return t.current == nil && len(t.queue) == 0 && t.cache.Quiesce()
+// Quiesce reports whether the unit had no request in progress and no
+// cache traffic in flight as of the last cycle barrier (render-target
+// switches invalidate the cache at such a point). The snapshot is
+// published at the barrier so the command processor may poll it from
+// another worker shard; a true snapshot stays true while the pipeline
+// is drained, which is the only state in which it is consulted.
+func (t *TextureUnit) Quiesce() bool { return t.quiesced }
+
+// publishQuiesce snapshots the live idle condition at the cycle
+// barrier (core.EndCycleFunc).
+func (t *TextureUnit) publishQuiesce(cycle int64) {
+	t.quiesced = t.current == nil && len(t.queue) == 0 && t.cache.Quiesce()
 }
 
 // Clock implements core.Box.

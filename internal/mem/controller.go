@@ -75,6 +75,7 @@ type channelState struct {
 	openPage  uint32
 	hasPage   bool
 	lastOp    Op
+	issued    bool // a first op pays no turnaround (zero lastOp is OpRead)
 	current   *inflight
 }
 
@@ -120,10 +121,17 @@ func NewController(sim *core.Simulator, cfg ControllerConfig, mem *GPUMemory, cl
 	c := &Controller{cfg: cfg, mem: mem, ids: &sim.IDs}
 	c.Init("MemoryController")
 	c.chans = make([]channelState, cfg.Channels)
+	// One transaction can complete on each channel in the same cycle,
+	// all for the same client, so the reply wire must carry at least
+	// Channels objects per cycle regardless of ReplyQueueLen.
+	replyBW := cfg.ReplyQueueLen
+	if cfg.Channels > replyBW {
+		replyBW = cfg.Channels
+	}
 	for _, name := range clients {
 		cl := &mcClient{name: name}
 		sim.Binder.Bind(c.BoxName(), name+".MemReq", &cl.req)
-		cl.reply = sim.Binder.Provide(c.BoxName(), "MC."+name+".Reply", cfg.ReplyQueueLen, 1, 0)
+		cl.reply = sim.Binder.Provide(c.BoxName(), "MC."+name+".Reply", replyBW, 1, 0)
 		c.clients = append(c.clients, cl)
 		c.clientRead = append(c.clientRead, sim.Stats.Counter("MC."+name+".readBytes"))
 		c.clientWrite = append(c.clientWrite, sim.Stats.Counter("MC."+name+".writeBytes"))
@@ -226,15 +234,16 @@ func (c *Controller) schedule(cycle int64, chIdx int, ch *channelState) {
 			ch.hasPage = true
 			c.statPageMiss.Inc()
 		}
-		if ch.lastOp != req.Op {
+		if ch.issued && ch.lastOp != req.Op {
 			if req.Op == OpWrite {
 				dur += c.cfg.ReadToWrite
 			} else {
 				dur += c.cfg.WriteToRead
 			}
 			c.statTurnaround.Inc()
-			ch.lastOp = req.Op
 		}
+		ch.lastOp = req.Op
+		ch.issued = true
 		dur += c.cfg.BaseLatency
 		ch.current = &inflight{req: req, client: ci, done: cycle + int64(dur)}
 		return

@@ -227,6 +227,72 @@ func TestControllerFairnessAcrossClients(t *testing.T) {
 	}
 }
 
+// One client with a transaction on every channel gets all the replies
+// in the same cycle: the reply wire must carry Channels objects even
+// when ReplyQueueLen is smaller (a bw-ReplyQueueLen wire used to
+// panic with a bandwidth violation on 8-channel configs).
+func TestControllerReplyBandwidthManyChannels(t *testing.T) {
+	cfg := DefaultControllerConfig()
+	cfg.Channels = 8
+	cfg.ReplyQueueLen = 4
+	h := newMCHarness(t, cfg, 1<<16, "U")
+	p := h.ports[0]
+	// One read per channel (256-byte interleave), identical timing, so
+	// all eight complete on the same cycle.
+	for i := 0; i < 8; i++ {
+		p.Read(0, uint32(i)*256, 64, 0)
+	}
+	done := 0
+	burst := 0
+	for cyc := int64(0); cyc < 500 && done < 8; cyc++ {
+		h.step(cyc)
+		if n := len(p.Replies(cyc)); n > 0 {
+			done += n
+			if n > burst {
+				burst = n
+			}
+		}
+	}
+	if done != 8 {
+		t.Fatalf("completed %d of 8", done)
+	}
+	if burst != 8 {
+		t.Fatalf("replies did not complete in one cycle (largest burst %d)", burst)
+	}
+}
+
+// The first operation on an idle channel pays no bus turnaround: the
+// zero-valued channel state reads as "last op was a read", which used
+// to charge every leading write a read-to-write penalty and count it
+// in MC.turnarounds.
+func TestControllerFirstWriteNoTurnaround(t *testing.T) {
+	cfg := DefaultControllerConfig()
+	h := newMCHarness(t, cfg, 1<<16, "U")
+	p := h.ports[0]
+	p.Write(0, 0, make([]byte, 64), 0)
+	cyc := int64(0)
+	for ; cyc < 200; cyc++ {
+		h.step(cyc)
+		if len(p.Replies(cyc)) > 0 {
+			break
+		}
+	}
+	if got := h.sim.Stats.Lookup("MC.turnarounds").Value(); got != 0 {
+		t.Fatalf("first write charged a turnaround (count %v)", got)
+	}
+	// A genuine direction switch on the now-warm channel still counts.
+	p.Read(cyc+1, 0, 64, 0)
+	for end := cyc + 200; cyc < end; cyc++ {
+		h.step(cyc)
+		if len(p.Replies(cyc)) > 0 {
+			break
+		}
+	}
+	if got := h.sim.Stats.Lookup("MC.turnarounds").Value(); got != 1 {
+		t.Fatalf("write-to-read turnaround not counted (count %v)", got)
+	}
+}
+
 func TestControllerStats(t *testing.T) {
 	cfg := DefaultControllerConfig()
 	h := newMCHarness(t, cfg, 1<<16, "U")

@@ -1,0 +1,79 @@
+package attila_test
+
+// Determinism of the parallel clock loop: a run sharded over N
+// workers must be indistinguishable from the serial run — same cycle
+// count, byte-identical statistics CSV and summary, and bit-identical
+// rendered frames (ATTILA's signal model with latency >= 1 plus
+// barrier-deferred flow-credit release make the clocking order, and
+// therefore the shard assignment, irrelevant).
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+
+	"attila/internal/gpu"
+)
+
+// runFingerprint reduces a finished pipeline to everything an
+// experiment can observe: cycles, both stats dumps, and a hash over
+// every rendered frame.
+type runFingerprint struct {
+	cycles  int64
+	csv     []byte
+	summary []byte
+	frames  [32]byte
+}
+
+func fingerprint(t *testing.T, workers int, workload string) runFingerprint {
+	t.Helper()
+	p := benchParams()
+	cfg := gpu.Baseline()
+	cfg.Workers = workers
+	pipe := runWorkloadOnce(t, cfg, workload, p)
+	var fp runFingerprint
+	fp.cycles = pipe.Cycles()
+	var csv, sum bytes.Buffer
+	if err := pipe.DumpCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.DumpStats(&sum); err != nil {
+		t.Fatal(err)
+	}
+	fp.csv = csv.Bytes()
+	fp.summary = sum.Bytes()
+	h := sha256.New()
+	for _, fr := range pipe.Frames() {
+		if err := fr.WritePPM(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.Sum(fp.frames[:0])
+	return fp
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, workload := range []string{"simple", "ut2004"} {
+		t.Run(workload, func(t *testing.T) {
+			serial := fingerprint(t, 0, workload)
+			if len(serial.frames) == 0 {
+				t.Fatal("no frames rendered")
+			}
+			for _, workers := range []int{2, 4} {
+				par := fingerprint(t, workers, workload)
+				if par.cycles != serial.cycles {
+					t.Errorf("workers=%d: %d cycles, serial %d", workers, par.cycles, serial.cycles)
+				}
+				if !bytes.Equal(par.csv, serial.csv) {
+					t.Errorf("workers=%d: stats CSV differs from serial", workers)
+				}
+				if !bytes.Equal(par.summary, serial.summary) {
+					t.Errorf("workers=%d: stats summary differs from serial", workers)
+				}
+				if par.frames != serial.frames {
+					t.Errorf("workers=%d: frame hash %x, serial %x", workers, par.frames, serial.frames)
+				}
+			}
+		})
+	}
+}
