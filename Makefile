@@ -8,11 +8,15 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the concurrency gate: vet plus the race detector over the
-# packages that run under the parallel clock loop.
+# check is the concurrency and robustness gate: vet, the race
+# detector over the packages that run under the parallel clock loop,
+# the watchdog/cancellation paths raced through the GPU pipeline, and
+# a fuzz smoke over the trace reader.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/core/... ./internal/mem/...
+	$(GO) test -race -run 'Watchdog|Deadlock|Cancel' ./internal/gpu/ .
+	$(GO) test -fuzz=FuzzReader -fuzztime=10s ./internal/trace
 
 # bench-parallel reproduces the BENCH_parallel.json snapshot.
 bench-parallel:

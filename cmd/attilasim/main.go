@@ -5,17 +5,30 @@
 // trace for cmd/sigtrace, and verify the output against the
 // functional reference renderer.
 //
+// A failed run is still a run: on deadlock, panic, SIGINT/SIGTERM or
+// -timeout expiry, every requested output (-stats, -summary, -frames,
+// -sigtrace) is flushed with the partial results before exiting
+// nonzero, and -blackbox captures a machine-readable crash report.
+//
+// Exit codes: 0 success; 1 simulation failure (model violation,
+// panic, cycle budget); 2 deadlock detected by -watchdog;
+// 3 interrupted or timed out; 4 usage or input errors.
+//
 // Usage:
 //
 //	attilasim -trace doom3.attila -config casestudy -tus 2 -stats stats.csv -verify
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"attila/internal/core"
 	"attila/internal/gpu"
@@ -23,7 +36,20 @@ import (
 	"attila/internal/trace"
 )
 
+// Exit codes.
+const (
+	exitOK          = 0
+	exitSimFailure  = 1
+	exitDeadlock    = 2
+	exitInterrupted = 3
+	exitUsage       = 4
+)
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	in := flag.String("trace", "", "input trace file")
 	preset := flag.String("config", "baseline-unified", "config preset: baseline|baseline-unified|casestudy|embedded|highend")
 	tus := flag.Int("tus", 0, "override texture unit count (casestudy sweep)")
@@ -39,10 +65,13 @@ func main() {
 	verify := flag.Bool("verify", false, "compare frames against the functional reference")
 	maxCycles := flag.Int64("max-cycles", 2_000_000_000, "cycle budget")
 	workers := flag.Int("workers", 0, "host worker shards for the clock loop (0/1 = serial; results identical)")
+	watchdog := flag.Int64("watchdog", 0, "abort with a deadlock report after this many cycles without progress (0 = off)")
+	timeout := flag.Duration("timeout", 0, "wall-clock limit for the simulation (0 = none)")
+	blackbox := flag.String("blackbox", "", "write a JSON crash report here when the run fails")
 	flag.Parse()
 
 	if *in == "" {
-		fatal(fmt.Errorf("need -trace (generate one with tracegen)"))
+		return fail(exitUsage, errors.New("need -trace (generate one with tracegen)"))
 	}
 
 	mode := gpu.ScheduleWindow
@@ -62,7 +91,7 @@ func main() {
 	case "highend":
 		cfg = gpu.HighEnd()
 	default:
-		fatal(fmt.Errorf("unknown config preset %q", *preset))
+		return fail(exitUsage, fmt.Errorf("unknown config preset %q", *preset))
 	}
 	cfg.Schedule = mode
 	if *tus > 0 {
@@ -75,117 +104,215 @@ func main() {
 		cfg.NumROPs = *rops
 	}
 	cfg.Workers = *workers
+	cfg.WatchdogWindow = *watchdog
 
 	f, err := os.Open(*in)
 	if err != nil {
-		fatal(err)
+		return fail(exitUsage, err)
 	}
 	defer f.Close()
 	r, err := trace.NewReader(f)
 	if err != nil {
-		fatal(err)
+		return fail(exitUsage, traceErr(*in, err))
 	}
 	hdr := r.Header()
 	cmds, err := r.ReadAll(*start, *end)
 	if err != nil {
-		fatal(err)
+		return fail(exitUsage, traceErr(*in, err))
 	}
 
 	pipe, err := gpu.New(cfg, hdr.Width, hdr.Height)
 	if err != nil {
-		fatal(err)
+		return fail(exitUsage, err)
 	}
 	var sigWriter *core.SigTraceWriter
 	if *sigOut != "" {
 		sf, err := os.Create(*sigOut)
 		if err != nil {
-			fatal(err)
+			return fail(exitUsage, err)
 		}
 		defer sf.Close()
 		sigWriter = core.NewSigTraceWriter(sf)
 		pipe.TraceSignals(sigWriter)
 	}
 
+	// SIGINT/SIGTERM and -timeout cancel the run cooperatively: the
+	// simulator stops at a cycle boundary and the output flushing
+	// below still happens on the partial state.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, *timeout,
+			fmt.Errorf("wall-clock timeout %v expired", *timeout))
+		defer cancel()
+	}
+
 	fmt.Printf("%s\n", pipe)
 	fmt.Printf("trace %s: %s %dx%d, frames %d..%v\n", *in, hdr.Label, hdr.Width, hdr.Height, *start, *end)
-	if err := pipe.Run(cmds, *maxCycles); err != nil {
-		fatal(err)
+	simErr := pipe.RunContext(ctx, cmds, *maxCycles)
+	if simErr == nil {
+		fmt.Printf("simulated %d cycles, %d frames, %.2f fps at %d MHz\n",
+			pipe.Cycles(), len(pipe.Frames()), pipe.FPS(), cfg.ClockMHz)
+	} else {
+		fmt.Printf("simulation stopped after %d cycles with %d frames rendered\n",
+			pipe.Cycles(), len(pipe.Frames()))
 	}
-	fmt.Printf("simulated %d cycles, %d frames, %.2f fps at %d MHz\n",
-		pipe.Cycles(), len(pipe.Frames()), pipe.FPS(), cfg.ClockMHz)
 
+	// Flush every requested output whether or not the run succeeded;
+	// a partial stats CSV from a hung run is exactly what the flags
+	// were for. Output problems never mask the simulation verdict.
+	outOK := true
 	if sigWriter != nil {
 		if err := sigWriter.Close(); err != nil {
-			fatal(err)
+			outOK = complain(err)
+		} else {
+			fmt.Println("wrote signal trace to", *sigOut)
 		}
-		fmt.Println("wrote signal trace to", *sigOut)
 	}
 	if *statsOut != "" {
-		writeTo(*statsOut, pipe.DumpCSV)
+		outOK = writeTo(*statsOut, pipe.DumpCSV) && outOK
 	}
 	if *summaryOut != "" {
-		writeTo(*summaryOut, pipe.DumpStats)
+		outOK = writeTo(*summaryOut, pipe.DumpStats) && outOK
 	}
 	if *framesOut != "" {
-		if err := os.MkdirAll(*framesOut, 0o755); err != nil {
-			fatal(err)
+		outOK = writeFrames(*framesOut, *start, pipe.Frames()) && outOK
+	}
+	if *blackbox != "" && pipe.Sim.Crash() != nil {
+		if err := pipe.Sim.Crash().WriteFile(*blackbox); err != nil {
+			outOK = complain(err)
+		} else {
+			fmt.Println("wrote crash report to", *blackbox)
 		}
-		for i, fr := range pipe.Frames() {
-			path := filepath.Join(*framesOut, fmt.Sprintf("frame%03d.ppm", *start+i))
-			of, err := os.Create(path)
-			if err != nil {
-				fatal(err)
-			}
-			if err := fr.WritePPM(of); err != nil {
-				of.Close()
-				fatal(err)
-			}
-			of.Close()
-			fmt.Println("wrote", path)
-		}
+	}
+
+	if simErr != nil {
+		return fail(verdict(simErr), describe(simErr))
 	}
 	if *verify {
-		ref := refrender.New(cfg.GPUMemBytes, hdr.Width, hdr.Height)
-		if err := ref.Execute(cmds); err != nil {
-			fatal(err)
+		if code := runVerify(cfg, hdr, cmds, pipe); code != exitOK {
+			return code
 		}
-		refFrames := ref.Frames()
-		simFrames := pipe.Frames()
-		if len(refFrames) != len(simFrames) {
-			fatal(fmt.Errorf("verify: frame counts %d vs %d", len(simFrames), len(refFrames)))
-		}
-		bad := 0
-		for i := range simFrames {
-			diff, maxd := gpu.DiffFrames(simFrames[i], refFrames[i])
-			if diff != 0 {
-				fmt.Printf("verify: frame %d differs in %d pixels (max delta %d)\n", i, diff, maxd)
-				bad++
-			}
-		}
-		if bad == 0 {
-			fmt.Println("verify: all frames match the functional reference bit-exactly")
-		} else {
-			os.Exit(1)
-		}
+	}
+	if !outOK {
+		return exitUsage
+	}
+	return exitOK
+}
+
+// verdict maps a simulation error to the process exit code.
+func verdict(err error) int {
+	switch {
+	case errors.Is(err, core.ErrDeadlock):
+		return exitDeadlock
+	case errors.Is(err, core.ErrCanceled):
+		return exitInterrupted
+	default:
+		// Model violations, panics, cycle budget exhaustion.
+		return exitSimFailure
 	}
 }
 
-func writeTo(path string, fn func(w io.Writer) error) {
+// describe expands structured failures: a deadlock error prints the
+// watchdog's full report, not just the one-line summary.
+func describe(err error) error {
+	var de *core.DeadlockError
+	if errors.As(err, &de) {
+		return fmt.Errorf("%w\n%s", err, de.Report)
+	}
+	return err
+}
+
+// traceErr prefixes reader failures with actionable advice keyed on
+// the typed sentinel.
+func traceErr(path string, err error) error {
+	switch {
+	case errors.Is(err, trace.ErrTruncated):
+		return fmt.Errorf("%s: %w (the file is cut short — re-copy or re-capture it)", path, err)
+	case errors.Is(err, trace.ErrCorrupt):
+		return fmt.Errorf("%s: %w (not a valid trace — re-capture it)", path, err)
+	default:
+		return fmt.Errorf("%s: %w", path, err)
+	}
+}
+
+func runVerify(cfg gpu.Config, hdr trace.Header, cmds []gpu.Command, pipe *gpu.Pipeline) int {
+	ref := refrender.New(cfg.GPUMemBytes, hdr.Width, hdr.Height)
+	if err := ref.Execute(cmds); err != nil {
+		return fail(exitUsage, err)
+	}
+	refFrames := ref.Frames()
+	simFrames := pipe.Frames()
+	if len(refFrames) != len(simFrames) {
+		return fail(exitSimFailure, fmt.Errorf("verify: frame counts %d vs %d", len(simFrames), len(refFrames)))
+	}
+	bad := 0
+	for i := range simFrames {
+		diff, maxd := gpu.DiffFrames(simFrames[i], refFrames[i])
+		if diff != 0 {
+			fmt.Printf("verify: frame %d differs in %d pixels (max delta %d)\n", i, diff, maxd)
+			bad++
+		}
+	}
+	if bad != 0 {
+		return exitSimFailure
+	}
+	fmt.Println("verify: all frames match the functional reference bit-exactly")
+	return exitOK
+}
+
+func writeFrames(dir string, start int, frames []*gpu.Frame) bool {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return complain(err)
+	}
+	ok := true
+	for i, fr := range frames {
+		path := filepath.Join(dir, fmt.Sprintf("frame%03d.ppm", start+i))
+		of, err := os.Create(path)
+		if err != nil {
+			ok = complain(err)
+			continue
+		}
+		err = fr.WritePPM(of)
+		if cerr := of.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			ok = complain(err)
+			continue
+		}
+		fmt.Println("wrote", path)
+	}
+	return ok
+}
+
+// writeTo writes one output file, reporting rather than aborting on
+// failure so the remaining outputs still get flushed.
+func writeTo(path string, fn func(w io.Writer) error) bool {
 	f, err := os.Create(path)
 	if err != nil {
-		fatal(err)
+		return complain(err)
 	}
-	if err := fn(f); err != nil {
-		f.Close()
-		fatal(err)
+	err = fn(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
 	}
-	if err := f.Close(); err != nil {
-		fatal(err)
+	if err != nil {
+		return complain(err)
 	}
 	fmt.Println("wrote", path)
+	return true
 }
 
-func fatal(err error) {
+// complain reports a non-fatal output error and returns false for
+// accumulation into the outputs-ok flag.
+func complain(err error) bool {
 	fmt.Fprintln(os.Stderr, "attilasim:", err)
-	os.Exit(1)
+	return false
+}
+
+func fail(code int, err error) int {
+	fmt.Fprintln(os.Stderr, "attilasim:", err)
+	return code
 }

@@ -9,11 +9,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
+	"attila/internal/core"
 	"attila/internal/experiments"
 	"attila/internal/gpu"
 )
@@ -26,11 +31,27 @@ func main() {
 	aniso := flag.Int("aniso", 8, "max anisotropy (paper: 8)")
 	out := flag.String("out", "", "directory for PPM frame dumps (fig10)")
 	workers := flag.Int("workers", 0, "host worker shards for the clock loop (0/1 = serial; results identical)")
+	watchdog := flag.Int64("watchdog", 0, "abort a hung run with a deadlock report after this many cycles without progress (0 = off)")
+	timeout := flag.Duration("timeout", 0, "wall-clock limit across all experiments (0 = none)")
 	flag.Parse()
+
+	// SIGINT/SIGTERM and -timeout cancel the in-flight simulation at
+	// a cycle boundary; completed experiments' output has already been
+	// printed by then.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, *timeout,
+			fmt.Errorf("wall-clock timeout %v expired", *timeout))
+		defer cancel()
+	}
 
 	p := experiments.DefaultRunParams()
 	p.Width, p.Height, p.Frames, p.Aniso = *width, *height, *frames, *aniso
 	p.Workers = *workers
+	p.WatchdogWindow = *watchdog
+	p.Ctx = ctx
 
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
@@ -39,7 +60,18 @@ func main() {
 		fmt.Printf("== %s ==\n", name)
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			switch {
+			case errors.Is(err, core.ErrCanceled):
+				os.Exit(3)
+			case errors.Is(err, core.ErrDeadlock):
+				var de *core.DeadlockError
+				if errors.As(err, &de) {
+					fmt.Fprint(os.Stderr, de.Report)
+				}
+				os.Exit(2)
+			default:
+				os.Exit(1)
+			}
 		}
 		fmt.Println()
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -36,13 +37,13 @@ func main() {
 	defer f.Close()
 	r, err := trace.NewReader(f)
 	if err != nil {
-		fatal(err)
+		fatal(traceErr(*in, err))
 	}
 	hdr := r.Header()
 	fmt.Printf("trace %s: %s %dx%d, %d frames\n", *in, hdr.Label, hdr.Width, hdr.Height, hdr.Frames)
 	cmds, err := r.ReadAll(*start, *end)
 	if err != nil {
-		fatal(err)
+		fatal(traceErr(*in, err))
 	}
 	ref := refrender.New(*memMB<<20, hdr.Width, hdr.Height)
 	if err := ref.Execute(cmds); err != nil {
@@ -69,6 +70,19 @@ func main() {
 			}
 			fmt.Println("wrote", path)
 		}
+	}
+}
+
+// traceErr keys the advice on the reader's typed sentinels: a
+// truncated file needs re-copying, a corrupt one re-capturing.
+func traceErr(path string, err error) error {
+	switch {
+	case errors.Is(err, trace.ErrTruncated):
+		return fmt.Errorf("%s: %w (the file is cut short — re-copy or re-capture it)", path, err)
+	case errors.Is(err, trace.ErrCorrupt):
+		return fmt.Errorf("%s: %w (not a valid trace — re-capture it)", path, err)
+	default:
+		return fmt.Errorf("%s: %w", path, err)
 	}
 }
 

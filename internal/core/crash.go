@@ -1,0 +1,115 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ErrPanic matches (via errors.Is) the error Run returns when a box
+// panicked with anything other than a *SimError.
+var ErrPanic = errors.New("core: box panic")
+
+// ErrCanceled matches (via errors.Is) the error Run returns when the
+// run was stopped by Simulator.Stop or a canceled context before
+// completing.
+var ErrCanceled = errors.New("core: run canceled")
+
+// CrashError is a box panic recovered by the clock loop: the
+// simulator's black box records which box on which shard failed at
+// which cycle, with the panicking goroutine's stack. It unwraps to
+// ErrPanic.
+type CrashError struct {
+	Box   string // failing box, "" when the panic escaped a hook or predicate
+	Shard int    // worker shard (0 in serial mode and for the inline shard)
+	Cycle int64
+	Value any    // the original panic value
+	Stack []byte // stack of the panicking goroutine
+}
+
+// Error implements error.
+func (e *CrashError) Error() string {
+	where := e.Box
+	if where == "" {
+		where = "coordinator"
+	}
+	return fmt.Sprintf("core: panic in %s (shard %d) at cycle %d: %v", where, e.Shard, e.Cycle, e.Value)
+}
+
+// Unwrap makes errors.Is(err, ErrPanic) true.
+func (e *CrashError) Unwrap() error { return ErrPanic }
+
+// CrashReport is the black-box record a failed run leaves behind:
+// enough to diagnose the failure without rerunning a multi-hour
+// simulation. Run builds one for every non-completion outcome except
+// the plain cycle-limit budget; tools persist it with WriteJSON.
+type CrashReport struct {
+	Kind     string             `json:"kind"` // "panic", "model", "deadlock" or "canceled"
+	Box      string             `json:"box,omitempty"`
+	Shard    int                `json:"shard"`
+	Cycle    int64              `json:"cycle"`
+	Err      string             `json:"error"`
+	Stack    string             `json:"stack,omitempty"`
+	Stats    map[string]float64 `json:"stats,omitempty"` // cumulative statistics at failure
+	Deadlock *DeadlockReport    `json:"deadlock,omitempty"`
+}
+
+// WriteJSON serializes the report, indented for humans.
+func (r *CrashReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile persists the report to path (the conventional black-box
+// file tools write next to their outputs).
+func (r *CrashReport) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// buildCrashReport classifies a Run error into the black-box record,
+// snapshotting the statistics. Cycle-limit exhaustion and nil errors
+// produce no report.
+func (s *Simulator) buildCrashReport(err error) *CrashReport {
+	if err == nil || errors.Is(err, ErrCycleLimit) {
+		return nil
+	}
+	r := &CrashReport{Cycle: s.cycle, Err: err.Error(), Stats: s.Stats.Snapshot()}
+	var ce *CrashError
+	var se *SimError
+	var de *DeadlockError
+	switch {
+	case errors.As(err, &ce):
+		r.Kind = "panic"
+		r.Box = ce.Box
+		r.Shard = ce.Shard
+		r.Cycle = ce.Cycle
+		r.Stack = string(ce.Stack)
+	case errors.As(err, &se):
+		r.Kind = "model"
+		r.Box = se.Where
+		r.Cycle = se.Cycle
+	case errors.As(err, &de):
+		r.Kind = "deadlock"
+		r.Deadlock = de.Report
+	case errors.Is(err, ErrCanceled):
+		r.Kind = "canceled"
+	default:
+		return nil // configuration errors (binder validation) need no black box
+	}
+	return r
+}
+
+// Crash returns the black-box report of the most recent failed Run,
+// or nil after a clean completion (or plain cycle-limit exhaustion).
+func (s *Simulator) Crash() *CrashReport { return s.crash }

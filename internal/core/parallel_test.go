@@ -149,23 +149,44 @@ func (b *panicBox) Clock(cycle int64) {
 	}
 }
 
-// Non-SimError panics are programming errors and must propagate out
-// of Run in parallel mode exactly as in serial mode.
+// Non-SimError panics are programming errors; Run recovers them into
+// a *CrashError naming the failing box, cycle, and shard — in parallel
+// mode exactly as in serial mode.
 func TestParallelPanicPropagates(t *testing.T) {
-	sim := NewSimulator(0)
-	buildFanout(sim, 3, 100)
-	pb := &panicBox{at: 5}
-	pb.Init("Panicker")
-	sim.Register(pb)
-	sim.SetWorkers(3)
-	sim.SetDone(func() bool { return false })
-	defer func() {
-		if r := recover(); r != "programming error in a box" {
-			t.Fatalf("want the box panic value, got %v", r)
+	for _, workers := range []int{0, 3} {
+		sim := NewSimulator(0)
+		buildFanout(sim, 3, 100)
+		pb := &panicBox{at: 5}
+		pb.Init("Panicker")
+		sim.Register(pb)
+		sim.SetWorkers(workers)
+		sim.SetDone(func() bool { return false })
+		err := sim.Run(100)
+		var ce *CrashError
+		if !errors.As(err, &ce) {
+			t.Fatalf("workers=%d: want *CrashError, got %v", workers, err)
 		}
-	}()
-	_ = sim.Run(100)
-	t.Fatal("Run returned instead of panicking")
+		if !errors.Is(err, ErrPanic) {
+			t.Errorf("workers=%d: error does not match ErrPanic", workers)
+		}
+		if ce.Box != "Panicker" {
+			t.Errorf("workers=%d: crash names box %q, want Panicker", workers, ce.Box)
+		}
+		if ce.Cycle != 5 {
+			t.Errorf("workers=%d: crash at cycle %d, want 5", workers, ce.Cycle)
+		}
+		if ce.Value != "programming error in a box" {
+			t.Errorf("workers=%d: panic value %v not preserved", workers, ce.Value)
+		}
+		if len(ce.Stack) == 0 {
+			t.Errorf("workers=%d: no stack captured", workers)
+		}
+		// The black box names the same failure and carries stats.
+		cr := sim.Crash()
+		if cr == nil || cr.Kind != "panic" || cr.Box != "Panicker" {
+			t.Fatalf("workers=%d: crash report %+v, want kind=panic box=Panicker", workers, cr)
+		}
+	}
 }
 
 type hookRecorder struct {

@@ -168,6 +168,35 @@ func (s *Signal) Traffic() (produced, consumed uint64) {
 	return s.produced.Load(), s.consumed.Load()
 }
 
+// inFlightMax bounds how many stuck objects InFlight lists per signal.
+const inFlightMax = 8
+
+// InFlight describes the unread objects still on the wire, one entry
+// per object formatted "tag#id @arrival", capped at inFlightMax with a
+// trailing "+N more" marker. Intended for deadlock reports; call only
+// at the cycle barrier (it reads ring slots both sides touch).
+func (s *Signal) InFlight() []string {
+	var out []string
+	total := 0
+	for slot, objs := range s.ring {
+		if len(objs) == 0 {
+			continue
+		}
+		arrive := s.stamp[slot]
+		for _, o := range objs {
+			total++
+			if len(out) < inFlightMax {
+				d := o.DynInfo()
+				out = append(out, fmt.Sprintf("%s#%d @%d", d.Tag, d.ID, arrive))
+			}
+		}
+	}
+	if total > len(out) {
+		out = append(out, fmt.Sprintf("+%d more", total-len(out)))
+	}
+	return out
+}
+
 // Tracer receives every object as it leaves a signal, one call per
 // object. The signal trace file consumed by the Signal Trace
 // Visualizer (cmd/sigtrace) is produced through this interface.

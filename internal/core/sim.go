@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 )
 
 // Box is a timing module. Clock is called exactly once per simulated
@@ -47,6 +50,11 @@ type EndCycleFunc func(cycle int64)
 // at the barrier, parallel runs are bit-identical to serial runs.
 // Boxes that share mutable state directly (method calls, shared
 // counters) must be kept on one shard with Pin.
+//
+// Run failures are classified into typed errors — ErrCycleLimit,
+// ErrDeadlock, ErrPanic, ErrCanceled, *SimError — and every abnormal
+// outcome except plain budget exhaustion leaves a black-box
+// CrashReport behind (see Crash).
 type Simulator struct {
 	Binder *Binder
 	Stats  *StatManager
@@ -60,6 +68,22 @@ type Simulator struct {
 	hooks     []EndCycleFunc
 	traced    []*Signal // signals with a tracer, flushed each cycle
 	tracedSet bool
+
+	wd    *watchdog
+	crash *CrashReport
+
+	// Cooperative cancellation: Stop (or a context watcher) raises
+	// stopped; the clock loop polls it once per cycle. stopCause is
+	// written before the Store and read after a true Load, which the
+	// atomic orders. The loop additionally polls the context directly
+	// every ctxPollMask+1 cycles, bounding cancellation latency in
+	// cycles even when the watcher goroutine is slow to schedule.
+	stopped   atomic.Bool
+	stopCause error
+	runCtx    context.Context
+	ctxDone   <-chan struct{}
+
+	curBox Box // serial mode: box being clocked, for panic attribution
 }
 
 // NewSimulator creates a simulator with the given statistics sampling
@@ -93,6 +117,25 @@ func (s *Simulator) SetWorkers(n int) {
 // Workers returns the configured worker count (0 or 1 means serial).
 func (s *Simulator) Workers() int { return s.workers }
 
+// SetWatchdog arms the progress watchdog: if no signal traffic and no
+// ProgressReporter counter changes for window consecutive cycles, Run
+// aborts with a *DeadlockError carrying a structured report instead
+// of spinning to the cycle budget. Pass 0 to disable (the default).
+// The watchdog runs at the cycle barrier and does not perturb timing.
+func (s *Simulator) SetWatchdog(window int64) {
+	if window <= 0 {
+		s.wd = nil
+		return
+	}
+	s.wd = &watchdog{window: window}
+}
+
+// Stop requests cooperative cancellation: the clock loop returns an
+// ErrCanceled-wrapping error at the next cycle boundary, with all
+// statistics and traces produced so far flushed. Safe to call from
+// any goroutine (e.g. a signal handler).
+func (s *Simulator) Stop() { s.stopped.Store(true) }
+
 // Pin assigns boxes to a named affinity group: all boxes pinned to
 // the same group are clocked on the same worker, in registration
 // order relative to each other. Pin boxes that share mutable state
@@ -119,10 +162,25 @@ func (s *Simulator) Cycle() int64 { return s.cycle }
 var ErrCycleLimit = errors.New("core: cycle limit reached")
 
 // Run clocks all boxes until the done predicate reports true or
-// maxCycles elapse. Model violations (signal bandwidth, lost data)
-// surface as *SimError — also from worker goroutines in parallel
-// mode, without deadlocking the cycle barrier.
+// maxCycles elapse. Equivalent to RunContext with a background
+// context.
 func (s *Simulator) Run(maxCycles int64) error {
+	return s.RunContext(context.Background(), maxCycles)
+}
+
+// RunContext clocks all boxes until the done predicate reports true,
+// maxCycles elapse, the context is canceled, or a failure occurs.
+//
+// Failures are returned as typed errors, never raised as panics:
+// model violations (signal bandwidth, lost data) as *SimError, box
+// panics as *CrashError (errors.Is ErrPanic), watchdog deadlocks as
+// *DeadlockError (errors.Is ErrDeadlock), cancellation as an
+// ErrCanceled-wrapping error, and budget exhaustion as an
+// ErrCycleLimit-wrapping error. On every path — including failures —
+// the statistics rows and signal-trace entries produced so far are
+// flushed, so a partial run still yields its outputs; abnormal
+// failures additionally record a black-box CrashReport (see Crash).
+func (s *Simulator) RunContext(ctx context.Context, maxCycles int64) error {
 	if err := s.Binder.Validate(); err != nil {
 		return err
 	}
@@ -130,6 +188,35 @@ func (s *Simulator) Run(maxCycles int64) error {
 		return errors.New("core: no termination predicate installed")
 	}
 	s.refreshTraced()
+	s.crash = nil
+	s.stopped.Store(false)
+	s.stopCause = nil
+	s.runCtx = nil
+	s.ctxDone = nil
+	if ctx != nil && ctx.Done() != nil {
+		s.runCtx = ctx
+		s.ctxDone = ctx.Done()
+		if ctx.Err() != nil {
+			// Already canceled: fail deterministically before the
+			// first cycle instead of racing the watcher goroutine.
+			s.stopCause = context.Cause(ctx)
+			s.stopped.Store(true)
+		} else {
+			quit := make(chan struct{})
+			go func() {
+				select {
+				case <-ctx.Done():
+					s.stopCause = context.Cause(ctx)
+					s.stopped.Store(true)
+				case <-quit:
+				}
+			}()
+			defer close(quit)
+		}
+	}
+	if s.wd != nil {
+		s.wd.reset(s)
+	}
 	var err error
 	if s.workers > 1 {
 		err = s.runParallel(maxCycles, s.workers)
@@ -140,7 +227,59 @@ func (s *Simulator) Run(maxCycles int64) error {
 	// entries its boxes produced so the trace shows the violation.
 	s.flushTraces()
 	s.Stats.Flush(s.cycle)
+	s.crash = s.buildCrashReport(err)
 	return err
+}
+
+// ctxPollMask: the loop does a non-blocking poll of the run context
+// every 1024 cycles, so cancellation latency is bounded in simulated
+// cycles (the watcher goroutine bounds it in wall time).
+const ctxPollMask = 1<<10 - 1
+
+// shouldStop is the per-cycle cancellation check at the top of both
+// run loops.
+func (s *Simulator) shouldStop(cycle int64) bool {
+	if s.stopped.Load() {
+		return true
+	}
+	if s.ctxDone != nil && cycle&ctxPollMask == 0 {
+		select {
+		case <-s.ctxDone:
+			s.stopCause = context.Cause(s.runCtx)
+			s.stopped.Store(true)
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+// stopErr builds the cancellation error, folding in the context
+// cause when one was recorded.
+func (s *Simulator) stopErr() error {
+	if cause := s.stopCause; cause != nil {
+		return fmt.Errorf("%w at cycle %d: %v", ErrCanceled, s.cycle, cause)
+	}
+	return fmt.Errorf("%w at cycle %d", ErrCanceled, s.cycle)
+}
+
+// endOfCycle runs the shared per-cycle tail: barrier hooks, stats,
+// termination and watchdog checks. It returns (true, err) when the
+// run loop should return err.
+func (s *Simulator) endOfCycle() (bool, error) {
+	cyc := s.cycle
+	s.EndCycle(cyc)
+	s.Stats.Tick(cyc)
+	s.cycle++
+	if s.done() {
+		return true, nil
+	}
+	if s.wd != nil {
+		if rep := s.wd.check(s, cyc); rep != nil {
+			return true, &DeadlockError{Report: rep}
+		}
+	}
+	return false, nil
 }
 
 // EndCycle runs the end-of-cycle hooks and drains signal trace
@@ -178,6 +317,13 @@ func (s *Simulator) flushTraces() {
 	}
 }
 
+func boxNameOf(b Box) string {
+	if b == nil {
+		return ""
+	}
+	return b.BoxName()
+}
+
 func (s *Simulator) runSerial(maxCycles int64) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -185,19 +331,24 @@ func (s *Simulator) runSerial(maxCycles int64) (err error) {
 				err = se
 				return
 			}
-			panic(r)
+			err = &CrashError{
+				Box: boxNameOf(s.curBox), Cycle: s.cycle,
+				Value: r, Stack: debug.Stack(),
+			}
 		}
 	}()
 	limit := s.cycle + maxCycles
 	for s.cycle < limit {
+		if s.shouldStop(s.cycle) {
+			return s.stopErr()
+		}
 		for _, b := range s.boxes {
+			s.curBox = b
 			b.Clock(s.cycle)
 		}
-		s.EndCycle(s.cycle)
-		s.Stats.Tick(s.cycle)
-		s.cycle++
-		if s.done() {
-			return nil
+		s.curBox = nil
+		if stop, err := s.endOfCycle(); stop {
+			return err
 		}
 	}
 	return fmt.Errorf("%w after %d cycles", ErrCycleLimit, maxCycles)
@@ -206,12 +357,13 @@ func (s *Simulator) runSerial(maxCycles int64) (err error) {
 // worker is one member of the persistent pool: it owns a shard of
 // boxes and sleeps on its wake channel between cycles.
 type worker struct {
+	shard int
 	wake  chan int64
 	boxes []Box
 	// Failure state, written before wg.Done and read by the
 	// coordinator after wg.Wait (the barrier orders both).
 	simErr *SimError
-	panicV any
+	crash  *CrashError
 }
 
 func (w *worker) clock(cycle int64, wg *sync.WaitGroup) {
@@ -219,16 +371,25 @@ func (w *worker) clock(cycle int64, wg *sync.WaitGroup) {
 	// and the Done are both deferred: a panicking shard parks like any
 	// other and the coordinator inspects the failure after Wait.
 	defer wg.Done()
+	var cur Box
 	defer func() {
 		if r := recover(); r != nil {
 			if se, ok := r.(*SimError); ok {
 				w.simErr = se
-			} else {
-				w.panicV = r
+				return
+			}
+			// Wrap the raw panic with box and cycle context so a
+			// parallel-mode crash names the failing box like serial
+			// mode does, and capture the stack here: it still shows
+			// the panicking frames during unwinding.
+			w.crash = &CrashError{
+				Box: boxNameOf(cur), Shard: w.shard, Cycle: cycle,
+				Value: r, Stack: debug.Stack(),
 			}
 		}
 	}()
 	for _, b := range w.boxes {
+		cur = b
 		b.Clock(cycle)
 	}
 }
@@ -262,7 +423,18 @@ func (s *Simulator) partition(nw int) [][]Box {
 	return shards
 }
 
-func (s *Simulator) runParallel(maxCycles int64, nw int) error {
+func (s *Simulator) runParallel(maxCycles int64, nw int) (err error) {
+	defer func() {
+		// Coordinator-side panics (end-of-cycle hooks, the done
+		// predicate) get the same black-box treatment as box panics.
+		if r := recover(); r != nil {
+			if se, ok := r.(*SimError); ok {
+				err = se
+				return
+			}
+			err = &CrashError{Cycle: s.cycle, Value: r, Stack: debug.Stack()}
+		}
+	}()
 	shards := s.partition(nw)
 	// Shard 0 runs inline on the coordinating goroutine — it would
 	// otherwise sleep through the whole cycle — so only shards 1..n-1
@@ -270,7 +442,7 @@ func (s *Simulator) runParallel(maxCycles int64, nw int) error {
 	workers := make([]*worker, len(shards))
 	var wg sync.WaitGroup
 	for i, shard := range shards {
-		w := &worker{boxes: shard}
+		w := &worker{shard: i, boxes: shard}
 		workers[i] = w
 		if i == 0 {
 			continue
@@ -290,29 +462,30 @@ func (s *Simulator) runParallel(maxCycles int64, nw int) error {
 
 	limit := s.cycle + maxCycles
 	for s.cycle < limit {
+		if s.shouldStop(s.cycle) {
+			return s.stopErr()
+		}
 		wg.Add(len(workers))
 		for _, w := range workers[1:] {
 			w.wake <- s.cycle
 		}
 		workers[0].clock(s.cycle, &wg)
 		wg.Wait()
+		// Several shards may fail in the same cycle; report the
+		// lowest worker index for a deterministic error. Programming
+		// errors (panics) outrank model violations.
 		for _, w := range workers {
-			if w.panicV != nil {
-				panic(w.panicV) // programming error: propagate like serial mode
+			if w.crash != nil {
+				return w.crash
 			}
 		}
 		for _, w := range workers {
 			if w.simErr != nil {
-				// Several shards may fail in the same cycle; report
-				// the lowest worker index for a deterministic error.
 				return w.simErr
 			}
 		}
-		s.EndCycle(s.cycle)
-		s.Stats.Tick(s.cycle)
-		s.cycle++
-		if s.done() {
-			return nil
+		if stop, err := s.endOfCycle(); stop {
+			return err
 		}
 	}
 	return fmt.Errorf("%w after %d cycles", ErrCycleLimit, maxCycles)

@@ -121,6 +121,16 @@ func (m *StatManager) register(s Stat) {
 	m.last = append(m.last, 0)
 }
 
+// Snapshot returns the cumulative value of every stat by name, for
+// embedding in crash reports.
+func (m *StatManager) Snapshot() map[string]float64 {
+	out := make(map[string]float64, len(m.stats))
+	for _, s := range m.stats {
+		out[s.StatName()] = s.Value()
+	}
+	return out
+}
+
 // Lookup returns the stat registered under name, or nil.
 func (m *StatManager) Lookup(name string) Stat { return m.byName[name] }
 

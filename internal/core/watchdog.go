@@ -1,0 +1,236 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ProgressReporter is implemented by boxes whose forward progress is
+// not fully visible as signal traffic (cache-resident texture
+// filtering, fast-clear block state updates, command stream
+// advancement). The returned counter must be non-decreasing while the
+// box makes progress; the watchdog treats any change as activity.
+type ProgressReporter interface {
+	ProgressCount() int64
+}
+
+// QueueStat describes one internal queue or credit pool of a box for
+// the deadlock report: Occupied items out of Capacity slots. An
+// output-flow credit pool reports the credits held downstream, so
+// Occupied == Capacity reads as "consumer has absorbed the whole
+// queue and released nothing".
+type QueueStat struct {
+	Name     string `json:"name"`
+	Occupied int    `json:"occupied"`
+	Capacity int    `json:"capacity"`
+}
+
+// StallReporter is implemented by boxes that can describe their
+// internal queue and credit occupancy. The watchdog collects these
+// snapshots into the deadlock report; they are read at the cycle
+// barrier, never concurrently with box clocks.
+type StallReporter interface {
+	Queues() []QueueStat
+}
+
+// SignalState is the deadlock-report snapshot of one signal with
+// unconsumed objects.
+type SignalState struct {
+	Name     string   `json:"name"`
+	Produced uint64   `json:"produced"`
+	Consumed uint64   `json:"consumed"`
+	InFlight []string `json:"inFlight,omitempty"` // "tag#id @arrival" per stuck object
+}
+
+// BoxState is the deadlock-report snapshot of one box's queues.
+type BoxState struct {
+	Name   string      `json:"name"`
+	Queues []QueueStat `json:"queues"`
+}
+
+// ActivitySample records one cycle of signal traffic, for the
+// trailing activity window of the deadlock report.
+type ActivitySample struct {
+	Cycle    int64  `json:"cycle"`
+	Produced uint64 `json:"produced"` // objects written this cycle
+	Consumed uint64 `json:"consumed"` // objects read this cycle
+}
+
+// DeadlockReport is the structured diagnosis the watchdog produces
+// when no box makes forward progress for a full window: which signals
+// hold unconsumed objects, what every stalled box's queues and credit
+// pools look like, and the trailing per-cycle traffic so the moment
+// activity died is visible.
+type DeadlockReport struct {
+	Cycle  int64            `json:"cycle"`  // cycle the watchdog fired
+	Since  int64            `json:"since"`  // last cycle with observed progress
+	Window int64            `json:"window"` // configured no-progress window
+	Signal []SignalState    `json:"signals,omitempty"`
+	Boxes  []BoxState       `json:"boxes,omitempty"`
+	Recent []ActivitySample `json:"recent,omitempty"`
+}
+
+// String renders the report for humans, one finding per line.
+func (r *DeadlockReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "deadlock: no forward progress for %d cycles (last progress at cycle %d, aborted at %d)\n",
+		r.Cycle-r.Since, r.Since, r.Cycle)
+	if len(r.Signal) > 0 {
+		sb.WriteString("signals with unconsumed objects:\n")
+		for _, s := range r.Signal {
+			fmt.Fprintf(&sb, "  %-32s produced=%d consumed=%d stuck=%d",
+				s.Name, s.Produced, s.Consumed, s.Produced-s.Consumed)
+			if len(s.InFlight) > 0 {
+				fmt.Fprintf(&sb, "  [%s]", strings.Join(s.InFlight, " "))
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	if len(r.Boxes) > 0 {
+		sb.WriteString("stalled box queues and credit pools:\n")
+		for _, b := range r.Boxes {
+			fmt.Fprintf(&sb, "  %s\n", b.Name)
+			for _, q := range b.Queues {
+				if q.Capacity > 0 {
+					fmt.Fprintf(&sb, "    %-32s %d/%d\n", q.Name, q.Occupied, q.Capacity)
+				} else {
+					// Capacity <= 0: unbounded or unknown.
+					fmt.Fprintf(&sb, "    %-32s %d\n", q.Name, q.Occupied)
+				}
+			}
+		}
+	}
+	if n := len(r.Recent); n > 0 {
+		first, last := r.Recent[0], r.Recent[n-1]
+		fmt.Fprintf(&sb, "trailing traffic (cycles %d..%d): ", first.Cycle, last.Cycle)
+		for i, a := range r.Recent {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%d/%d", a.Produced, a.Consumed)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// ErrDeadlock matches (via errors.Is) the error Run returns when the
+// progress watchdog fires.
+var ErrDeadlock = errors.New("core: pipeline deadlock")
+
+// DeadlockError carries the watchdog's structured report out of Run.
+type DeadlockError struct {
+	Report *DeadlockReport
+}
+
+// Error implements error; the full report is in Report.
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("core: pipeline deadlock: no forward progress between cycles %d and %d (window %d)",
+		e.Report.Since, e.Report.Cycle, e.Report.Window)
+}
+
+// Unwrap makes errors.Is(err, ErrDeadlock) true.
+func (e *DeadlockError) Unwrap() error { return ErrDeadlock }
+
+// recentWindow is how many trailing cycles of traffic the report
+// keeps.
+const recentWindow = 32
+
+// watchdog tracks per-cycle forward progress: total signal traffic
+// plus every ProgressReporter box's counter. It runs on the
+// coordinating goroutine at the cycle barrier.
+type watchdog struct {
+	window    int64
+	signals   []*Signal
+	reporters []ProgressReporter
+
+	lastTotal    uint64
+	lastProgress int64
+	prevProd     uint64
+	prevCons     uint64
+	recent       []ActivitySample
+}
+
+// reset captures the signal and reporter sets at the start of Run.
+func (w *watchdog) reset(s *Simulator) {
+	w.signals = s.Binder.Signals()
+	w.reporters = w.reporters[:0]
+	for _, b := range s.boxes {
+		if r, ok := b.(ProgressReporter); ok {
+			w.reporters = append(w.reporters, r)
+		}
+	}
+	w.lastProgress = s.cycle
+	w.lastTotal = 0
+	w.prevProd, w.prevCons = 0, 0
+	w.recent = w.recent[:0]
+}
+
+// check runs once per cycle after the barrier. It returns a report
+// when no progress has been observed for a full window.
+func (w *watchdog) check(s *Simulator, cycle int64) *DeadlockReport {
+	var prod, cons uint64
+	for _, sig := range w.signals {
+		p, c := sig.Traffic()
+		prod += p
+		cons += c
+	}
+	total := prod + cons
+	for _, r := range w.reporters {
+		total += uint64(r.ProgressCount())
+	}
+	w.recent = append(w.recent, ActivitySample{
+		Cycle: cycle, Produced: prod - w.prevProd, Consumed: cons - w.prevCons,
+	})
+	if len(w.recent) > recentWindow {
+		w.recent = w.recent[1:]
+	}
+	w.prevProd, w.prevCons = prod, cons
+	if total != w.lastTotal {
+		w.lastTotal = total
+		w.lastProgress = cycle
+		return nil
+	}
+	if cycle-w.lastProgress < w.window {
+		return nil
+	}
+	return w.report(s, cycle)
+}
+
+func (w *watchdog) report(s *Simulator, cycle int64) *DeadlockReport {
+	r := &DeadlockReport{
+		Cycle:  cycle,
+		Since:  w.lastProgress,
+		Window: w.window,
+		Recent: append([]ActivitySample(nil), w.recent...),
+	}
+	for _, sig := range w.signals {
+		if !sig.Pending() {
+			continue
+		}
+		p, c := sig.Traffic()
+		r.Signal = append(r.Signal, SignalState{
+			Name: sig.Name(), Produced: p, Consumed: c, InFlight: sig.InFlight(),
+		})
+	}
+	for _, b := range s.boxes {
+		sr, ok := b.(StallReporter)
+		if !ok {
+			continue
+		}
+		qs := sr.Queues()
+		occupied := false
+		for _, q := range qs {
+			if q.Occupied > 0 {
+				occupied = true
+				break
+			}
+		}
+		if !occupied {
+			continue
+		}
+		r.Boxes = append(r.Boxes, BoxState{Name: b.BoxName(), Queues: qs})
+	}
+	return r
+}

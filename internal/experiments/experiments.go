@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -29,6 +30,21 @@ type RunParams struct {
 	// 0/1 serial, >1 parallel shards. Results are identical either
 	// way.
 	Workers int
+	// WatchdogWindow arms the no-progress watchdog on every run
+	// (gpu.Config.WatchdogWindow); 0 leaves it off.
+	WatchdogWindow int64
+	// Ctx, when non-nil, bounds every simulation: cancellation (a
+	// signal handler, a timeout) stops the current run at a cycle
+	// boundary and surfaces core.ErrCanceled.
+	Ctx context.Context
+}
+
+// context returns the configured context or Background.
+func (p RunParams) context() context.Context {
+	if p.Ctx != nil {
+		return p.Ctx
+	}
+	return context.Background()
 }
 
 // DefaultRunParams returns the scaled-down case-study settings.
@@ -44,6 +60,7 @@ func (p RunParams) workloadParams() workload.Params {
 // it, returning the pipeline for statistics inspection.
 func runOne(cfg gpu.Config, name string, p RunParams) (*gpu.Pipeline, error) {
 	cfg.Workers = p.Workers
+	cfg.WatchdogWindow = p.WatchdogWindow
 	pipe, err := gpu.New(cfg, p.Width, p.Height)
 	if err != nil {
 		return nil, err
@@ -52,7 +69,7 @@ func runOne(cfg gpu.Config, name string, p RunParams) (*gpu.Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := pipe.Run(cmds, p.MaxCycles); err != nil {
+	if err := pipe.RunContext(p.context(), cmds, p.MaxCycles); err != nil {
 		return nil, err
 	}
 	return pipe, nil
@@ -325,6 +342,8 @@ type Fig10Result struct {
 // GeForce 5900; see DESIGN.md for the substitution).
 func Fig10(p RunParams) (*Fig10Result, error) {
 	cfg := gpu.CaseStudy(3, gpu.ScheduleWindow)
+	cfg.Workers = p.Workers
+	cfg.WatchdogWindow = p.WatchdogWindow
 	pipe, err := gpu.New(cfg, p.Width, p.Height)
 	if err != nil {
 		return nil, err
@@ -337,7 +356,7 @@ func Fig10(p RunParams) (*Fig10Result, error) {
 	if err := ref.Execute(cmds); err != nil {
 		return nil, err
 	}
-	if err := pipe.Run(cmds, p.MaxCycles); err != nil {
+	if err := pipe.RunContext(p.context(), cmds, p.MaxCycles); err != nil {
 		return nil, err
 	}
 	simFrames := pipe.Frames()

@@ -145,6 +145,13 @@ type Config struct {
 	// are bit-identical in either mode — the knob only trades host
 	// time. Presets leave it 0 (serial).
 	Workers int
+
+	// WatchdogWindow arms the no-progress watchdog: a run with no
+	// signal traffic and no box progress for this many consecutive
+	// cycles aborts with a structured deadlock report instead of
+	// spinning to the cycle limit. 0 (the presets' value) disables
+	// it. Purely diagnostic — it never alters simulation results.
+	WatchdogWindow int64
 }
 
 // Baseline returns the paper's baseline architecture (Tables 1 and

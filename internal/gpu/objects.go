@@ -315,6 +315,7 @@ type TriWork struct {
 // themselves (e.g. via Simulator.EndCycle).
 type Flow struct {
 	sig       *core.Signal
+	cap       int   // total credits (consumer queue capacity)
 	credits   int   // producer-visible pool (producer side)
 	released  int   // returned this cycle, folded at the barrier (consumer side)
 	sentCycle int64 // producer side
@@ -324,7 +325,17 @@ type Flow struct {
 // NewFlow wraps a provided signal with capacity credits (typically
 // the consumer's input queue size from Table 1).
 func NewFlow(sig *core.Signal, capacity int) *Flow {
-	return &Flow{sig: sig, credits: capacity, sentCycle: -1}
+	return &Flow{sig: sig, cap: capacity, credits: capacity, sentCycle: -1}
+}
+
+// QueueStat reports the flow's credit occupancy from the producer's
+// view: Occupied credits are held downstream (items on the wire or in
+// the consumer's input queue). Occupied == Capacity in a deadlock
+// report reads "the consumer absorbed everything and released
+// nothing". Boxes include their output flows in core.StallReporter
+// snapshots; read only at the cycle barrier.
+func (f *Flow) QueueStat() core.QueueStat {
+	return core.QueueStat{Name: f.sig.Name(), Occupied: f.cap - f.credits, Capacity: f.cap}
 }
 
 // CanSend reports whether n more objects can be sent this cycle: the

@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -258,6 +259,7 @@ func New(cfg Config, width, height int) (*Pipeline, error) {
 	sim.Pin("pipe", pinned...)
 	_ = xbar // free: flow-mediated only, may land on any shard
 	sim.SetWorkers(cfg.Workers)
+	sim.SetWatchdog(cfg.WatchdogWindow)
 
 	sim.SetDone(p.CP.Finished)
 	return p, nil
@@ -282,6 +284,16 @@ func (p *Pipeline) Height() int { return p.h }
 func (p *Pipeline) Run(cmds []Command, maxCycles int64) error {
 	p.CP.SetCommands(cmds)
 	return p.Sim.Run(maxCycles)
+}
+
+// RunContext is Run with cooperative cancellation: when ctx is
+// canceled (Ctrl-C handler, -timeout), the run stops at the next cycle
+// boundary with an error matching core.ErrCanceled, partial statistics
+// and frames intact. See core.Simulator.RunContext for the full error
+// contract.
+func (p *Pipeline) RunContext(ctx context.Context, cmds []Command, maxCycles int64) error {
+	p.CP.SetCommands(cmds)
+	return p.Sim.RunContext(ctx, maxCycles)
 }
 
 // Cycles returns the simulated cycle count so far.

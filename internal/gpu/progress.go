@@ -1,0 +1,196 @@
+package gpu
+
+import "attila/internal/core"
+
+// This file implements the watchdog's core.ProgressReporter and
+// core.StallReporter interfaces for the pipeline boxes.
+//
+// ProgressCount publishes forward progress that is invisible as
+// signal traffic: command-stream advancement, cache-hit texture
+// filtering, shader instruction execution, quads retired into the
+// framebuffer caches. Only genuinely forward-moving counters qualify
+// — busy/stall counters tick while deadlocked and would mask a hang.
+//
+// Queues snapshots each box's input queues and the credit pools of
+// its *output* flows (the producer's view of downstream backpressure),
+// so each Flow appears in exactly one box's report. Both methods run
+// on the coordinator at the cycle barrier, never concurrently with
+// box clocks.
+
+func flowStats(flows ...*Flow) []core.QueueStat {
+	out := make([]core.QueueStat, 0, len(flows))
+	for _, f := range flows {
+		if f != nil {
+			out = append(out, f.QueueStat())
+		}
+	}
+	return out
+}
+
+// ProgressCount implements core.ProgressReporter: command retirement
+// and bus upload streaming advance without signal traffic.
+func (c *CommandProcessor) ProgressCount() int64 {
+	return int64(c.statCmds.Value()+c.statBatches.Value()+c.statFrames.Value()+c.statBytesUp.Value()) + int64(c.pc)
+}
+
+// Queues implements core.StallReporter.
+func (c *CommandProcessor) Queues() []core.QueueStat {
+	qs := []core.QueueStat{
+		{Name: "CP.activeBatches", Occupied: len(c.active), Capacity: 2},
+		{Name: "CP.memPort", Occupied: c.port.Outstanding(), Capacity: c.port.Outstanding() + c.port.Free()},
+	}
+	return append(qs, c.drawOut.QueueStat())
+}
+
+// ProgressCount implements core.ProgressReporter: vertex-cache hits
+// commit vertices without shader traffic.
+func (s *Streamer) ProgressCount() int64 {
+	return int64(s.statVtx.Value() + s.statVCacheHit.Value() + s.statVCacheMis.Value())
+}
+
+// Queues implements core.StallReporter.
+func (s *Streamer) Queues() []core.QueueStat {
+	qs := []core.QueueStat{
+		{Name: "Streamer.cmdQueue", Occupied: len(s.cmdQ), Capacity: 2},
+		{Name: "Streamer.reorder", Occupied: len(s.ready)},
+		{Name: "Streamer.shadePending", Occupied: len(s.pendingV)},
+	}
+	return append(qs, flowStats(s.shadeOut, s.vtxOut)...)
+}
+
+// Queues implements core.StallReporter.
+func (p *PrimAssembly) Queues() []core.QueueStat {
+	qs := []core.QueueStat{{Name: "PA.queue", Occupied: len(p.queue), Capacity: cap(p.queue)}}
+	return append(qs, p.triOut.QueueStat())
+}
+
+// Queues implements core.StallReporter.
+func (c *Clipper) Queues() []core.QueueStat {
+	qs := []core.QueueStat{{Name: "Clipper.queue", Occupied: len(c.queue)}}
+	return append(qs, c.triOut.QueueStat())
+}
+
+// Queues implements core.StallReporter.
+func (s *Setup) Queues() []core.QueueStat {
+	qs := []core.QueueStat{{Name: "Setup.queue", Occupied: len(s.queue)}}
+	return append(qs, s.triOut.QueueStat())
+}
+
+// ProgressCount implements core.ProgressReporter: recursive-descent
+// traversal can spend cycles on empty regions between tile emissions.
+func (g *FragmentGenerator) ProgressCount() int64 {
+	return int64(g.statTiles.Value() + g.statQuads.Value())
+}
+
+// Queues implements core.StallReporter.
+func (g *FragmentGenerator) Queues() []core.QueueStat {
+	qs := []core.QueueStat{{Name: "FGen.queue", Occupied: len(g.queue)}}
+	return append(qs, g.tileOut.QueueStat())
+}
+
+// ProgressCount implements core.ProgressReporter: HZ-culled tiles
+// retire quads with no downstream traffic.
+func (h *HierarchicalZ) ProgressCount() int64 {
+	return int64(h.statTiles.Value() + h.statCulled.Value())
+}
+
+// Queues implements core.StallReporter.
+func (h *HierarchicalZ) Queues() []core.QueueStat {
+	qs := []core.QueueStat{{Name: "HZ.queue", Occupied: len(h.queue)}}
+	qs = append(qs, flowStats(h.earlyZ...)...)
+	return append(qs, h.lateOut.QueueStat())
+}
+
+// Queues implements core.StallReporter.
+func (ip *Interpolator) Queues() []core.QueueStat {
+	qs := []core.QueueStat{{Name: ip.BoxName() + ".queue", Occupied: len(ip.queue)}}
+	return append(qs, ip.quadOut.QueueStat())
+}
+
+// ProgressCount implements core.ProgressReporter: thread launches and
+// in-place fragment kills.
+func (f *FragmentFIFO) ProgressCount() int64 {
+	return int64(f.statVtxThreads.Value() + f.statFragThreads.Value() + f.statKilled.Value())
+}
+
+// Queues implements core.StallReporter.
+func (f *FragmentFIFO) Queues() []core.QueueStat {
+	qs := []core.QueueStat{
+		{Name: "FFIFO.window", Occupied: f.windowUsed, Capacity: f.cfg.WindowThreads},
+		{Name: "FFIFO.fragRegs", Occupied: f.fragRegs, Capacity: f.cfg.PhysRegsFragment},
+		{Name: "FFIFO.vtxRegs", Occupied: f.vtxRegs, Capacity: f.cfg.PhysRegsVertex},
+		{Name: "FFIFO.arrived", Occupied: len(f.vtxArrived) + len(f.fragArrived)},
+		{Name: "FFIFO.pending", Occupied: len(f.vtxPending) + len(f.fragPending)},
+		{Name: "FFIFO.outbox", Occupied: len(f.outbox)},
+	}
+	qs = append(qs, f.vtxOut.QueueStat())
+	qs = append(qs, flowStats(f.fragEarly...)...)
+	qs = append(qs, flowStats(f.fragLate...)...)
+	return append(qs, flowStats(f.shaderIn...)...)
+}
+
+// ProgressCount implements core.ProgressReporter: instruction
+// execution is signal-silent.
+func (s *ShaderUnit) ProgressCount() int64 { return int64(s.statInstr.Value()) }
+
+// Queues implements core.StallReporter.
+func (s *ShaderUnit) Queues() []core.QueueStat {
+	used := 0
+	for i := range s.threads {
+		if s.threads[i].state != threadFree {
+			used++
+		}
+	}
+	qs := []core.QueueStat{{Name: s.BoxName() + ".threads", Occupied: used, Capacity: len(s.threads)}}
+	return append(qs, flowStats(s.workOut, s.texReq)...)
+}
+
+// Queues implements core.StallReporter.
+func (x *TexCrossbar) Queues() []core.QueueStat {
+	qs := []core.QueueStat{
+		{Name: "TexXBar.requests", Occupied: len(x.queue)},
+		{Name: "TexXBar.replies", Occupied: len(x.replies)},
+	}
+	qs = append(qs, flowStats(x.toTU...)...)
+	return append(qs, flowStats(x.toShader...)...)
+}
+
+// ProgressCount implements core.ProgressReporter: cache-hit filtering
+// consumes texels with no memory traffic.
+func (t *TextureUnit) ProgressCount() int64 {
+	return int64(t.statReqs.Value() + t.statTexels.Value())
+}
+
+// Queues implements core.StallReporter.
+func (t *TextureUnit) Queues() []core.QueueStat {
+	qs := []core.QueueStat{{Name: t.BoxName() + ".queue", Occupied: len(t.queue), Capacity: t.cfg.TexQueue}}
+	return append(qs, t.repOut.QueueStat())
+}
+
+// ProgressCount implements core.ProgressReporter: culled quads retire
+// with no output traffic, and fast clears flip block states in place.
+func (z *ZStencil) ProgressCount() int64 {
+	return int64(z.statQuads.Value() + z.statCulled.Value())
+}
+
+// Queues implements core.StallReporter.
+func (z *ZStencil) Queues() []core.QueueStat {
+	qs := []core.QueueStat{{Name: z.BoxName() + ".queue", Occupied: len(z.queue), Capacity: z.cfg.ROPQueue}}
+	return append(qs, flowStats(z.earlyOut, z.lateOut)...)
+}
+
+// ProgressCount implements core.ProgressReporter: quads retire into
+// the color cache with no further signal traffic.
+func (c *ColorWrite) ProgressCount() int64 {
+	return int64(c.statQuads.Value() + c.statFrags.Value())
+}
+
+// Queues implements core.StallReporter.
+func (c *ColorWrite) Queues() []core.QueueStat {
+	return []core.QueueStat{{Name: c.BoxName() + ".queue", Occupied: len(c.queue), Capacity: c.cfg.ROPQueue}}
+}
+
+// Queues implements core.StallReporter.
+func (d *DAC) Queues() []core.QueueStat {
+	return []core.QueueStat{{Name: "DAC.pending", Occupied: len(d.pending)}}
+}

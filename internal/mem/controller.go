@@ -161,6 +161,32 @@ func (c *Controller) Pending() bool {
 	return false
 }
 
+// ProgressCount implements core.ProgressReporter: transferred bytes
+// advance while a long transaction occupies its channel with no signal
+// traffic.
+func (c *Controller) ProgressCount() int64 {
+	return int64(c.statReadBytes.Value() + c.statWriteBytes.Value())
+}
+
+// Queues implements core.StallReporter: per-client request queue
+// occupancy plus the busy channels, the controller-side half of a
+// deadlock report.
+func (c *Controller) Queues() []core.QueueStat {
+	qs := make([]core.QueueStat, 0, len(c.clients)+1)
+	for _, cl := range c.clients {
+		qs = append(qs, core.QueueStat{
+			Name: "MC." + cl.name + ".queue", Occupied: len(cl.queue), Capacity: c.cfg.QueuePerUnit,
+		})
+	}
+	busy := 0
+	for i := range c.chans {
+		if c.chans[i].current != nil {
+			busy++
+		}
+	}
+	return append(qs, core.QueueStat{Name: "MC.channels", Occupied: busy, Capacity: c.cfg.Channels})
+}
+
 func (c *Controller) channelOf(addr uint32) int {
 	return int(addr/c.cfg.Interleave) % c.cfg.Channels
 }

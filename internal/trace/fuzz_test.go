@@ -1,0 +1,176 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"runtime"
+	"testing"
+
+	"attila/internal/trace"
+)
+
+// rawTrace hand-assembles trace bytes so tests can lie about length
+// fields in ways the Writer never would.
+type rawTrace struct{ bytes.Buffer }
+
+func (r *rawTrace) u8(v byte) { r.WriteByte(v) }
+
+func (r *rawTrace) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	r.Write(b[:])
+}
+
+func (r *rawTrace) header(w, h, frames int, label string) {
+	r.WriteString(trace.Magic)
+	r.u32(uint32(w))
+	r.u32(uint32(h))
+	r.u32(uint32(frames))
+	r.u32(uint32(len(label)))
+	r.WriteString(label)
+}
+
+// onlyReader hides the Seeker so the reader takes the unknown-size
+// (streaming) path.
+type onlyReader struct{ r io.Reader }
+
+func (o onlyReader) Read(p []byte) (int, error) { return o.r.Read(p) }
+
+// encode serializes a built workload into trace bytes.
+func encode(tb testing.TB, name string, frames int) []byte {
+	tb.Helper()
+	cmds, hdr := buildTrace(tb, name, frames)
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf, hdr)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := w.WriteCommands(cmds); err != nil {
+		tb.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// typedTraceErr reports whether err carries one of the reader's two
+// sentinels — the contract for every malformed input.
+func typedTraceErr(err error) bool {
+	return errors.Is(err, trace.ErrTruncated) || errors.Is(err, trace.ErrCorrupt)
+}
+
+// A valid trace cut off at any byte must produce a typed error — never
+// a panic, never a silent success, never an allocation the remaining
+// bytes cannot back.
+func TestTraceTruncationAlwaysTyped(t *testing.T) {
+	data := encode(t, "simple", 1)
+	step := len(data) / 512
+	if step < 1 {
+		step = 1
+	}
+	for cut := 0; cut < len(data); cut += step {
+		r, err := trace.NewReader(bytes.NewReader(data[:cut]))
+		if err == nil {
+			_, err = r.ReadAll(0, -1)
+		}
+		if err == nil {
+			t.Fatalf("prefix of %d/%d bytes read as a complete trace", cut, len(data))
+		}
+		if !typedTraceErr(err) {
+			t.Fatalf("prefix of %d bytes: untyped error %v", cut, err)
+		}
+	}
+}
+
+// A buffer-write record claiming ~4 GiB over a few dozen input bytes
+// must be rejected as corrupt by the seekable path before any
+// allocation proportional to the lying length field.
+func TestTraceCorruptLengthRejectedWithoutAllocation(t *testing.T) {
+	var raw rawTrace
+	raw.header(8, 8, 1, "lie")
+	raw.u8(1)           // recBufferWrite
+	raw.u32(0)          // addr
+	raw.u32(0xFFFF0000) // claims ~4 GiB of payload
+	data := raw.Bytes()
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	r, err := trace.NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.ReadAll(0, -1)
+	runtime.ReadMemStats(&after)
+	if !errors.Is(err, trace.ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+	if delta := after.TotalAlloc - before.TotalAlloc; delta > 1<<20 {
+		t.Fatalf("rejecting a corrupt length allocated %d bytes", delta)
+	}
+}
+
+// The same lying record over a non-seekable stream cannot be rejected
+// up front, but chunked reads bound memory by the bytes actually
+// present: the read fails as truncated after at most one chunk.
+func TestTraceCorruptLengthStreamingBounded(t *testing.T) {
+	var raw rawTrace
+	raw.header(8, 8, 1, "lie")
+	raw.u8(1)
+	raw.u32(0)
+	raw.u32(0xFFFF0000)
+	data := raw.Bytes()
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	r, err := trace.NewReader(onlyReader{bytes.NewReader(data)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.ReadAll(0, -1)
+	runtime.ReadMemStats(&after)
+	if !errors.Is(err, trace.ErrTruncated) {
+		t.Fatalf("want ErrTruncated on the streaming path, got %v", err)
+	}
+	// One blobChunk (1 MiB) plus reader buffers — nothing near 4 GiB.
+	if delta := after.TotalAlloc - before.TotalAlloc; delta > 8<<20 {
+		t.Fatalf("streaming reject allocated %d bytes", delta)
+	}
+}
+
+// FuzzReader feeds arbitrary bytes through both reader paths. The
+// invariant: no panic, and every failure carries ErrTruncated or
+// ErrCorrupt. Seeds are real workload traces so mutations explore deep
+// record structure, not just the header.
+func FuzzReader(f *testing.F) {
+	for _, name := range []string{"simple", "spinner"} {
+		f.Add(encode(f, name, 1))
+	}
+	f.Add([]byte(trace.Magic))
+	f.Add([]byte("NOTATRACE___"))
+	var raw rawTrace
+	raw.header(8, 8, 1, "seed")
+	raw.u8(5)    // recSwap
+	raw.u8(0xFF) // recEnd
+	f.Add(raw.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		srcs := []io.Reader{
+			bytes.NewReader(data),
+			onlyReader{bytes.NewReader(data)},
+		}
+		for i, src := range srcs {
+			r, err := trace.NewReader(src)
+			if err == nil {
+				_, err = r.ReadAll(0, -1)
+			}
+			if err != nil && !typedTraceErr(err) {
+				t.Fatalf("path %d: untyped reader error %v", i, err)
+			}
+		}
+	})
+}

@@ -15,6 +15,7 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -263,28 +264,87 @@ func (t *Writer) texture(tex *texemu.Texture) {
 	}
 }
 
-// Reader deserializes a trace.
+// ErrTruncated matches (via errors.Is) reader errors caused by the
+// input ending before a complete record: a cut-short download or
+// interrupted capture. The prefix read so far was well formed.
+var ErrTruncated = errors.New("trace: truncated stream")
+
+// ErrCorrupt matches (via errors.Is) reader errors caused by input
+// that cannot be a valid trace: bad magic, unknown record types,
+// length fields exceeding the input or any sane cap, invalid
+// dimensions. Distinct from ErrTruncated so tools can suggest
+// re-capturing vs re-copying.
+var ErrCorrupt = errors.New("trace: corrupt stream")
+
+// Sanity caps on length fields. A corrupt or hostile length must
+// never drive an allocation the actual input cannot back.
+const (
+	maxSurfaceDim = 1 << 14 // render target / surface edge in pixels
+	maxFrameCount = 1 << 24
+	maxStringLen  = 1 << 26 // shader text, labels
+	blobChunk     = 1 << 20 // read granularity when input size is unknown
+)
+
+// Reader deserializes a trace. Length fields are validated against
+// the remaining input (when the source is seekable) and against
+// absolute caps before any allocation, so a corrupt trace fails with
+// a typed error instead of an out-of-memory demand.
 type Reader struct {
-	r   *bufio.Reader
-	hdr Header
-	err error
+	r    *bufio.Reader
+	hdr  Header
+	err  error
+	off  int64 // bytes consumed so far
+	size int64 // total input bytes, -1 when unknown
 }
 
-// NewReader reads and validates the header.
+// inputSize returns how many bytes remain in r when it is seekable,
+// else -1.
+func inputSize(r io.Reader) int64 {
+	s, ok := r.(io.Seeker)
+	if !ok {
+		return -1
+	}
+	cur, err := s.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return -1
+	}
+	end, err := s.Seek(0, io.SeekEnd)
+	if err != nil {
+		return -1
+	}
+	if _, err := s.Seek(cur, io.SeekStart); err != nil {
+		return -1
+	}
+	return end - cur
+}
+
+// NewReader reads and validates the header. Errors match ErrTruncated
+// or ErrCorrupt.
 func NewReader(r io.Reader) (*Reader, error) {
-	tr := &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+	tr := &Reader{r: bufio.NewReaderSize(r, 1<<16), size: inputSize(r)}
 	magic := make([]byte, len(Magic))
-	if _, err := io.ReadFull(tr.r, magic); err != nil {
-		return nil, fmt.Errorf("trace: %w", err)
+	tr.readFull(magic)
+	if tr.err != nil {
+		return nil, tr.err
 	}
 	if string(magic) != Magic {
-		return nil, fmt.Errorf("trace: bad magic %q", magic)
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, magic)
 	}
 	tr.hdr.Width = int(tr.u32())
 	tr.hdr.Height = int(tr.u32())
 	tr.hdr.Frames = int(tr.u32())
 	tr.hdr.Label = tr.str()
-	return tr, tr.err
+	if tr.err != nil {
+		return nil, tr.err
+	}
+	if tr.hdr.Width <= 0 || tr.hdr.Width > maxSurfaceDim ||
+		tr.hdr.Height <= 0 || tr.hdr.Height > maxSurfaceDim {
+		return nil, fmt.Errorf("%w: implausible render target %dx%d", ErrCorrupt, tr.hdr.Width, tr.hdr.Height)
+	}
+	if tr.hdr.Frames < 0 || tr.hdr.Frames > maxFrameCount {
+		return nil, fmt.Errorf("%w: implausible frame count %d", ErrCorrupt, tr.hdr.Frames)
+	}
+	return tr, nil
 }
 
 // Header returns the trace metadata.
@@ -294,13 +354,17 @@ func (t *Reader) Header() Header { return t.hdr }
 // commands belonging to earlier frames are dropped except buffer
 // writes. endFrame < 0 reads to the end; otherwise reading stops
 // after that frame's swap (exclusive upper bound on frame index).
+//
+// Failures are typed: errors.Is(err, ErrTruncated) for input that
+// stops mid-stream, errors.Is(err, ErrCorrupt) for input that cannot
+// be a valid trace.
 func (t *Reader) ReadAll(startFrame, endFrame int) ([]gpu.Command, error) {
 	var out []gpu.Command
 	frame := 0
 	for {
-		rec, err := t.r.ReadByte()
-		if err != nil {
-			return nil, fmt.Errorf("trace: truncated stream: %w", err)
+		rec := t.u8()
+		if t.err != nil {
+			return nil, t.err
 		}
 		skip := frame < startFrame
 		switch rec {
@@ -309,10 +373,7 @@ func (t *Reader) ReadAll(startFrame, endFrame int) ([]gpu.Command, error) {
 		case recBufferWrite:
 			addr := t.u32()
 			n := t.u32()
-			data := make([]byte, n)
-			if t.err == nil {
-				_, t.err = io.ReadFull(t.r, data)
-			}
+			data := t.blob(n, "buffer write")
 			out = append(out, gpu.CmdBufferWrite{Addr: addr, Data: data})
 		case recDraw:
 			st := t.drawState()
@@ -321,9 +382,7 @@ func (t *Reader) ReadAll(startFrame, endFrame int) ([]gpu.Command, error) {
 			}
 		case recClearColor:
 			var v [4]byte
-			if t.err == nil {
-				_, t.err = io.ReadFull(t.r, v[:])
-			}
+			t.readFull(v[:])
 			if !skip {
 				out = append(out, gpu.CmdClearColor{Value: v})
 			}
@@ -340,6 +399,10 @@ func (t *Reader) ReadAll(startFrame, endFrame int) ([]gpu.Command, error) {
 			hh := t.i32()
 			cmd := gpu.CmdSetRenderTarget{Default: def}
 			if !def {
+				if t.err == nil && (w <= 0 || w > maxSurfaceDim || hh <= 0 || hh > maxSurfaceDim) {
+					t.fail(ErrCorrupt, "implausible render target %dx%d", w, hh)
+					return nil, t.err
+				}
 				cmd.Target = gpu.NewSurfaceLayout(base, w, hh)
 			}
 			out = append(out, cmd)
@@ -352,7 +415,8 @@ func (t *Reader) ReadAll(startFrame, endFrame int) ([]gpu.Command, error) {
 				return out, t.err
 			}
 		default:
-			return nil, fmt.Errorf("trace: unknown record %d", rec)
+			t.fail(ErrCorrupt, "unknown record type %d", rec)
+			return nil, t.err
 		}
 		if t.err != nil {
 			return nil, t.err
@@ -360,19 +424,89 @@ func (t *Reader) ReadAll(startFrame, endFrame int) ([]gpu.Command, error) {
 	}
 }
 
+// fail records the first error, tagged with the stream offset so a
+// corrupt byte is locatable with a hex dump.
+func (t *Reader) fail(sentinel error, format string, args ...any) {
+	if t.err == nil {
+		t.err = fmt.Errorf("%w: %s (at byte %d)", sentinel, fmt.Sprintf(format, args...), t.off)
+	}
+}
+
+// ioErr classifies a raw read error: any flavor of EOF means the
+// input stopped mid-record.
+func (t *Reader) ioErr(err error) {
+	if err == nil || t.err != nil {
+		return
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		t.err = fmt.Errorf("%w: input ends mid-record (at byte %d)", ErrTruncated, t.off)
+		return
+	}
+	t.err = err
+}
+
+func (t *Reader) readFull(b []byte) {
+	if t.err != nil {
+		return
+	}
+	n, err := io.ReadFull(t.r, b)
+	t.off += int64(n)
+	t.ioErr(err)
+}
+
+// blob allocates and reads an n-byte field. When the input size is
+// known, a length beyond the remaining bytes is rejected before any
+// allocation; when it is not (a pipe), the field is read in
+// blobChunk pieces so memory use is bounded by the bytes actually
+// present, never by the corrupt length itself.
+func (t *Reader) blob(n uint32, what string) []byte {
+	if t.err != nil {
+		return nil
+	}
+	if t.size >= 0 {
+		if int64(n) > t.size-t.off {
+			t.fail(ErrCorrupt, "%s length %d exceeds the %d bytes of remaining input", what, n, t.size-t.off)
+			return nil
+		}
+		b := make([]byte, n)
+		t.readFull(b)
+		return b
+	}
+	var out []byte
+	for left := int64(n); left > 0 && t.err == nil; {
+		c := left
+		if c > blobChunk {
+			c = blobChunk
+		}
+		buf := make([]byte, c)
+		t.readFull(buf)
+		if t.err != nil {
+			return nil
+		}
+		out = append(out, buf...)
+		left -= c
+	}
+	return out
+}
+
 func (t *Reader) u8() byte {
 	if t.err != nil {
 		return 0
 	}
 	b, err := t.r.ReadByte()
-	t.err = err
+	if err != nil {
+		t.ioErr(err)
+		return 0
+	}
+	t.off++
 	return b
 }
 
 func (t *Reader) u32() uint32 {
 	var b [4]byte
-	if t.err == nil {
-		_, t.err = io.ReadFull(t.r, b[:])
+	t.readFull(b[:])
+	if t.err != nil {
+		return 0
 	}
 	return binary.LittleEndian.Uint32(b[:])
 }
@@ -385,17 +519,14 @@ func (t *Reader) boolb() bool { return t.u8() != 0 }
 
 func (t *Reader) str() string {
 	n := t.u32()
-	if t.err != nil || n > 1<<26 {
-		if t.err == nil {
-			t.err = fmt.Errorf("trace: unreasonable string length %d", n)
-		}
+	if t.err != nil {
 		return ""
 	}
-	b := make([]byte, n)
-	if t.err == nil {
-		_, t.err = io.ReadFull(t.r, b)
+	if n > maxStringLen {
+		t.fail(ErrCorrupt, "unreasonable string length %d", n)
+		return ""
 	}
-	return string(b)
+	return string(t.blob(n, "string"))
 }
 
 func (t *Reader) vec() vmath.Vec4 {
@@ -408,10 +539,11 @@ func (t *Reader) vec() vmath.Vec4 {
 
 func (t *Reader) vecs() []vmath.Vec4 {
 	n := t.u32()
-	if t.err != nil || n > isa.MaxConsts {
-		if t.err == nil && n > isa.MaxConsts {
-			t.err = fmt.Errorf("trace: constant bank too large: %d", n)
-		}
+	if t.err != nil {
+		return nil
+	}
+	if n > isa.MaxConsts {
+		t.fail(ErrCorrupt, "constant bank too large: %d", n)
 		return nil
 	}
 	out := make([]vmath.Vec4, n)
@@ -428,12 +560,12 @@ func (t *Reader) drawState() *gpu.DrawState {
 	if t.err == nil {
 		vp, err := isa.Assemble(isa.VertexProgram, "trace-vp", vpText)
 		if err != nil {
-			t.err = err
+			t.fail(ErrCorrupt, "vertex program does not assemble: %v", err)
 			return st
 		}
 		fp, err := isa.Assemble(isa.FragmentProgram, "trace-fp", fpText)
 		if err != nil {
-			t.err = err
+			t.fail(ErrCorrupt, "fragment program does not assemble: %v", err)
 			return st
 		}
 		st.VertexProg, st.FragmentProg = vp, fp
@@ -491,7 +623,7 @@ func (t *Reader) drawState() *gpu.DrawState {
 
 	nTex := t.u32()
 	if t.err == nil && nTex > 16 {
-		t.err = fmt.Errorf("trace: too many textures: %d", nTex)
+		t.fail(ErrCorrupt, "too many textures: %d", nTex)
 		return st
 	}
 	for i := uint32(0); i < nTex && t.err == nil; i++ {
@@ -537,7 +669,7 @@ func (t *Reader) texture() *texemu.Texture {
 		return tex
 	}
 	if err := tex.Validate(); err != nil {
-		t.err = fmt.Errorf("trace: %w", err)
+		t.fail(ErrCorrupt, "invalid texture: %v", err)
 		return tex
 	}
 	for f := 0; f < tex.Faces(); f++ {

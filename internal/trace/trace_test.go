@@ -2,6 +2,7 @@ package trace_test
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"attila/internal/gpu"
@@ -13,7 +14,7 @@ import (
 
 const memBytes = 48 << 20
 
-func buildTrace(t *testing.T, name string, frames int) ([]gpu.Command, trace.Header) {
+func buildTrace(t testing.TB, name string, frames int) ([]gpu.Command, trace.Header) {
 	t.Helper()
 	p := workload.DefaultParams()
 	p.Width, p.Height = 128, 96
@@ -125,19 +126,21 @@ func TestTraceFrameRange(t *testing.T) {
 }
 
 func TestTraceRejectsGarbage(t *testing.T) {
-	if _, err := trace.NewReader(bytes.NewReader([]byte("NOTATRACE___"))); err == nil {
-		t.Fatal("garbage accepted")
+	_, err := trace.NewReader(bytes.NewReader([]byte("NOTATRACE___")))
+	if !errors.Is(err, trace.ErrCorrupt) {
+		t.Fatalf("garbage magic: want ErrCorrupt, got %v", err)
 	}
 	var buf bytes.Buffer
 	w, _ := trace.NewWriter(&buf, trace.Header{Width: 8, Height: 8})
 	w.Close()
 	data := buf.Bytes()
-	// Truncate after the header: the reader must fail cleanly.
+	// Cut the end-of-trace marker: the reader must fail with the
+	// truncation sentinel, not EOF or a panic.
 	r, err := trace.NewReader(bytes.NewReader(data[:len(data)-1]))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.ReadAll(0, -1); err == nil {
-		t.Fatal("truncated stream accepted")
+	if _, err := r.ReadAll(0, -1); !errors.Is(err, trace.ErrTruncated) {
+		t.Fatalf("truncated stream: want ErrTruncated, got %v", err)
 	}
 }

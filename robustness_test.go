@@ -1,0 +1,111 @@
+package attila_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"attila/internal/core"
+	"attila/internal/gpu"
+	"attila/internal/workload"
+)
+
+// buildPipeline assembles a real workload on a fresh case-study
+// pipeline without running it.
+func buildPipeline(t *testing.T, workers int, window int64) (*gpu.Pipeline, []gpu.Command) {
+	t.Helper()
+	cfg := gpu.CaseStudy(2, gpu.ScheduleWindow)
+	cfg.Workers = workers
+	cfg.WatchdogWindow = window
+	pipe, err := gpu.New(cfg, 128, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := workload.DefaultParams()
+	p.Width, p.Height, p.Frames = 128, 96, 1
+	cmds, _, err := workload.Build("ut2004", pipe, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pipe, cmds
+}
+
+// csvRows counts data rows in a dumped statistics CSV.
+func csvRows(t *testing.T, pipe *gpu.Pipeline) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := pipe.DumpCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if !strings.HasPrefix(lines[0], "cycle,") {
+		t.Fatalf("CSV header missing: %q", lines[0])
+	}
+	return len(lines) - 1
+}
+
+// A run that exhausts its cycle budget must identify as ErrCycleLimit
+// and still flush the interval statistics and the summary — in serial
+// and parallel clocking alike.
+func TestCycleLimitStillFlushesStats(t *testing.T) {
+	for _, workers := range []int{0, 2} {
+		pipe, cmds := buildPipeline(t, workers, 0)
+		// The full run needs hundreds of thousands of cycles; 50K
+		// cannot finish but covers several 10K stat intervals.
+		err := pipe.Run(cmds, 50_000)
+		if !errors.Is(err, core.ErrCycleLimit) {
+			t.Fatalf("workers=%d: want ErrCycleLimit, got %v", workers, err)
+		}
+		if rows := csvRows(t, pipe); rows < 2 {
+			t.Fatalf("workers=%d: only %d CSV rows flushed after cycle limit", workers, rows)
+		}
+		var sum bytes.Buffer
+		if err := pipe.DumpStats(&sum); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(sum.String(), "MC.readBytes") {
+			t.Fatalf("workers=%d: summary missing cumulative stats", workers)
+		}
+		// Cycle-budget exhaustion is a bound, not a crash: no black box.
+		if c := pipe.Sim.Crash(); c != nil {
+			t.Fatalf("workers=%d: unexpected crash report %+v", workers, c)
+		}
+	}
+}
+
+// Cancelling the context mid-run surfaces ErrCanceled, keeps the
+// partial statistics, and records a "canceled" black box.
+func TestCancelStillFlushesStats(t *testing.T) {
+	for _, workers := range []int{0, 2} {
+		pipe, cmds := buildPipeline(t, workers, 0)
+		ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+		err := pipe.RunContext(ctx, cmds, 2_000_000_000)
+		cancel()
+		if !errors.Is(err, core.ErrCanceled) {
+			t.Fatalf("workers=%d: want ErrCanceled, got %v", workers, err)
+		}
+		if rows := csvRows(t, pipe); rows < 1 {
+			t.Fatalf("workers=%d: no CSV rows flushed after cancellation", workers)
+		}
+		crash := pipe.Sim.Crash()
+		if crash == nil || crash.Kind != "canceled" {
+			t.Fatalf("workers=%d: crash report %+v", workers, crash)
+		}
+	}
+}
+
+// An armed watchdog must stay quiet through a complete healthy run of
+// a real workload: detection is purely diagnostic and must never
+// change results on working pipelines.
+func TestWatchdogQuietOnFullRun(t *testing.T) {
+	pipe, cmds := buildPipeline(t, 0, 50_000)
+	if err := pipe.Run(cmds, 2_000_000_000); err != nil {
+		t.Fatalf("armed watchdog broke a healthy run: %v", err)
+	}
+	if len(pipe.Frames()) != 1 {
+		t.Fatalf("rendered %d frames", len(pipe.Frames()))
+	}
+}
