@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench-parallel
+.PHONY: build test check bench bench-parallel
 
 build:
 	$(GO) build ./...
@@ -9,14 +9,22 @@ test:
 	$(GO) test ./...
 
 # check is the concurrency and robustness gate: vet, the race
-# detector over the packages that run under the parallel clock loop,
-# the watchdog/cancellation paths raced through the GPU pipeline, and
-# a fuzz smoke over the trace reader.
+# detector over the packages that run under the parallel clock loop
+# (including the observability layer, whose bus and profiler read
+# shared state live), the watchdog/cancellation/metrics paths raced
+# through the GPU pipeline, a bench smoke, and a fuzz smoke over the
+# trace reader.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/core/... ./internal/mem/...
-	$(GO) test -race -run 'Watchdog|Deadlock|Cancel' ./internal/gpu/ .
+	$(GO) test -race ./internal/core/... ./internal/mem/... ./internal/obsv/...
+	$(GO) test -race -run 'Watchdog|Deadlock|Cancel|ParallelMetrics' ./internal/gpu/ .
+	BENCH_OBSV_OUT=$$(mktemp) $(GO) test -run '^TestBenchObsv$$' .
 	$(GO) test -fuzz=FuzzReader -fuzztime=10s ./internal/trace
+
+# bench writes the BENCH_obsv.json snapshot: host cycles/sec and the
+# top-5 host-time boxes for three representative scenes.
+bench:
+	BENCH_OBSV_OUT=BENCH_obsv.json $(GO) test -run '^TestBenchObsv$$' -v .
 
 # bench-parallel reproduces the BENCH_parallel.json snapshot.
 bench-parallel:

@@ -29,9 +29,11 @@ import (
 	"os/signal"
 	"path/filepath"
 	"syscall"
+	"time"
 
 	"attila/internal/core"
 	"attila/internal/gpu"
+	"attila/internal/obsv"
 	"attila/internal/refrender"
 	"attila/internal/trace"
 )
@@ -68,6 +70,13 @@ func run() int {
 	watchdog := flag.Int64("watchdog", 0, "abort with a deadlock report after this many cycles without progress (0 = off)")
 	timeout := flag.Duration("timeout", 0, "wall-clock limit for the simulation (0 = none)")
 	blackbox := flag.String("blackbox", "", "write a JSON crash report here when the run fails")
+	httpAddr := flag.String("http", "", "serve live status on this address (e.g. :6060): /metrics, /progress, /crash, /debug/pprof")
+	httpLinger := flag.Duration("http-linger", 0, "keep the status server up this long after the run ends (inspect /crash post-mortem)")
+	metricsOut := flag.String("metrics", "", "write the windowed metrics bus as NDJSON to file")
+	metricsWindow := flag.Int64("metrics-window", 0, "metrics bus window in cycles (0 = the config's statistics interval)")
+	profileBoxes := flag.Bool("profile-boxes", false, "attribute host time to boxes (sampled; prints a ranked table)")
+	perfettoOut := flag.String("perfetto", "", "write a Perfetto/Chrome trace-event JSON of box activity to file")
+	manifestOut := flag.String("manifest", "auto", "run manifest path; auto = run-manifest.json next to the first output, none = disabled")
 	flag.Parse()
 
 	if *in == "" {
@@ -136,6 +145,51 @@ func run() int {
 		pipe.TraceSignals(sigWriter)
 	}
 
+	// Observability: the metrics bus samples at the cycle barrier, the
+	// profiler times sampled box clocks, and the status server makes
+	// both (plus the crash black box) reachable while the run is live.
+	man := obsv.NewManifest("attilasim", flag.CommandLine)
+	man.Trace = *in
+	man.Config = *preset
+	var bus *obsv.Bus
+	if *httpAddr != "" || *metricsOut != "" || *perfettoOut != "" {
+		goalFrames := int64(hdr.Frames - *start)
+		if *end >= 0 && *end < hdr.Frames {
+			goalFrames = int64(*end - *start)
+		}
+		if goalFrames < 0 {
+			goalFrames = 0
+		}
+		window := *metricsWindow
+		if window <= 0 {
+			window = cfg.StatInterval // 0 falls through to the bus default
+		}
+		bus = obsv.NewBus(pipe.Sim, obsv.BusOptions{
+			Window:     window,
+			Frames:     func() int64 { return int64(pipe.CP.Frames()) },
+			Goal:       *maxCycles,
+			GoalFrames: goalFrames,
+		})
+	}
+	var prof *obsv.Profiler
+	if *profileBoxes {
+		prof = obsv.NewProfiler()
+		prof.Attach(pipe.Sim)
+	}
+	var srv *obsv.Server
+	if *httpAddr != "" {
+		srv = obsv.NewServer(*httpAddr, obsv.ServerOptions{
+			Bus:      bus,
+			Profiler: prof,
+			Crash:    pipe.Sim.Crash,
+			Manifest: func() *obsv.Manifest { return man },
+		})
+		if err := srv.Start(); err != nil {
+			return fail(exitUsage, err)
+		}
+		fmt.Println("status server listening on", srv.Addr())
+	}
+
 	// SIGINT/SIGTERM and -timeout cancel the run cooperatively: the
 	// simulator stops at a cycle boundary and the output flushing
 	// below still happens on the partial state.
@@ -162,6 +216,9 @@ func run() int {
 	// Flush every requested output whether or not the run succeeded;
 	// a partial stats CSV from a hung run is exactly what the flags
 	// were for. Output problems never mask the simulation verdict.
+	if bus != nil {
+		bus.Flush()
+	}
 	outOK := true
 	if sigWriter != nil {
 		if err := sigWriter.Close(); err != nil {
@@ -179,6 +236,14 @@ func run() int {
 	if *framesOut != "" {
 		outOK = writeFrames(*framesOut, *start, pipe.Frames()) && outOK
 	}
+	if *metricsOut != "" {
+		outOK = writeTo(*metricsOut, bus.WriteNDJSON) && outOK
+	}
+	if *perfettoOut != "" {
+		pf := obsv.NewPerfetto()
+		pf.AddWindows(bus.Snapshot())
+		outOK = writeTo(*perfettoOut, pf.WriteJSON) && outOK
+	}
 	if *blackbox != "" && pipe.Sim.Crash() != nil {
 		if err := pipe.Sim.Crash().WriteFile(*blackbox); err != nil {
 			outOK = complain(err)
@@ -186,19 +251,88 @@ func run() int {
 			fmt.Println("wrote crash report to", *blackbox)
 		}
 	}
-
-	if simErr != nil {
-		return fail(verdict(simErr), describe(simErr))
-	}
-	if *verify {
-		if code := runVerify(cfg, hdr, cmds, pipe); code != exitOK {
-			return code
+	if prof != nil {
+		fmt.Println("host time per box (sampled):")
+		if err := prof.WriteTable(os.Stdout); err != nil {
+			outOK = complain(err)
 		}
 	}
-	if !outOK {
-		return exitUsage
+
+	// Settle the verdict, then record it in the manifest so the output
+	// directory stays self-describing even for failed runs.
+	code := exitOK
+	switch {
+	case simErr != nil:
+		fmt.Fprintln(os.Stderr, "attilasim:", describe(simErr))
+		code = verdict(simErr)
+	case *verify:
+		code = runVerify(cfg, hdr, cmds, pipe)
 	}
-	return exitOK
+	if code == exitOK && !outOK {
+		code = exitUsage
+	}
+	man.Cycles = pipe.Cycles()
+	man.Frames = int64(pipe.CP.Frames())
+	man.Outputs = collectOutputs(*sigOut, *statsOut, *summaryOut, *framesOut, *metricsOut, *perfettoOut, *blackbox)
+	man.Finish(code, simErr)
+	if path := manifestPath(*manifestOut, man.Outputs); path != "" {
+		if err := man.WriteFile(path); err != nil {
+			complain(err)
+		} else {
+			fmt.Println("wrote", path)
+		}
+	}
+
+	// Keep the status server reachable after the run so /crash and
+	// /metrics can be inspected post-mortem — timed-out and deadlocked
+	// runs are exactly when that matters. A fresh signal context lets
+	// Ctrl-C cut the wait short.
+	if srv != nil {
+		if *httpLinger > 0 {
+			lingerCtx, lingerStop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+			fmt.Printf("status server lingering for %v on %s (Ctrl-C to exit)\n", *httpLinger, srv.Addr())
+			select {
+			case <-time.After(*httpLinger):
+			case <-lingerCtx.Done():
+			}
+			lingerStop()
+		}
+		srv.Close()
+	}
+	return code
+}
+
+// collectOutputs lists the output paths that were actually requested.
+func collectOutputs(paths ...string) []string {
+	var out []string
+	for _, p := range paths {
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// manifestPath resolves the -manifest flag: "none" (or empty)
+// disables it, "auto" places run-manifest.json next to the first
+// requested output (nowhere when the run produced no outputs), and
+// anything else is used verbatim.
+func manifestPath(flagVal string, outputs []string) string {
+	switch flagVal {
+	case "", "none":
+		return ""
+	case "auto":
+		if len(outputs) == 0 {
+			return ""
+		}
+		dir := filepath.Dir(outputs[0])
+		if fi, err := os.Stat(outputs[0]); err == nil && fi.IsDir() {
+			dir = outputs[0] // e.g. the -frames directory
+		}
+		return filepath.Join(dir, "run-manifest.json")
+	default:
+		return flagVal
+	}
 }
 
 // verdict maps a simulation error to the process exit code.

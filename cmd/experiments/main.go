@@ -21,6 +21,7 @@ import (
 	"attila/internal/core"
 	"attila/internal/experiments"
 	"attila/internal/gpu"
+	"attila/internal/obsv"
 )
 
 func main() {
@@ -33,6 +34,7 @@ func main() {
 	workers := flag.Int("workers", 0, "host worker shards for the clock loop (0/1 = serial; results identical)")
 	watchdog := flag.Int64("watchdog", 0, "abort a hung run with a deadlock report after this many cycles without progress (0 = off)")
 	timeout := flag.Duration("timeout", 0, "wall-clock limit across all experiments (0 = none)")
+	profileBoxes := flag.Bool("profile-boxes", false, "attribute host time to boxes across all runs (sampled; prints a ranked table)")
 	flag.Parse()
 
 	// SIGINT/SIGTERM and -timeout cancel the in-flight simulation at
@@ -52,6 +54,11 @@ func main() {
 	p.Workers = *workers
 	p.WatchdogWindow = *watchdog
 	p.Ctx = ctx
+	var prof *obsv.Profiler
+	if *profileBoxes {
+		prof = obsv.NewProfiler()
+		p.Observe = func(pipe *gpu.Pipeline) { prof.Attach(pipe.Sim) }
+	}
 
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
@@ -199,4 +206,11 @@ func main() {
 		}
 		return nil
 	})
+
+	if prof != nil {
+		fmt.Println("== host time per box (sampled, aggregated over all runs) ==")
+		if err := prof.WriteTable(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
 }

@@ -3,9 +3,14 @@
 // activity timelines, one row per signal, for debugging simulator
 // performance — where the pipeline bubbles and bottlenecks are.
 //
+// Besides the timelines it prints a per-signal utilization summary
+// (busy cycles over the traced span, -top N ranks the busiest) and
+// can convert the trace to Perfetto/Chrome trace-event JSON for
+// ui.perfetto.dev (-perfetto out.json).
+//
 // Usage:
 //
-//	sigtrace -in run.sig [-buckets 100] [-signal FGen.Tiles] [-follow 42]
+//	sigtrace -in run.sig [-buckets 100] [-signal FGen.Tiles] [-follow 42] [-top 10] [-perfetto out.json]
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"strings"
 
 	"attila/internal/core"
+	"attila/internal/obsv"
 )
 
 func main() {
@@ -23,6 +29,8 @@ func main() {
 	buckets := flag.Int("buckets", 100, "timeline resolution (columns)")
 	signal := flag.String("signal", "", "only show signals containing this substring")
 	follow := flag.Uint64("follow", 0, "print the full event path of one object id (and its descendants)")
+	top := flag.Int("top", 0, "rank the N busiest signals in the utilization summary (0 = all, by name)")
+	perfetto := flag.String("perfetto", "", "write the trace as Perfetto/Chrome trace-event JSON to file")
 	flag.Parse()
 
 	if *in == "" {
@@ -45,6 +53,22 @@ func main() {
 	if *follow != 0 {
 		followObject(recs, *follow)
 		return
+	}
+	if *perfetto != "" {
+		pf := obsv.NewPerfetto()
+		pf.AddSigTrace(recs)
+		of, err := os.Create(*perfetto)
+		if err != nil {
+			fatal(err)
+		}
+		err = pf.WriteJSON(of)
+		if cerr := of.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote perfetto trace to", *perfetto)
 	}
 
 	minC, maxC := recs[0].Cycle, recs[0].Cycle
@@ -107,6 +131,29 @@ func main() {
 			sb.WriteByte(shades[idx])
 		}
 		fmt.Printf("%-*s |%s| %d objects\n", width, n, sb.String(), totals[n])
+	}
+
+	// End-of-run utilization summary: busy cycles over the traced
+	// span, so bubbles show up as numbers, not just gaps in the art.
+	usage := obsv.SigUsage(recs)
+	if *signal != "" {
+		kept := usage[:0]
+		for _, u := range usage {
+			if strings.Contains(u.Name, *signal) {
+				kept = append(kept, u)
+			}
+		}
+		usage = kept
+	}
+	if *top > 0 {
+		usage = obsv.RankUsage(usage, *top)
+		fmt.Printf("\ntop %d signals by utilization:\n", len(usage))
+	} else {
+		fmt.Printf("\nsignal utilization over %d traced cycles:\n", span)
+	}
+	for _, u := range usage {
+		fmt.Printf("%-*s %6.1f%%  busy %d/%d cycles, %d objects\n",
+			width, u.Name, 100*u.Util, u.Busy, u.Span, u.Objects)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Box is a timing module. Clock is called exactly once per simulated
@@ -72,6 +73,13 @@ type Simulator struct {
 	wd    *watchdog
 	crash *CrashReport
 
+	// Host-time attribution (SetClockObserver): on cycles where
+	// cycle%obsEvery == 0 every box clock is individually timed and
+	// reported. Nil obs (the default) costs one branch per shard per
+	// cycle and nothing else.
+	obs      ClockObserver
+	obsEvery int64
+
 	// Cooperative cancellation: Stop (or a context watcher) raises
 	// stopped; the clock loop polls it once per cycle. stopCause is
 	// written before the Store and read after a true Load, which the
@@ -97,6 +105,48 @@ func NewSimulator(statInterval int64) *Simulator {
 
 // Register adds a box to the clock loop in registration order.
 func (s *Simulator) Register(b Box) { s.boxes = append(s.boxes, b) }
+
+// Boxes returns the registered boxes in registration order. The slice
+// is a copy; the boxes are shared — read their state only at the
+// cycle barrier (an OnEndCycle hook) or outside Run.
+func (s *Simulator) Boxes() []Box { return append([]Box(nil), s.boxes...) }
+
+// ClockObserver receives sampled host-time measurements of individual
+// box clocks (see SetClockObserver). In parallel mode BoxClocked is
+// called concurrently from different shards; implementations must be
+// safe for that.
+type ClockObserver interface {
+	// BoxClocked reports that box's Clock call on the given shard took
+	// hostNs wall-clock nanoseconds.
+	BoxClocked(shard int, box Box, hostNs int64)
+}
+
+// SetClockObserver installs an observer that times every box's Clock
+// call on cycles where cycle%sampleEvery == 0 (sampleEvery <= 1 times
+// every cycle). Pass nil to remove the observer (the default). A
+// sampled cycle costs two monotonic clock reads per box; unsampled
+// cycles pay one branch per shard. Observation never changes
+// simulation results.
+func (s *Simulator) SetClockObserver(o ClockObserver, sampleEvery int64) {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	s.obs = o
+	s.obsEvery = sampleEvery
+}
+
+// WatchdogProgress reports the armed watchdog's view of forward
+// progress: the last cycle with observed activity and the cumulative
+// activity fingerprint (total signal traffic plus every
+// ProgressReporter counter). ok is false when no watchdog is armed.
+// The state is barrier-published: call only from the coordinating
+// goroutine (an OnEndCycle hook, or outside Run).
+func (s *Simulator) WatchdogProgress() (lastProgress int64, fingerprint uint64, ok bool) {
+	if s.wd == nil {
+		return 0, 0, false
+	}
+	return s.wd.lastProgress, s.wd.lastTotal, true
+}
 
 // SetDone installs the termination predicate checked after every
 // cycle (typically "command processor has retired all commands"). The
@@ -342,9 +392,18 @@ func (s *Simulator) runSerial(maxCycles int64) (err error) {
 		if s.shouldStop(s.cycle) {
 			return s.stopErr()
 		}
-		for _, b := range s.boxes {
-			s.curBox = b
-			b.Clock(s.cycle)
+		if s.obs != nil && s.cycle%s.obsEvery == 0 {
+			for _, b := range s.boxes {
+				s.curBox = b
+				t0 := time.Now()
+				b.Clock(s.cycle)
+				s.obs.BoxClocked(0, b, time.Since(t0).Nanoseconds())
+			}
+		} else {
+			for _, b := range s.boxes {
+				s.curBox = b
+				b.Clock(s.cycle)
+			}
 		}
 		s.curBox = nil
 		if stop, err := s.endOfCycle(); stop {
@@ -357,9 +416,11 @@ func (s *Simulator) runSerial(maxCycles int64) (err error) {
 // worker is one member of the persistent pool: it owns a shard of
 // boxes and sleeps on its wake channel between cycles.
 type worker struct {
-	shard int
-	wake  chan int64
-	boxes []Box
+	shard    int
+	wake     chan int64
+	boxes    []Box
+	obs      ClockObserver // sampled box-clock timing, nil when off
+	obsEvery int64
 	// Failure state, written before wg.Done and read by the
 	// coordinator after wg.Wait (the barrier orders both).
 	simErr *SimError
@@ -388,6 +449,15 @@ func (w *worker) clock(cycle int64, wg *sync.WaitGroup) {
 			}
 		}
 	}()
+	if w.obs != nil && cycle%w.obsEvery == 0 {
+		for _, b := range w.boxes {
+			cur = b
+			t0 := time.Now()
+			b.Clock(cycle)
+			w.obs.BoxClocked(w.shard, b, time.Since(t0).Nanoseconds())
+		}
+		return
+	}
 	for _, b := range w.boxes {
 		cur = b
 		b.Clock(cycle)
@@ -442,7 +512,7 @@ func (s *Simulator) runParallel(maxCycles int64, nw int) (err error) {
 	workers := make([]*worker, len(shards))
 	var wg sync.WaitGroup
 	for i, shard := range shards {
-		w := &worker{shard: i, boxes: shard}
+		w := &worker{shard: i, boxes: shard, obs: s.obs, obsEvery: s.obsEvery}
 		workers[i] = w
 		if i == 0 {
 			continue

@@ -169,7 +169,7 @@ func TestStatManagerSampling(t *testing.T) {
 	}
 	m.Flush(35)
 	cycles, deltas := m.Samples("Box.events")
-	if len(cycles) != 4 { // cycles 10, 20, 30 and the flush at 35
+	if len(cycles) != 4 { // cycles 10, 20, 30 and the flush row at 34
 		t.Fatalf("want 4 samples, got %d (%v)", len(cycles), cycles)
 	}
 	// Ticks at cycle 10 and 20 happen after the increments of those
@@ -271,11 +271,41 @@ func TestStatManagerFlushOnBoundary(t *testing.T) {
 	if deltas[0] != 11 || deltas[1] != 10 {
 		t.Fatalf("want deltas [11 10], got %v", deltas)
 	}
-	// A later flush with real uncovered cycles still records.
+	// A later flush with real uncovered cycles still records, stamped
+	// at the last executed cycle (24), not the cycle count (25).
 	c.Add(5)
 	m.Flush(25)
-	if cycles, _ := m.Samples("Box.events"); len(cycles) != 3 || cycles[2] != 25 {
-		t.Fatalf("flush past the boundary lost data: %v", cycles)
+	if cycles, _ := m.Samples("Box.events"); len(cycles) != 3 || cycles[2] != 24 {
+		t.Fatalf("flush past the boundary lost data or mis-stamped the row: %v", cycles)
+	}
+}
+
+// The final partial window of a run whose cycle count is not a
+// multiple of the sampling interval must be stamped with the cycle
+// the values were sampled at (count-1), not the count itself — a
+// gauge set during the last executed cycle would otherwise appear in
+// a CSV row labelled one cycle past the end of the run.
+func TestStatManagerFlushPartialWindowCycle(t *testing.T) {
+	m := NewStatManager(10)
+	g := m.Gauge("Box.queue")
+	for cyc := int64(0); cyc < 17; cyc++ { // cycles 0..16, count 17
+		g.Set(float64(cyc))
+		m.Tick(cyc)
+	}
+	m.Flush(17)
+	cycles, vals := m.Samples("Box.queue")
+	if len(cycles) != 2 || cycles[0] != 10 || cycles[1] != 16 {
+		t.Fatalf("want samples at cycles [10 16], got %v", cycles)
+	}
+	if vals[1] != 16 {
+		t.Fatalf("partial-window gauge: want value 16 at its sampling cycle, got %g", vals[1])
+	}
+	// A run that never executed a cycle has nothing to flush.
+	m2 := NewStatManager(10)
+	m2.Counter("Box.events")
+	m2.Flush(0)
+	if c, _ := m2.Samples("Box.events"); len(c) != 0 {
+		t.Fatalf("flush of an empty run recorded %v", c)
 	}
 }
 

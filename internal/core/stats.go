@@ -153,18 +153,23 @@ func (m *StatManager) Tick(cycle int64) {
 	m.sample(cycle)
 }
 
-// Flush records a final partial sample at the given cycle. When the
-// run ended on (or immediately after) a sampling boundary, the
-// boundary sample already covers every completed cycle, so Flush
-// skips the redundant near-duplicate row.
+// Flush records a final partial sample covering the cycles since the
+// last boundary. cycle is the simulator's cycle *count* — one past
+// the last executed cycle — so the row is stamped cycle-1, the cycle
+// the stats (gauges in particular) were actually last mutated at; a
+// run whose length is not a multiple of the interval used to stamp
+// its partial row one cycle past the end of the run. When the run
+// ended on a sampling boundary, the boundary sample already covers
+// every completed cycle and Flush skips the redundant row.
 func (m *StatManager) Flush(cycle int64) {
-	if m.interval <= 0 {
+	if m.interval <= 0 || cycle <= 0 {
 		return
 	}
-	if m.hasSample && cycle <= m.lastSample+1 {
+	last := cycle - 1
+	if m.hasSample && last <= m.lastSample {
 		return
 	}
-	m.sample(cycle)
+	m.sample(last)
 }
 
 func (m *StatManager) sample(cycle int64) {

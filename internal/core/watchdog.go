@@ -34,6 +34,14 @@ type StallReporter interface {
 	Queues() []QueueStat
 }
 
+// BusyReporter is implemented by boxes that count the cycles they did
+// useful work. The observability layer (internal/obsv) derives
+// per-box utilization from the counter's per-window delta. Like the
+// other reporter interfaces it is read only at the cycle barrier.
+type BusyReporter interface {
+	BusyCycles() float64
+}
+
 // SignalState is the deadlock-report snapshot of one signal with
 // unconsumed objects.
 type SignalState struct {

@@ -37,6 +37,11 @@ type RunParams struct {
 	// signal handler, a timeout) stops the current run at a cycle
 	// boundary and surfaces core.ErrCanceled.
 	Ctx context.Context
+	// Observe, when non-nil, is called on every freshly built pipeline
+	// before its simulation starts — the hook the observability layer
+	// (internal/obsv) uses to attach a profiler or metrics bus to each
+	// run of a sweep.
+	Observe func(*gpu.Pipeline)
 }
 
 // context returns the configured context or Background.
@@ -64,6 +69,9 @@ func runOne(cfg gpu.Config, name string, p RunParams) (*gpu.Pipeline, error) {
 	pipe, err := gpu.New(cfg, p.Width, p.Height)
 	if err != nil {
 		return nil, err
+	}
+	if p.Observe != nil {
+		p.Observe(pipe)
 	}
 	cmds, _, err := workload.Build(name, pipe, p.workloadParams())
 	if err != nil {
@@ -347,6 +355,9 @@ func Fig10(p RunParams) (*Fig10Result, error) {
 	pipe, err := gpu.New(cfg, p.Width, p.Height)
 	if err != nil {
 		return nil, err
+	}
+	if p.Observe != nil {
+		p.Observe(pipe)
 	}
 	cmds, _, err := workload.Build("doom3", pipe, p.workloadParams())
 	if err != nil {

@@ -194,3 +194,20 @@ func (c *ColorWrite) Queues() []core.QueueStat {
 func (d *DAC) Queues() []core.QueueStat {
 	return []core.QueueStat{{Name: "DAC.pending", Occupied: len(d.pending)}}
 }
+
+// BusyCycles implements core.BusyReporter for every box that already
+// keeps a busy-cycle counter; the observability layer derives
+// per-window utilization fractions from the deltas. Counters are read
+// only at the cycle barrier, like the other reporter interfaces.
+
+func (s *Streamer) BusyCycles() float64          { return s.statBusy.Value() }
+func (p *PrimAssembly) BusyCycles() float64      { return p.statBusy.Value() }
+func (c *Clipper) BusyCycles() float64           { return c.statBusy.Value() }
+func (s *Setup) BusyCycles() float64             { return s.statBusy.Value() }
+func (g *FragmentGenerator) BusyCycles() float64 { return g.statBusy.Value() }
+func (h *HierarchicalZ) BusyCycles() float64     { return h.statBusy.Value() }
+func (ip *Interpolator) BusyCycles() float64     { return ip.statBusy.Value() }
+func (s *ShaderUnit) BusyCycles() float64        { return s.statBusy.Value() }
+func (t *TextureUnit) BusyCycles() float64       { return t.statBusy.Value() }
+func (z *ZStencil) BusyCycles() float64          { return z.statBusy.Value() }
+func (c *ColorWrite) BusyCycles() float64        { return c.statBusy.Value() }

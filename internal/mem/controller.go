@@ -187,6 +187,11 @@ func (c *Controller) Queues() []core.QueueStat {
 	return append(qs, core.QueueStat{Name: "MC.channels", Occupied: busy, Capacity: c.cfg.Channels})
 }
 
+// BusyCycles implements core.BusyReporter: cycles with at least one
+// channel transferring, read at the cycle barrier by the
+// observability layer.
+func (c *Controller) BusyCycles() float64 { return c.statBusy.Value() }
+
 func (c *Controller) channelOf(addr uint32) int {
 	return int(addr/c.cfg.Interleave) % c.cfg.Channels
 }

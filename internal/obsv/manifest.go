@@ -1,0 +1,117 @@
+package obsv
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Manifest records everything needed to reproduce and audit a run:
+// the tool and its arguments, the resolved flag set, the workload,
+// the build's VCS state, the host, and the outcome. attilasim writes
+// one `run-manifest.json` next to every output set so a directory of
+// results stays self-describing.
+type Manifest struct {
+	Tool   string            `json:"tool"`
+	Args   []string          `json:"args"`
+	Flags  map[string]string `json:"flags,omitempty"`
+	Trace  string            `json:"trace,omitempty"`
+	Config string            `json:"config,omitempty"`
+	Seed   int64             `json:"seed,omitempty"`
+
+	Version   string `json:"version,omitempty"` // VCS revision (+dirty)
+	GoVersion string `json:"goVersion"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	CPUs      int    `json:"cpus"`
+	Hostname  string `json:"hostname,omitempty"`
+
+	Start    time.Time `json:"start"`
+	Stop     time.Time `json:"stop,omitempty"`
+	WallSecs float64   `json:"wallSecs,omitempty"`
+
+	Cycles   int64    `json:"cycles,omitempty"`
+	Frames   int64    `json:"frames,omitempty"`
+	ExitCode int      `json:"exitCode"`
+	Error    string   `json:"error,omitempty"`
+	Outputs  []string `json:"outputs,omitempty"`
+}
+
+// NewManifest starts a manifest for the current process: tool name,
+// arguments, resolved flags, build/host identity, and the start
+// timestamp. fs may be nil to skip flag capture.
+func NewManifest(tool string, fs *flag.FlagSet) *Manifest {
+	m := &Manifest{
+		Tool:      tool,
+		Args:      append([]string(nil), os.Args[1:]...),
+		Version:   GitDescribe(),
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Start:     time.Now(),
+	}
+	if host, err := os.Hostname(); err == nil {
+		m.Hostname = host
+	}
+	if fs != nil {
+		m.Flags = make(map[string]string)
+		fs.VisitAll(func(f *flag.Flag) {
+			m.Flags[f.Name] = f.Value.String()
+		})
+	}
+	return m
+}
+
+// Finish stamps the outcome: stop time, wall-clock duration, exit
+// code, and the error (if any).
+func (m *Manifest) Finish(exitCode int, err error) {
+	m.Stop = time.Now()
+	m.WallSecs = m.Stop.Sub(m.Start).Seconds()
+	m.ExitCode = exitCode
+	if err != nil {
+		m.Error = err.Error()
+	}
+}
+
+// WriteFile serializes the manifest as indented JSON at path.
+func (m *Manifest) WriteFile(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// GitDescribe returns the VCS revision baked into the binary by the
+// Go toolchain ("<rev>" or "<rev>+dirty"), or "" for builds without
+// VCS stamping (e.g. `go test` binaries).
+func GitDescribe() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev string
+	dirty := false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return ""
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	return rev
+}

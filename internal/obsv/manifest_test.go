@@ -1,0 +1,90 @@
+package obsv
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"attila/internal/core"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	fs := flag.NewFlagSet("attilasim", flag.ContinueOnError)
+	fs.Int("width", 256, "")
+	fs.String("csv", "", "")
+	if err := fs.Parse([]string{"-width", "320"}); err != nil {
+		t.Fatal(err)
+	}
+
+	m := NewManifest("attilasim", fs)
+	m.Trace = "trace.attila"
+	m.Config = "reference"
+	m.Seed = 42
+	m.Cycles = 12345
+	m.Frames = 2
+	m.Outputs = []string{"stats.csv"}
+	m.Finish(3, errors.New("pipeline deadlock"))
+
+	if m.Flags["width"] != "320" || m.Flags["csv"] != "" {
+		t.Fatalf("flag capture: %v", m.Flags)
+	}
+	if m.GoVersion == "" || m.OS == "" || m.CPUs < 1 {
+		t.Fatalf("host identity missing: %+v", m)
+	}
+	if m.Stop.Before(m.Start) || m.WallSecs < 0 {
+		t.Fatalf("timing: %+v", m)
+	}
+
+	path := filepath.Join(t.TempDir(), "run-manifest.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if back.Tool != "attilasim" || back.Seed != 42 || back.ExitCode != 3 ||
+		back.Error != "pipeline deadlock" || back.Flags["width"] != "320" {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+}
+
+func TestSigUsage(t *testing.T) {
+	recs := []core.SigTraceRecord{
+		{Cycle: 0, Signal: "a", ID: 1},
+		{Cycle: 0, Signal: "a", ID: 2}, // same cycle: 1 busy cycle, 2 objects
+		{Cycle: 5, Signal: "a", ID: 3},
+		{Cycle: 9, Signal: "b", ID: 4},
+	}
+	us := SigUsage(recs)
+	if len(us) != 2 || us[0].Name != "a" || us[1].Name != "b" {
+		t.Fatalf("usage rows: %+v", us)
+	}
+	a, b := us[0], us[1]
+	if a.Objects != 3 || a.Busy != 2 || a.Span != 10 || a.Util != 0.2 {
+		t.Fatalf("signal a: %+v", a)
+	}
+	if b.Objects != 1 || b.Busy != 1 || b.Util != 0.1 {
+		t.Fatalf("signal b: %+v", b)
+	}
+
+	top := RankUsage(us, 1)
+	if len(top) != 1 || top[0].Name != "a" {
+		t.Fatalf("rank: %+v", top)
+	}
+	// RankUsage must not reorder the caller's slice.
+	if us[0].Name != "a" || us[1].Name != "b" {
+		t.Fatalf("input mutated: %+v", us)
+	}
+
+	if SigUsage(nil) != nil {
+		t.Fatal("empty trace must yield no usage")
+	}
+}

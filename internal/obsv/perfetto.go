@@ -1,0 +1,195 @@
+package obsv
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+
+	"attila/internal/core"
+)
+
+// The Perfetto exporter converts simulator activity into the Chrome
+// trace_event JSON format, loadable in ui.perfetto.dev (or
+// chrome://tracing). The mapping is 1 simulated cycle = 1 trace
+// microsecond, so the UI's time axis reads directly in cycles.
+//
+// Tracks:
+//   - pid 1 "signals":   one counter track per signal, objects
+//     consumed per cycle (from a signal trace file).
+//   - pid 2 "boxes":     one thread per box; each metrics-bus window
+//     becomes a slice whose duration is the busy fraction of the
+//     window.
+//   - pid 3 "rates":     counter tracks for host cycles/sec and
+//     frames from the metrics bus.
+
+// perfettoEvent is one trace_event record. Ts and Dur are in
+// microseconds per the format.
+type perfettoEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Track pids.
+const (
+	pidSignals = 1
+	pidBoxes   = 2
+	pidRates   = 3
+)
+
+// Perfetto accumulates trace events and serializes them as a
+// trace_event JSON object.
+type Perfetto struct {
+	events []perfettoEvent
+	tids   map[string]int // per track name, within a pid namespace
+}
+
+// NewPerfetto returns an empty trace with the process metadata
+// pre-registered.
+func NewPerfetto() *Perfetto {
+	p := &Perfetto{tids: make(map[string]int)}
+	for pid, name := range map[int]string{
+		pidSignals: "signals",
+		pidBoxes:   "boxes",
+		pidRates:   "rates",
+	} {
+		p.events = append(p.events, perfettoEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	// Deterministic order for the metadata prologue.
+	sort.Slice(p.events, func(i, j int) bool { return p.events[i].Pid < p.events[j].Pid })
+	return p
+}
+
+// tid assigns a stable thread id per (pid, name) track and emits the
+// thread_name metadata on first use.
+func (p *Perfetto) tid(pid int, name string) int {
+	key := strconv.Itoa(pid) + "/" + name
+	if id, ok := p.tids[key]; ok {
+		return id
+	}
+	id := len(p.tids) + 1
+	p.tids[key] = id
+	p.events = append(p.events, perfettoEvent{
+		Name: "thread_name", Ph: "M", Pid: pid, Tid: id,
+		Args: map[string]any{"name": name},
+	})
+	return id
+}
+
+// AddSigTrace converts a parsed signal trace into per-signal counter
+// tracks: one counter sample per cycle with traffic, plus a closing
+// zero sample when a gap follows (so the counter does not appear to
+// stay high across idle stretches).
+func (p *Perfetto) AddSigTrace(recs []core.SigTraceRecord) {
+	type cycleCount struct {
+		cycle int64
+		n     int
+	}
+	perSig := make(map[string][]cycleCount)
+	for _, r := range recs {
+		row := perSig[r.Signal]
+		if len(row) > 0 && row[len(row)-1].cycle == r.Cycle {
+			row[len(row)-1].n++
+		} else {
+			row = append(row, cycleCount{cycle: r.Cycle, n: 1})
+		}
+		perSig[r.Signal] = row
+	}
+	names := make([]string, 0, len(perSig))
+	for n := range perSig {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		tid := p.tid(pidSignals, name)
+		row := perSig[name]
+		sort.Slice(row, func(i, j int) bool { return row[i].cycle < row[j].cycle })
+		for i, cc := range row {
+			p.events = append(p.events, perfettoEvent{
+				Name: name, Cat: "signal", Ph: "C", Ts: cc.cycle, Pid: pidSignals, Tid: tid,
+				Args: map[string]any{"objects": cc.n},
+			})
+			if i+1 == len(row) || row[i+1].cycle > cc.cycle+1 {
+				p.events = append(p.events, perfettoEvent{
+					Name: name, Cat: "signal", Ph: "C", Ts: cc.cycle + 1, Pid: pidSignals, Tid: tid,
+					Args: map[string]any{"objects": 0},
+				})
+			}
+		}
+	}
+}
+
+// AddWindows converts metrics-bus windows into box busy slices (pid
+// "boxes") and rate counters (pid "rates").
+func (p *Perfetto) AddWindows(ws []*WindowSample) {
+	for _, w := range ws {
+		start := w.Cycle + 1 - w.Cycles
+		boxes := make([]string, 0, len(w.Busy))
+		for name := range w.Busy {
+			boxes = append(boxes, name)
+		}
+		sort.Strings(boxes)
+		for _, name := range boxes {
+			frac := w.Busy[name]
+			if frac <= 0 {
+				continue
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			dur := int64(frac * float64(w.Cycles))
+			if dur < 1 {
+				dur = 1
+			}
+			p.events = append(p.events, perfettoEvent{
+				Name: name, Cat: "busy", Ph: "X", Ts: start, Dur: dur,
+				Pid: pidBoxes, Tid: p.tid(pidBoxes, name),
+				Args: map[string]any{"busy": frac},
+			})
+		}
+		p.events = append(p.events, perfettoEvent{
+			Name: "cycles/sec", Cat: "rate", Ph: "C", Ts: w.Cycle,
+			Pid: pidRates, Tid: p.tid(pidRates, "cycles/sec"),
+			Args: map[string]any{"cps": w.CPS},
+		})
+		if w.Frames > 0 {
+			p.events = append(p.events, perfettoEvent{
+				Name: "frames", Cat: "rate", Ph: "C", Ts: w.Cycle,
+				Pid: pidRates, Tid: p.tid(pidRates, "frames"),
+				Args: map[string]any{"frames": w.Frames},
+			})
+		}
+	}
+}
+
+// Len returns the number of accumulated events (metadata included).
+func (p *Perfetto) Len() int { return len(p.events) }
+
+// WriteJSON serializes the trace as a trace_event JSON object.
+func (p *Perfetto) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	out := struct {
+		TraceEvents     []perfettoEvent `json:"traceEvents"`
+		DisplayTimeUnit string          `json:"displayTimeUnit"`
+		OtherData       map[string]any  `json:"otherData,omitempty"`
+	}{
+		TraceEvents:     p.events,
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]any{"timeUnit": "1 cycle = 1 us"},
+	}
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(&out); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

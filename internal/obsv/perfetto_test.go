@@ -1,0 +1,145 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"attila/internal/core"
+)
+
+// decoded mirrors the trace_event container for validation.
+type decodedTrace struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   int64          `json:"ts"`
+		Dur  int64          `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func TestPerfettoStructure(t *testing.T) {
+	p := NewPerfetto()
+	p.AddSigTrace([]core.SigTraceRecord{
+		{Cycle: 3, Signal: "Setup.out", ID: 1, Tag: "tri"},
+		{Cycle: 3, Signal: "Setup.out", ID: 2, Tag: "tri"},
+		{Cycle: 4, Signal: "Setup.out", ID: 3, Tag: "tri"},
+		{Cycle: 9, Signal: "Setup.out", ID: 4, Tag: "tri"}, // gap -> zero sample at 5
+		{Cycle: 5, Signal: "FGen.tiles", ID: 5, Tag: "tile"},
+	})
+	p.AddWindows([]*WindowSample{
+		{Cycle: 9, Cycles: 10, CPS: 1e6, Frames: 1,
+			Busy: map[string]float64{"Setup": 0.5, "FGen": 1.2}}, // >1 must clamp
+		{Cycle: 19, Cycles: 10, CPS: 2e6,
+			Busy: map[string]float64{"Setup": 0.001}}, // tiny -> min dur 1
+	})
+
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr decodedTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 || len(tr.TraceEvents) != p.Len() {
+		t.Fatalf("traceEvents count: want %d, got %d", p.Len(), len(tr.TraceEvents))
+	}
+	if tr.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit: %q", tr.DisplayTimeUnit)
+	}
+
+	procNames := map[int]string{}
+	var counters, slices int
+	for _, e := range tr.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name == "process_name" {
+				procNames[e.Pid] = e.Args["name"].(string)
+			}
+		case "C":
+			counters++
+		case "X":
+			slices++
+			if e.Dur < 1 {
+				t.Fatalf("slice with dur < 1: %+v", e)
+			}
+			if busy, ok := e.Args["busy"].(float64); !ok || busy > 1 {
+				t.Fatalf("busy fraction not clamped: %+v", e)
+			}
+		default:
+			t.Fatalf("unexpected event phase %q: %+v", e.Ph, e)
+		}
+		if e.Ts < 0 || e.Pid < 1 {
+			t.Fatalf("bad event coordinates: %+v", e)
+		}
+	}
+	if procNames[pidSignals] != "signals" || procNames[pidBoxes] != "boxes" || procNames[pidRates] != "rates" {
+		t.Fatalf("process metadata missing: %v", procNames)
+	}
+	if slices != 3 { // Setup+FGen in window 0, Setup in window 1
+		t.Fatalf("busy slices: want 3, got %d", slices)
+	}
+	if counters == 0 {
+		t.Fatal("no counter events emitted")
+	}
+}
+
+func TestPerfettoSignalCounters(t *testing.T) {
+	p := NewPerfetto()
+	p.AddSigTrace([]core.SigTraceRecord{
+		{Cycle: 2, Signal: "s", ID: 1},
+		{Cycle: 2, Signal: "s", ID: 2},
+		{Cycle: 3, Signal: "s", ID: 3},
+		{Cycle: 7, Signal: "s", ID: 4},
+	})
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr decodedTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatal(err)
+	}
+	// Expected counter samples for "s": ts2=2, ts3=1, ts4=0 (closing a
+	// gap), ts7=1, ts8=0 (closing the trace).
+	want := map[int64]float64{2: 2, 3: 1, 4: 0, 7: 1, 8: 0}
+	got := map[int64]float64{}
+	for _, e := range tr.TraceEvents {
+		if e.Ph == "C" && e.Name == "s" {
+			got[e.Ts] = e.Args["objects"].(float64)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("counter samples: want %v, got %v", want, got)
+	}
+	for ts, n := range want {
+		if got[ts] != n {
+			t.Fatalf("counter at ts %d: want %g, got %g (%v)", ts, n, got[ts], got)
+		}
+	}
+}
+
+func TestPerfettoDeterministicOutput(t *testing.T) {
+	build := func() []byte {
+		p := NewPerfetto()
+		p.AddSigTrace([]core.SigTraceRecord{
+			{Cycle: 1, Signal: "b", ID: 1}, {Cycle: 1, Signal: "a", ID: 2},
+		})
+		p.AddWindows([]*WindowSample{
+			{Cycle: 9, Cycles: 10, CPS: 1e6, Busy: map[string]float64{"z": 0.5, "a": 0.25}},
+		})
+		var buf bytes.Buffer
+		if err := p.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if a, b := build(), build(); !bytes.Equal(a, b) {
+		t.Fatalf("perfetto output not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -1,0 +1,82 @@
+package obsv
+
+import (
+	"sort"
+
+	"attila/internal/core"
+)
+
+// SignalUsage summarizes one signal's activity over a trace: how many
+// objects it carried, how many distinct cycles it was busy, and the
+// busy fraction of the traced span.
+type SignalUsage struct {
+	Name    string  `json:"signal"`
+	Objects int64   `json:"objects"` // traced objects carried
+	Busy    int64   `json:"busyCycles"`
+	Span    int64   `json:"spanCycles"` // first..last traced cycle, inclusive
+	Util    float64 `json:"utilization"`
+}
+
+// SigUsage computes per-signal utilization from a parsed signal
+// trace. The span is shared: first to last traced cycle across all
+// signals, so utilizations are comparable. Results are sorted by
+// name.
+func SigUsage(recs []core.SigTraceRecord) []SignalUsage {
+	if len(recs) == 0 {
+		return nil
+	}
+	first, last := recs[0].Cycle, recs[0].Cycle
+	type acc struct {
+		objects   int64
+		busy      int64
+		lastCycle int64
+	}
+	accs := make(map[string]*acc)
+	for _, r := range recs {
+		if r.Cycle < first {
+			first = r.Cycle
+		}
+		if r.Cycle > last {
+			last = r.Cycle
+		}
+		a := accs[r.Signal]
+		if a == nil {
+			a = &acc{lastCycle: -1}
+			accs[r.Signal] = a
+		}
+		a.objects++
+		if r.Cycle != a.lastCycle {
+			a.busy++
+			a.lastCycle = r.Cycle
+		}
+	}
+	span := last - first + 1
+	out := make([]SignalUsage, 0, len(accs))
+	for name, a := range accs {
+		out = append(out, SignalUsage{
+			Name:    name,
+			Objects: a.objects,
+			Busy:    a.busy,
+			Span:    span,
+			Util:    float64(a.busy) / float64(span),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// RankUsage reorders usages by utilization (ties by name) and keeps
+// the top n (all when n <= 0).
+func RankUsage(us []SignalUsage, n int) []SignalUsage {
+	ranked := append([]SignalUsage(nil), us...)
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Util != ranked[j].Util {
+			return ranked[i].Util > ranked[j].Util
+		}
+		return ranked[i].Name < ranked[j].Name
+	})
+	if n > 0 && len(ranked) > n {
+		ranked = ranked[:n]
+	}
+	return ranked
+}

@@ -1,0 +1,102 @@
+package attila_test
+
+// The observability benchmark: simulate three representative scenes,
+// record host throughput (simulated cycles per host second) and the
+// profiler's top-5 host-time boxes, and write the result as JSON.
+// Driven by `make bench`, which sets BENCH_OBSV_OUT; without the
+// variable the test is skipped, so `go test ./...` stays fast.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"attila/internal/gpu"
+	"attila/internal/obsv"
+	"attila/internal/workload"
+)
+
+type benchObsvScene struct {
+	Scene    string         `json:"scene"`
+	Config   string         `json:"config"`
+	Workload string         `json:"workload"`
+	Cycles   int64          `json:"cycles"`
+	Frames   int            `json:"frames"`
+	WallNs   int64          `json:"wallNs"`
+	CPS      float64        `json:"cps"`
+	TopBoxes []obsv.BoxTime `json:"topBoxes"`
+}
+
+type benchObsvReport struct {
+	GoVersion string           `json:"goVersion"`
+	Version   string           `json:"version,omitempty"` // VCS revision when stamped
+	Scenes    []benchObsvScene `json:"scenes"`
+}
+
+func TestBenchObsv(t *testing.T) {
+	out := os.Getenv("BENCH_OBSV_OUT")
+	if out == "" {
+		t.Skip("set BENCH_OBSV_OUT=<file> to run the observability benchmark")
+	}
+	p := benchParams()
+	scenes := []struct {
+		name string
+		cfg  gpu.Config
+		wl   string
+	}{
+		{"baseline-simple", gpu.Baseline(), "simple"},
+		{"unified-ut2004", gpu.BaselineUnified(), "ut2004"},
+		{"casestudy2tu-doom3", gpu.CaseStudy(2, gpu.ScheduleWindow), "doom3"},
+	}
+	report := benchObsvReport{GoVersion: obsv.GitDescribe()}
+	if report.GoVersion == "" {
+		report.GoVersion = "dev"
+	}
+	for _, s := range scenes {
+		pipe, err := gpu.New(s.cfg, p.Width, p.Height)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof := obsv.NewProfiler()
+		prof.Attach(pipe.Sim)
+		cmds, _, err := workload.Build(s.wl, pipe, workload.Params{
+			Width: p.Width, Height: p.Height, Frames: p.Frames, Aniso: p.Aniso, Seed: p.Seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		if err := pipe.Run(cmds, p.MaxCycles); err != nil {
+			t.Fatal(err)
+		}
+		wall := time.Since(start)
+		row := benchObsvScene{
+			Scene:    s.name,
+			Config:   s.cfg.Name,
+			Workload: s.wl,
+			Cycles:   pipe.Cycles(),
+			Frames:   pipe.CP.Frames(),
+			WallNs:   wall.Nanoseconds(),
+			TopBoxes: prof.Top(5),
+		}
+		if wall > 0 {
+			row.CPS = float64(row.Cycles) / wall.Seconds()
+		}
+		if len(row.TopBoxes) != 5 {
+			t.Fatalf("%s: profiler returned %d boxes, want 5", s.name, len(row.TopBoxes))
+		}
+		report.Scenes = append(report.Scenes, row)
+		t.Logf("%s: %d cycles in %v (%.0f cycles/sec), hottest box %s (%.1f%%)",
+			s.name, row.Cycles, wall.Round(time.Millisecond), row.CPS,
+			row.TopBoxes[0].Box, 100*row.TopBoxes[0].Share)
+	}
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("wrote", out)
+}

@@ -11,8 +11,11 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"testing"
+	"time"
 
 	"attila/internal/gpu"
+	"attila/internal/obsv"
+	"attila/internal/workload"
 )
 
 // runFingerprint reduces a finished pipeline to everything an
@@ -50,6 +53,65 @@ func fingerprint(t *testing.T, workers int, workload string) runFingerprint {
 	}
 	h.Sum(fp.frames[:0])
 	return fp
+}
+
+// metricsNDJSON runs a workload with the observability bus attached
+// (plus the watchdog, so the fingerprint field is exercised) and
+// returns the exported NDJSON. The injected clock advances a fixed
+// step per reading, so the wall-clock fields are reproducible and the
+// whole byte stream must be a pure function of simulation state.
+func metricsNDJSON(t *testing.T, workers int, workloadName string) []byte {
+	t.Helper()
+	p := benchParams()
+	cfg := gpu.Baseline()
+	cfg.Workers = workers
+	cfg.WatchdogWindow = 1_000_000
+	pipe, err := gpu.New(cfg, p.Width, p.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1000, 0)
+	bus := obsv.NewBus(pipe.Sim, obsv.BusOptions{
+		Window: 10000,
+		Frames: func() int64 { return int64(pipe.CP.Frames()) },
+		Goal:   p.MaxCycles,
+		Now: func() time.Time {
+			now = now.Add(time.Millisecond)
+			return now
+		},
+	})
+	cmds, _, err := workload.Build(workloadName, pipe, workload.Params{
+		Width: p.Width, Height: p.Height, Frames: p.Frames, Aniso: p.Aniso, Seed: p.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.Run(cmds, p.MaxCycles); err != nil {
+		t.Fatal(err)
+	}
+	bus.Flush()
+	var buf bytes.Buffer
+	if err := bus.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The metrics bus samples only barrier-published state, so its NDJSON
+// export must be byte-identical for any worker count, like the stats
+// CSV and the rendered frames.
+func TestParallelMetricsNDJSON(t *testing.T) {
+	serial := metricsNDJSON(t, 0, "simple")
+	if len(bytes.TrimSpace(serial)) == 0 {
+		t.Fatal("no metrics windows exported")
+	}
+	for _, workers := range []int{2, 4} {
+		par := metricsNDJSON(t, workers, "simple")
+		if !bytes.Equal(par, serial) {
+			t.Errorf("workers=%d: metrics NDJSON differs from serial\nserial: %.200s\npar:    %.200s",
+				workers, serial, par)
+		}
+	}
 }
 
 func TestParallelMatchesSerial(t *testing.T) {
