@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-parallel
+.PHONY: build test check bench bench-parallel fuzz
 
 build:
 	$(GO) build ./...
@@ -12,14 +12,24 @@ test:
 # detector over the packages that run under the parallel clock loop
 # (including the observability layer, whose bus and profiler read
 # shared state live), the watchdog/cancellation/metrics paths raced
-# through the GPU pipeline, a bench smoke, and a fuzz smoke over the
-# trace reader.
+# through the GPU pipeline, the checkpoint round trip (restore must be
+# bit-identical in serial and parallel mode) with the chaos smoke, a
+# bench smoke, and a fuzz smoke over the trace reader.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/core/... ./internal/mem/... ./internal/obsv/...
+	$(GO) test -race ./internal/core/... ./internal/mem/... ./internal/obsv/... ./internal/chkpt/... ./internal/chaos/...
 	$(GO) test -race -run 'Watchdog|Deadlock|Cancel|ParallelMetrics' ./internal/gpu/ .
+	$(GO) test -race -run 'Checkpoint|Chaos' -count=1 .
 	BENCH_OBSV_OUT=$$(mktemp) $(GO) test -run '^TestBenchObsv$$' .
 	$(GO) test -fuzz=FuzzReader -fuzztime=10s ./internal/trace
+
+# fuzz hammers every untrusted-input decoder: the trace reader and the
+# checkpoint container/section codec. Corrupt or truncated inputs must
+# fail with typed errors, never panic or over-allocate.
+fuzz:
+	$(GO) test -fuzz=FuzzReader -fuzztime=30s ./internal/trace
+	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/chkpt
+	$(GO) test -fuzz=FuzzDecoder -fuzztime=30s ./internal/chkpt
 
 # bench writes the BENCH_obsv.json snapshot: host cycles/sec and the
 # top-5 host-time boxes for three representative scenes.

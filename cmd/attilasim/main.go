@@ -31,6 +31,8 @@ import (
 	"syscall"
 	"time"
 
+	"attila/internal/chaos"
+	"attila/internal/chkpt"
 	"attila/internal/core"
 	"attila/internal/gpu"
 	"attila/internal/obsv"
@@ -77,10 +79,24 @@ func run() int {
 	profileBoxes := flag.Bool("profile-boxes", false, "attribute host time to boxes (sampled; prints a ranked table)")
 	perfettoOut := flag.String("perfetto", "", "write a Perfetto/Chrome trace-event JSON of box activity to file")
 	manifestOut := flag.String("manifest", "auto", "run manifest path; auto = run-manifest.json next to the first output, none = disabled")
+	ckptInterval := flag.Int64("checkpoint-interval", 0, "write a checkpoint every N cycles, at the next quiesced barrier (0 = off)")
+	ckptOut := flag.String("checkpoint", "", "checkpoint file (default <trace>.ckpt when -checkpoint-interval is set)")
+	restoreFrom := flag.String("restore", "", "resume from a checkpoint file written by -checkpoint-interval")
+	chaosSpec := flag.String("chaos", "", "seeded fault injection plan, e.g. seed=7,panic@cycle=100000 (see internal/chaos)")
+	skipCorrupt := flag.Bool("trace-skip-corrupt", false, "skip corrupt trace records by resyncing to the next parseable record")
 	flag.Parse()
 
 	if *in == "" {
 		return fail(exitUsage, errors.New("need -trace (generate one with tracegen)"))
+	}
+
+	var plan *chaos.Plan
+	if *chaosSpec != "" {
+		var err error
+		plan, err = chaos.Parse(*chaosSpec)
+		if err != nil {
+			return fail(exitUsage, err)
+		}
 	}
 
 	mode := gpu.ScheduleWindow
@@ -120,14 +136,26 @@ func run() int {
 		return fail(exitUsage, err)
 	}
 	defer f.Close()
-	r, err := trace.NewReader(f)
+	var src io.Reader = f
+	if plan != nil {
+		// A trace fault wraps the file in a corrupting reader. The
+		// wrapper hides Seek, so -trace-skip-corrupt cannot resync past
+		// injected damage — that is the point of the fault.
+		src = plan.CorruptReader(src)
+	}
+	r, err := trace.NewReader(src)
 	if err != nil {
 		return fail(exitUsage, traceErr(*in, err))
 	}
+	r.SetSkipCorrupt(*skipCorrupt)
 	hdr := r.Header()
 	cmds, err := r.ReadAll(*start, *end)
 	if err != nil {
 		return fail(exitUsage, traceErr(*in, err))
+	}
+	if regions, skippedBytes := r.Skipped(); regions > 0 {
+		fmt.Printf("trace %s: skipped %d corrupt region(s), %d bytes — output may not match the capture\n",
+			*in, regions, skippedBytes)
 	}
 
 	pipe, err := gpu.New(cfg, hdr.Width, hdr.Height)
@@ -176,6 +204,54 @@ func run() int {
 		prof = obsv.NewProfiler()
 		prof.Attach(pipe.Sim)
 	}
+	// Chaos: the injector gates box clocks, mistreats MC transactions
+	// and corrupts signal payloads according to the parsed plan, all
+	// deterministically from the plan's seed.
+	if plan != nil {
+		inj := chaos.NewInjector(plan, pipe.Sim.Binder)
+		pipe.Sim.SetClockGate(inj)
+		pipe.MemController().SetFault(inj)
+		pipe.Sim.OnEndCycle(inj.EndCycle)
+		fmt.Println("chaos:", plan)
+	}
+
+	// Checkpoint/restore. The workload fingerprint ties a checkpoint to
+	// the command stream it indexes into; restoring against a different
+	// trace or frame range is refused before any state is touched.
+	workload := fmt.Sprintf("%s %dx%d frames[%d:%d] cmds=%d", hdr.Label, hdr.Width, hdr.Height, *start, *end, len(cmds))
+	var busExtra []chkpt.Snapshotter
+	if bus != nil {
+		busExtra = append(busExtra, bus)
+	}
+	restored := false
+	var restoredCycle int64
+	if *restoreFrom != "" {
+		snap, err := chkpt.ReadFile(*restoreFrom)
+		if err != nil {
+			return fail(exitUsage, fmt.Errorf("restore %s: %w", *restoreFrom, err))
+		}
+		if snap.Meta.Workload != workload {
+			return fail(exitUsage, fmt.Errorf("restore %s: checkpoint is for workload %q, this run is %q",
+				*restoreFrom, snap.Meta.Workload, workload))
+		}
+		if err := pipe.RestoreCheckpoint(snap, cmds, busExtra...); err != nil {
+			return fail(exitUsage, fmt.Errorf("restore %s: %w", *restoreFrom, err))
+		}
+		restored = true
+		restoredCycle = snap.Meta.Cycle
+		man.RestoredFrom = *restoreFrom
+		man.RestoredCycle = restoredCycle
+		fmt.Printf("restored %s: resuming at cycle %d\n", *restoreFrom, restoredCycle)
+	}
+	ckptPath := *ckptOut
+	if ckptPath == "" && *ckptInterval > 0 {
+		ckptPath = *in + ".ckpt"
+	}
+	var eng *chkpt.Engine
+	if *ckptInterval > 0 {
+		eng = pipe.EnableCheckpoints(ckptPath, workload, *ckptInterval, busExtra...)
+	}
+
 	var srv *obsv.Server
 	if *httpAddr != "" {
 		srv = obsv.NewServer(*httpAddr, obsv.ServerOptions{
@@ -183,6 +259,22 @@ func run() int {
 			Profiler: prof,
 			Crash:    pipe.Sim.Crash,
 			Manifest: func() *obsv.Manifest { return man },
+			Checkpoint: func() *obsv.CheckpointStatus {
+				st := &obsv.CheckpointStatus{
+					Path:          ckptPath,
+					Interval:      *ckptInterval,
+					RestoredFrom:  *restoreFrom,
+					RestoredCycle: restoredCycle,
+				}
+				if eng != nil {
+					st.Count = eng.Count()
+					st.LastCycle = eng.LastCycle()
+					if err := eng.Err(); err != nil {
+						st.Err = err.Error()
+					}
+				}
+				return st
+			},
 		})
 		if err := srv.Start(); err != nil {
 			return fail(exitUsage, err)
@@ -204,7 +296,12 @@ func run() int {
 
 	fmt.Printf("%s\n", pipe)
 	fmt.Printf("trace %s: %s %dx%d, frames %d..%v\n", *in, hdr.Label, hdr.Width, hdr.Height, *start, *end)
-	simErr := pipe.RunContext(ctx, cmds, *maxCycles)
+	var simErr error
+	if restored {
+		simErr = pipe.ResumeContext(ctx, *maxCycles)
+	} else {
+		simErr = pipe.RunContext(ctx, cmds, *maxCycles)
+	}
 	if simErr == nil {
 		fmt.Printf("simulated %d cycles, %d frames, %.2f fps at %d MHz\n",
 			pipe.Cycles(), len(pipe.Frames()), pipe.FPS(), cfg.ClockMHz)
@@ -245,10 +342,17 @@ func run() int {
 		outOK = writeTo(*perfettoOut, pf.WriteJSON) && outOK
 	}
 	if *blackbox != "" && pipe.Sim.Crash() != nil {
-		if err := pipe.Sim.Crash().WriteFile(*blackbox); err != nil {
+		// A resumed run must not overwrite the black box of the attempt
+		// it is recovering from — that report is the evidence of what
+		// failed. Divert to a numbered sibling instead.
+		bbPath := *blackbox
+		if restored {
+			bbPath = freshPath(bbPath)
+		}
+		if err := pipe.Sim.Crash().WriteFile(bbPath); err != nil {
 			outOK = complain(err)
 		} else {
-			fmt.Println("wrote crash report to", *blackbox)
+			fmt.Println("wrote crash report to", bbPath)
 		}
 	}
 	if prof != nil {
@@ -274,8 +378,25 @@ func run() int {
 	man.Cycles = pipe.Cycles()
 	man.Frames = int64(pipe.CP.Frames())
 	man.Outputs = collectOutputs(*sigOut, *statsOut, *summaryOut, *framesOut, *metricsOut, *perfettoOut, *blackbox)
+	if eng != nil {
+		man.Checkpoints = eng.Count()
+		man.LastCheckpoint = eng.LastCycle()
+		if err := eng.Err(); err != nil {
+			complain(fmt.Errorf("checkpoint: %w", err))
+		} else if eng.Count() > 0 {
+			fmt.Printf("wrote %d checkpoint(s) to %s (last at cycle %d)\n", eng.Count(), ckptPath, eng.LastCycle())
+		}
+	}
 	man.Finish(code, simErr)
 	if path := manifestPath(*manifestOut, man.Outputs); path != "" {
+		// On a resumed run the manifest at this path describes the
+		// failed attempt; fold it into this manifest's history instead
+		// of silently losing it.
+		if restored {
+			if prev, err := obsv.LoadManifest(path); err == nil {
+				man.AbsorbPrevious(prev)
+			}
+		}
 		if err := man.WriteFile(path); err != nil {
 			complain(err)
 		} else {
@@ -300,6 +421,21 @@ func run() int {
 		srv.Close()
 	}
 	return code
+}
+
+// freshPath returns path if nothing exists there, else the first
+// numbered sibling (path.1, path.2, ...) that is free. Used to keep a
+// failed attempt's crash report when a resumed run fails again.
+func freshPath(path string) string {
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		return path
+	}
+	for i := 1; ; i++ {
+		cand := fmt.Sprintf("%s.%d", path, i)
+		if _, err := os.Stat(cand); os.IsNotExist(err) {
+			return cand
+		}
+	}
 }
 
 // collectOutputs lists the output paths that were actually requested.

@@ -16,8 +16,11 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
 	"syscall"
+	"time"
 
+	"attila/internal/chaos"
 	"attila/internal/core"
 	"attila/internal/experiments"
 	"attila/internal/gpu"
@@ -35,6 +38,12 @@ func main() {
 	watchdog := flag.Int64("watchdog", 0, "abort a hung run with a deadlock report after this many cycles without progress (0 = off)")
 	timeout := flag.Duration("timeout", 0, "wall-clock limit across all experiments (0 = none)")
 	profileBoxes := flag.Bool("profile-boxes", false, "attribute host time to boxes across all runs (sampled; prints a ranked table)")
+	retries := flag.Int("retries", 0, "retry a failed run up to N times, resuming from its last checkpoint when -checkpoint-interval is set (0 = fail fast)")
+	retryBackoff := flag.Duration("retry-backoff", 100*time.Millisecond, "wait before the first retry; doubles on each further retry")
+	chaosSpec := flag.String("chaos", "", "inject this fault plan into the first attempt of every run (see internal/chaos; retries run clean)")
+	ckptInterval := flag.Int64("checkpoint-interval", 0, "checkpoint every run at this cycle cadence so retries resume instead of replaying (0 = off)")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for per-run checkpoint files (default: system temp, removed afterwards)")
+	manifestOut := flag.String("manifest", "", "write a sweep manifest JSON here (args, outcome, per-run attempt counts)")
 	flag.Parse()
 
 	// SIGINT/SIGTERM and -timeout cancel the in-flight simulation at
@@ -59,26 +68,51 @@ func main() {
 		prof = obsv.NewProfiler()
 		p.Observe = func(pipe *gpu.Pipeline) { prof.Attach(pipe.Sim) }
 	}
+	p.Retries = *retries
+	p.RetryBackoff = *retryBackoff
+	p.CheckpointInterval = *ckptInterval
+	p.CheckpointDir = *ckptDir
+	p.Attempts = make(map[string]int)
+	if *chaosSpec != "" {
+		plan, err := chaos.Parse(*chaosSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(4)
+		}
+		p.Chaos = plan
+		fmt.Println("chaos:", plan)
+	}
 
+	// A failure stops the sweep but not the program: the attempts
+	// summary and manifest below still record what happened before the
+	// process exits with the failing run's code.
+	man := obsv.NewManifest("experiments", flag.CommandLine)
+	exitCode := 0
+	var firstErr error
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
+			return
+		}
+		if exitCode != 0 {
 			return
 		}
 		fmt.Printf("== %s ==\n", name)
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			firstErr = err
 			switch {
 			case errors.Is(err, core.ErrCanceled):
-				os.Exit(3)
+				exitCode = 3
 			case errors.Is(err, core.ErrDeadlock):
 				var de *core.DeadlockError
 				if errors.As(err, &de) {
 					fmt.Fprint(os.Stderr, de.Report)
 				}
-				os.Exit(2)
+				exitCode = 2
 			default:
-				os.Exit(1)
+				exitCode = 1
 			}
+			return
 		}
 		fmt.Println()
 	}
@@ -213,4 +247,31 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 		}
 	}
+
+	if *retries > 0 && len(p.Attempts) > 0 {
+		names := make([]string, 0, len(p.Attempts))
+		for n := range p.Attempts {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println("== attempts ==")
+		retried := 0
+		for _, n := range names {
+			if c := p.Attempts[n]; c > 1 {
+				retried++
+				fmt.Printf("  %-40s %d attempts\n", n, c)
+			}
+		}
+		fmt.Printf("  %d of %d runs needed a retry\n", retried, len(names))
+	}
+	if *manifestOut != "" {
+		man.AttemptCounts = p.Attempts
+		man.Finish(exitCode, firstErr)
+		if err := man.WriteFile(*manifestOut); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+		} else {
+			fmt.Println("wrote", *manifestOut)
+		}
+	}
+	os.Exit(exitCode)
 }

@@ -1,0 +1,291 @@
+package chkpt
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fakePart is a Snapshotter over a few fields of every codec type.
+type fakePart struct {
+	name  string
+	a     int64
+	b     uint32
+	c     bool
+	d     float64
+	blob  []byte
+	fs    []float64
+	label string
+}
+
+func (f *fakePart) SnapshotName() string { return f.name }
+
+func (f *fakePart) SnapshotState(e *Encoder) {
+	e.I64(f.a)
+	e.U32(f.b)
+	e.Bool(f.c)
+	e.F64(f.d)
+	e.Blob(f.blob)
+	e.F64s(f.fs)
+	e.Str(f.label)
+}
+
+func (f *fakePart) RestoreState(d *Decoder) error {
+	f.a = d.I64()
+	f.b = d.U32()
+	f.c = d.Bool()
+	f.d = d.F64()
+	f.blob = d.Blob()
+	f.fs = d.F64s()
+	f.label = d.Str()
+	return d.Err()
+}
+
+func testParts() []Snapshotter {
+	return []Snapshotter{
+		&fakePart{name: "alpha", a: -7, b: 42, c: true, d: 3.5, blob: []byte{1, 2, 3}, fs: []float64{1, 2.5}, label: "hello"},
+		&fakePart{name: "beta", a: 1 << 40, blob: []byte{}, label: ""},
+	}
+}
+
+func TestCaptureRestoreRoundTrip(t *testing.T) {
+	meta := Meta{Cycle: 12345, Config: "cfg-A", Workload: "wl-B"}
+	src := testParts()
+	snap := Capture(meta, src)
+
+	dst := []Snapshotter{
+		&fakePart{name: "alpha"},
+		&fakePart{name: "beta"},
+	}
+	if err := Restore(snap, dst, false); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		want, got := src[i].(*fakePart), dst[i].(*fakePart)
+		if want.a != got.a || want.b != got.b || want.c != got.c || want.d != got.d ||
+			!bytes.Equal(want.blob, got.blob) || want.label != got.label {
+			t.Errorf("part %s: restored %+v, want %+v", want.name, got, want)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	meta := Meta{Cycle: 99, Config: "c", Workload: "w"}
+	snap := Capture(meta, testParts())
+	path := filepath.Join(t.TempDir(), "test.ckpt")
+	if err := snap.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta != meta {
+		t.Errorf("meta %+v, want %+v", got.Meta, meta)
+	}
+	for _, name := range snap.Sections() {
+		if !bytes.Equal(got.Section(name), snap.Section(name)) {
+			t.Errorf("section %q differs after round trip", name)
+		}
+	}
+}
+
+func TestRestoreMismatch(t *testing.T) {
+	snap := Capture(Meta{}, testParts())
+	// A part with no matching section must fail.
+	err := Restore(snap, []Snapshotter{&fakePart{name: "gamma"}}, true)
+	if !errors.Is(err, ErrMismatch) {
+		t.Errorf("missing section: got %v, want ErrMismatch", err)
+	}
+	// Extra sections fail strict, pass lenient.
+	only := []Snapshotter{&fakePart{name: "alpha"}}
+	if err := Restore(snap, only, false); !errors.Is(err, ErrMismatch) {
+		t.Errorf("strict extra sections: got %v, want ErrMismatch", err)
+	}
+	if err := Restore(snap, only, true); err != nil {
+		t.Errorf("lenient extra sections: got %v, want nil", err)
+	}
+}
+
+func TestReadTypedErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Capture(Meta{Cycle: 1}, testParts()).Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	check := func(name string, data []byte, want error) {
+		t.Helper()
+		_, err := Read(bytes.NewReader(data))
+		if !errors.Is(err, want) {
+			t.Errorf("%s: got %v, want %v", name, err, want)
+		}
+	}
+
+	badMagic := append([]byte(nil), valid...)
+	badMagic[0] ^= 0xFF
+	check("bad magic", badMagic, ErrFormat)
+
+	badVersion := append([]byte(nil), valid...)
+	badVersion[len(magic)] = 0xEE
+	check("bad version", badVersion, ErrFormat)
+
+	// Flipping a compressed payload byte breaks the gzip stream or the
+	// CRC; either way it is corruption.
+	badPayload := append([]byte(nil), valid...)
+	badPayload[len(badPayload)-5] ^= 0x01
+	check("damaged payload", badPayload, ErrCorrupt)
+
+	check("cut header", valid[:8], ErrTruncated)
+
+	hugeLen := append([]byte(nil), valid...)
+	for i := 0; i < 8; i++ {
+		hugeLen[len(magic)+8+i] = 0xFF
+	}
+	check("huge declared payload", hugeLen, ErrCorrupt)
+}
+
+func TestDecoderSticky(t *testing.T) {
+	d := NewDecoder([]byte{1, 2})
+	if v := d.U64(); v != 0 {
+		t.Errorf("truncated U64 = %d, want 0", v)
+	}
+	if !errors.Is(d.Err(), ErrTruncated) {
+		t.Errorf("err = %v, want ErrTruncated", d.Err())
+	}
+	// Every later read stays zero without disturbing the first error.
+	if d.U32() != 0 || d.Bool() || d.Str() != "" || d.Blob() != nil {
+		t.Error("reads after failure should return zero values")
+	}
+	if !errors.Is(d.Err(), ErrTruncated) {
+		t.Errorf("err after more reads = %v, want the original ErrTruncated", d.Err())
+	}
+}
+
+func TestDecoderBlobCap(t *testing.T) {
+	var e Encoder
+	e.U32(maxBlob + 1)
+	d := NewDecoder(e.Bytes())
+	if b := d.Blob(); b != nil {
+		t.Errorf("oversized blob = %d bytes, want nil", len(b))
+	}
+	if !errors.Is(d.Err(), ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", d.Err())
+	}
+}
+
+func TestEngine(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "eng.ckpt")
+	quiesced := false
+	captures := 0
+	eng := &Engine{
+		Interval: 100,
+		Path:     path,
+		Quiesced: func() bool { return quiesced },
+		Capture: func() (*Snapshot, error) {
+			captures++
+			return Capture(Meta{Cycle: int64(captures)}, testParts()), nil
+		},
+	}
+	// Below the interval: never fires, quiesced or not.
+	quiesced = true
+	for c := int64(0); c < 100; c++ {
+		eng.EndCycle(c)
+	}
+	if eng.Count() != 0 {
+		t.Fatalf("fired %d times below interval", eng.Count())
+	}
+	// At the interval but not quiesced: holds off.
+	quiesced = false
+	eng.EndCycle(100)
+	if eng.Count() != 0 {
+		t.Fatal("fired while not quiesced")
+	}
+	// First quiesced barrier past the interval: fires exactly once.
+	quiesced = true
+	eng.EndCycle(101)
+	eng.EndCycle(102)
+	if eng.Count() != 1 || eng.LastCycle() != 101 {
+		t.Fatalf("count %d last %d, want 1 at cycle 101", eng.Count(), eng.LastCycle())
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("checkpoint file not written: %v", err)
+	}
+	// A write failure surfaces in Err without stopping anything.
+	eng.Path = filepath.Join(dir, "missing-dir", "x.ckpt")
+	eng.EndCycle(300)
+	if eng.Err() == nil {
+		t.Fatal("expected a write error for an unwritable path")
+	}
+	if eng.Count() != 1 {
+		t.Fatalf("failed write still counted: %d", eng.Count())
+	}
+}
+
+// FuzzRead feeds arbitrary bytes to the checkpoint reader: it must
+// return a typed error or a valid snapshot, never panic, and never
+// allocate beyond the caps regardless of what length fields claim.
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	if err := Capture(Meta{Cycle: 7, Config: "cfg", Workload: "wl"}, testParts()).Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(magic))
+	f.Add([]byte{})
+	for i := 0; i < len(valid); i += 7 {
+		mut := append([]byte(nil), valid...)
+		mut[i] ^= 0x40
+		f.Add(mut)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := Read(bytes.NewReader(data))
+		if err == nil {
+			// A parsed snapshot must survive re-encoding.
+			var out bytes.Buffer
+			if err := snap.Encode(&out); err != nil {
+				t.Fatalf("re-encode of accepted snapshot failed: %v", err)
+			}
+			return
+		}
+		for _, want := range []error{ErrFormat, ErrCorrupt, ErrTruncated} {
+			if errors.Is(err, want) {
+				return
+			}
+		}
+		t.Fatalf("untyped error %v (%T)", err, err)
+	})
+}
+
+// FuzzDecoder drives the section codec with arbitrary bytes through
+// every read method; the sticky error must always be typed.
+func FuzzDecoder(f *testing.F) {
+	var e Encoder
+	e.I64(-1)
+	e.U32(7)
+	e.Bool(true)
+	e.F64(2.5)
+	e.Blob([]byte("abc"))
+	e.F64s([]float64{1, 2, 3})
+	e.Str("tail")
+	f.Add(e.Bytes())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(data)
+		d.I64()
+		d.U32()
+		d.Bool()
+		d.F64()
+		d.Blob()
+		d.F64s()
+		d.Str()
+		if err := d.Err(); err != nil && !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTruncated) {
+			t.Fatalf("untyped decoder error %v", err)
+		}
+	})
+}

@@ -197,6 +197,23 @@ func (s *Signal) InFlight() []string {
 	return out
 }
 
+// CorruptOne replaces the first in-flight object on the wire with a
+// nil payload, returning whether anything was corrupted. This is the
+// chaos engine's signal-corruption fault: the consumer's next Read
+// delivers the nil Dynamic and its type switch or method call panics,
+// which the simulator converts into a *CrashError naming the consumer
+// box. Call only at the cycle barrier (it touches ring slots both
+// sides of the wire use).
+func (s *Signal) CorruptOne() bool {
+	for slot, objs := range s.ring {
+		if len(objs) > 0 {
+			s.ring[slot][0] = nil
+			return true
+		}
+	}
+	return false
+}
+
 // Tracer receives every object as it leaves a signal, one call per
 // object. The signal trace file consumed by the Signal Trace
 // Visualizer (cmd/sigtrace) is produced through this interface.

@@ -80,6 +80,10 @@ type Simulator struct {
 	obs      ClockObserver
 	obsEvery int64
 
+	// Fault injection (SetClockGate): consulted before every box
+	// clock. Nil (the default) costs one branch per box per cycle.
+	gate ClockGate
+
 	// Cooperative cancellation: Stop (or a context watcher) raises
 	// stopped; the clock loop polls it once per cycle. stopCause is
 	// written before the Store and read after a true Load, which the
@@ -134,6 +138,21 @@ func (s *Simulator) SetClockObserver(o ClockObserver, sampleEvery int64) {
 	s.obs = o
 	s.obsEvery = sampleEvery
 }
+
+// ClockGate intercepts box clocks for fault injection (the chaos
+// engine): BeforeClock runs immediately before each box's Clock call
+// and may skip the clock (return false — a stalled box), panic (an
+// injected crash, attributed to the gated box like any box panic), or
+// pass through (return true). In parallel mode BeforeClock is called
+// concurrently from different shards and must be safe for that;
+// deterministic injectors precompute their decisions from (cycle,
+// box) only. Gating is invisible when nil (the default).
+type ClockGate interface {
+	BeforeClock(cycle int64, box Box) bool
+}
+
+// SetClockGate installs a fault-injection gate (nil removes it).
+func (s *Simulator) SetClockGate(g ClockGate) { s.gate = g }
 
 // WatchdogProgress reports the armed watchdog's view of forward
 // progress: the last cycle with observed activity and the cumulative
@@ -318,16 +337,25 @@ func (s *Simulator) stopErr() error {
 // run loop should return err.
 func (s *Simulator) endOfCycle() (bool, error) {
 	cyc := s.cycle
+	// Advance the counter before the barrier hooks run: a checkpoint
+	// captured in a hook must record the next cycle to execute, not
+	// re-execute cyc on resume. Hooks still observe cyc as their
+	// argument. The watchdog check also precedes the hooks so the
+	// captured watchdog fingerprint is the post-barrier state — a
+	// restored run continues the progress tracking exactly where the
+	// uninterrupted run left it.
+	s.cycle++
+	var rep *DeadlockReport
+	if s.wd != nil {
+		rep = s.wd.check(s, cyc)
+	}
 	s.EndCycle(cyc)
 	s.Stats.Tick(cyc)
-	s.cycle++
 	if s.done() {
 		return true, nil
 	}
-	if s.wd != nil {
-		if rep := s.wd.check(s, cyc); rep != nil {
-			return true, &DeadlockError{Report: rep}
-		}
+	if rep != nil {
+		return true, &DeadlockError{Report: rep}
 	}
 	return false, nil
 }
@@ -395,6 +423,9 @@ func (s *Simulator) runSerial(maxCycles int64) (err error) {
 		if s.obs != nil && s.cycle%s.obsEvery == 0 {
 			for _, b := range s.boxes {
 				s.curBox = b
+				if s.gate != nil && !s.gate.BeforeClock(s.cycle, b) {
+					continue
+				}
 				t0 := time.Now()
 				b.Clock(s.cycle)
 				s.obs.BoxClocked(0, b, time.Since(t0).Nanoseconds())
@@ -402,6 +433,9 @@ func (s *Simulator) runSerial(maxCycles int64) (err error) {
 		} else {
 			for _, b := range s.boxes {
 				s.curBox = b
+				if s.gate != nil && !s.gate.BeforeClock(s.cycle, b) {
+					continue
+				}
 				b.Clock(s.cycle)
 			}
 		}
@@ -421,6 +455,7 @@ type worker struct {
 	boxes    []Box
 	obs      ClockObserver // sampled box-clock timing, nil when off
 	obsEvery int64
+	gate     ClockGate // fault injection, nil when off
 	// Failure state, written before wg.Done and read by the
 	// coordinator after wg.Wait (the barrier orders both).
 	simErr *SimError
@@ -452,6 +487,9 @@ func (w *worker) clock(cycle int64, wg *sync.WaitGroup) {
 	if w.obs != nil && cycle%w.obsEvery == 0 {
 		for _, b := range w.boxes {
 			cur = b
+			if w.gate != nil && !w.gate.BeforeClock(cycle, b) {
+				continue
+			}
 			t0 := time.Now()
 			b.Clock(cycle)
 			w.obs.BoxClocked(w.shard, b, time.Since(t0).Nanoseconds())
@@ -460,6 +498,9 @@ func (w *worker) clock(cycle int64, wg *sync.WaitGroup) {
 	}
 	for _, b := range w.boxes {
 		cur = b
+		if w.gate != nil && !w.gate.BeforeClock(cycle, b) {
+			continue
+		}
 		b.Clock(cycle)
 	}
 }
@@ -512,7 +553,7 @@ func (s *Simulator) runParallel(maxCycles int64, nw int) (err error) {
 	workers := make([]*worker, len(shards))
 	var wg sync.WaitGroup
 	for i, shard := range shards {
-		w := &worker{shard: i, boxes: shard, obs: s.obs, obsEvery: s.obsEvery}
+		w := &worker{shard: i, boxes: shard, obs: s.obs, obsEvery: s.obsEvery, gate: s.gate}
 		workers[i] = w
 		if i == 0 {
 			continue

@@ -158,6 +158,12 @@ type watchdog struct {
 	prevProd     uint64
 	prevCons     uint64
 	recent       []ActivitySample
+
+	// restored marks fingerprint state loaded from a checkpoint; the
+	// next reset keeps it so the restored run's progress view (and the
+	// metrics bus watchdog fields derived from it) matches the
+	// uninterrupted run's.
+	restored bool
 }
 
 // reset captures the signal and reporter sets at the start of Run.
@@ -168,6 +174,11 @@ func (w *watchdog) reset(s *Simulator) {
 		if r, ok := b.(ProgressReporter); ok {
 			w.reporters = append(w.reporters, r)
 		}
+	}
+	if w.restored {
+		w.restored = false
+		w.recent = w.recent[:0]
+		return
 	}
 	w.lastProgress = s.cycle
 	w.lastTotal = 0

@@ -8,9 +8,17 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
 
+	"attila/internal/chaos"
+	"attila/internal/chkpt"
+	"attila/internal/core"
 	"attila/internal/gpu"
 	"attila/internal/refrender"
 	"attila/internal/workload"
@@ -42,6 +50,28 @@ type RunParams struct {
 	// (internal/obsv) uses to attach a profiler or metrics bus to each
 	// run of a sweep.
 	Observe func(*gpu.Pipeline)
+	// Retries bounds how many times a failed run is re-attempted
+	// (0 = fail on the first error, the historical behavior). Retries
+	// resume from the run's last checkpoint when CheckpointInterval is
+	// set, else replay from the start. Cancellation is never retried.
+	Retries int
+	// RetryBackoff is the wait before the first retry; each further
+	// retry doubles it. 0 retries immediately.
+	RetryBackoff time.Duration
+	// CheckpointInterval, when > 0, checkpoints every run at this cycle
+	// cadence so a retry can resume instead of replaying.
+	CheckpointInterval int64
+	// CheckpointDir holds the per-run checkpoint files (removed when
+	// the run completes). Empty selects the system temp directory.
+	CheckpointDir string
+	// Chaos, when non-nil, injects the plan's faults into the FIRST
+	// attempt of every run. Retries run with faults disabled, so a
+	// chaos-killed sweep recovers deterministically.
+	Chaos *chaos.Plan
+	// Attempts, when non-nil, records per-run attempt counts keyed by
+	// "<config>-<workload>"; sweep drivers surface it in their summary
+	// and manifest.
+	Attempts map[string]int
 }
 
 // context returns the configured context or Background.
@@ -62,10 +92,51 @@ func (p RunParams) workloadParams() workload.Params {
 }
 
 // runOne builds the named workload for a fresh pipeline and simulates
-// it, returning the pipeline for statistics inspection.
+// it, returning the pipeline for statistics inspection. With Retries
+// set, a failed simulation is re-attempted — resuming from the run's
+// last checkpoint when checkpointing is on — with exponential backoff
+// between attempts and chaos faults disabled on every attempt but the
+// first.
 func runOne(cfg gpu.Config, name string, p RunParams) (*gpu.Pipeline, error) {
 	cfg.Workers = p.Workers
 	cfg.WatchdogWindow = p.WatchdogWindow
+	runName := sanitizeRunName(cfg.Name + "-" + name)
+	var ckptPath string
+	if p.CheckpointInterval > 0 {
+		dir := p.CheckpointDir
+		if dir == "" {
+			dir = os.TempDir()
+		}
+		ckptPath = filepath.Join(dir, "attila-"+runName+".ckpt")
+		defer os.Remove(ckptPath)
+	}
+	backoff := p.RetryBackoff
+	for attempt := 1; ; attempt++ {
+		if p.Attempts != nil {
+			p.Attempts[runName] = attempt
+		}
+		pipe, err := p.attemptOne(cfg, name, attempt, ckptPath)
+		if err == nil {
+			return pipe, nil
+		}
+		if attempt > p.Retries || errors.Is(err, core.ErrCanceled) {
+			return nil, err
+		}
+		if backoff > 0 {
+			select {
+			case <-p.context().Done():
+				return nil, err
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+	}
+}
+
+// attemptOne is one try of a run: build the pipeline, wire chaos on
+// the first attempt only, resume from the checkpoint when one exists,
+// else simulate from the start.
+func (p RunParams) attemptOne(cfg gpu.Config, name string, attempt int, ckptPath string) (*gpu.Pipeline, error) {
 	pipe, err := gpu.New(cfg, p.Width, p.Height)
 	if err != nil {
 		return nil, err
@@ -73,14 +144,50 @@ func runOne(cfg gpu.Config, name string, p RunParams) (*gpu.Pipeline, error) {
 	if p.Observe != nil {
 		p.Observe(pipe)
 	}
+	if p.Chaos != nil && attempt == 1 {
+		inj := chaos.NewInjector(p.Chaos, pipe.Sim.Binder)
+		pipe.Sim.SetClockGate(inj)
+		pipe.MemController().SetFault(inj)
+		pipe.Sim.OnEndCycle(inj.EndCycle)
+	}
+	// The workload build is deterministic (same seed, fresh pipeline),
+	// so every attempt sees the identical command stream a checkpoint
+	// indexes into.
 	cmds, _, err := workload.Build(name, pipe, p.workloadParams())
 	if err != nil {
 		return nil, err
+	}
+	if ckptPath != "" {
+		pipe.EnableCheckpoints(ckptPath, name, p.CheckpointInterval)
+	}
+	if attempt > 1 && ckptPath != "" {
+		if snap, rerr := chkpt.ReadFile(ckptPath); rerr == nil && snap.Meta.Workload == name {
+			if rerr := pipe.RestoreCheckpoint(snap, cmds); rerr == nil {
+				if err := pipe.ResumeContext(p.context(), p.MaxCycles); err != nil {
+					return nil, err
+				}
+				return pipe, nil
+			}
+		}
+		// No usable checkpoint (the fault hit before the first one was
+		// written, or the file is damaged): replay from the start.
 	}
 	if err := pipe.RunContext(p.context(), cmds, p.MaxCycles); err != nil {
 		return nil, err
 	}
 	return pipe, nil
+}
+
+// sanitizeRunName makes a run name safe as a file-name component.
+func sanitizeRunName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
 }
 
 func stat(p *gpu.Pipeline, name string) float64 {

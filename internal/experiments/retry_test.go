@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strconv"
+	"testing"
+
+	"attila/internal/chaos"
+	"attila/internal/core"
+	"attila/internal/gpu"
+)
+
+// retryParams uses a multi-frame workload so quiesced checkpoints
+// exist mid-run (safe points occur at batch drains, about once per
+// frame).
+func retryParams(t *testing.T) RunParams {
+	t.Helper()
+	p := tinyParams()
+	p.Frames = 3
+	return p
+}
+
+func runCSV(t *testing.T, pipe *gpu.Pipeline) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := pipe.DumpCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// A chaos-killed run must recover on retry by resuming from its last
+// checkpoint, and the recovered run's statistics must be identical to
+// a run that never failed.
+func TestRetryRecoversChaosKill(t *testing.T) {
+	p := retryParams(t)
+	clean, err := runOne(gpu.Baseline(), "simple", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := clean.Cycles()
+	cleanCSV := runCSV(t, clean)
+
+	plan, err := chaos.Parse("panic@cycle=" + strconv.FormatInt(total/2, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Without retries the injected fault is fatal and counted once.
+	p.Chaos = plan
+	p.CheckpointInterval = total / 8
+	p.CheckpointDir = t.TempDir()
+	p.Attempts = map[string]int{}
+	if _, err := runOne(gpu.Baseline(), "simple", p); !errors.Is(err, core.ErrPanic) {
+		t.Fatalf("chaos run without retries: got %v, want ErrPanic", err)
+	}
+	if got := p.Attempts["baseline-simple"]; got != 1 {
+		t.Errorf("attempts without retries = %d, want 1", got)
+	}
+
+	// With one retry the run recovers; the fault is disabled on the
+	// replay (fresh injector is only wired on attempt 1) and the
+	// resumed statistics match the clean run byte for byte.
+	p.Retries = 1
+	p.RetryBackoff = 0
+	p.Attempts = map[string]int{}
+	pipe, err := runOne(gpu.Baseline(), "simple", p)
+	if err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+	if got := p.Attempts["baseline-simple"]; got != 2 {
+		t.Errorf("attempts = %d, want 2", got)
+	}
+	if pipe.Cycles() != total {
+		t.Errorf("recovered run took %d cycles, clean run %d", pipe.Cycles(), total)
+	}
+	if !bytes.Equal(runCSV(t, pipe), cleanCSV) {
+		t.Error("recovered run's stats CSV differs from the uninterrupted run")
+	}
+}
+
+// A canceled run must not be retried: cancellation is the user's
+// decision, not a fault to recover from.
+func TestRetryDoesNotRetryCancel(t *testing.T) {
+	p := retryParams(t)
+	p.Retries = 3
+	p.Attempts = map[string]int{}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p.Ctx = ctx
+	if _, err := runOne(gpu.Baseline(), "simple", p); !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+	if got := p.Attempts["baseline-simple"]; got != 1 {
+		t.Errorf("canceled run was attempted %d times, want 1", got)
+	}
+}

@@ -75,6 +75,7 @@ type Pipeline struct {
 	ropcs    []*ColorWrite
 	shaders  []*ShaderUnit
 	tus      []*TextureUnit
+	mc       *mem.Controller
 
 	alloc *mem.Allocator
 	w, h  int
@@ -238,6 +239,7 @@ func New(cfg Config, width, height int) (*Pipeline, error) {
 		clients = append(clients, nameIdx("TexCache", i))
 	}
 	mc := mem.NewController(sim, cfg.Memory, p.Mem, clients)
+	p.mc = mc
 
 	// Shard affinity for the parallel clock loop: the fixed-pipeline
 	// boxes couple through shared state outside the signal model (the

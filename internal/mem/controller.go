@@ -83,7 +83,29 @@ type inflight struct {
 	req    *Request
 	client int
 	done   int64
+	dup    bool // injected fault: deliver the reply twice
 }
+
+// FaultAction tells the controller how to mistreat one transaction.
+// The zero value means "handle normally".
+type FaultAction struct {
+	Drop         bool // dequeue the request and never answer it
+	ExtraLatency int  // stretch the channel occupancy by this many cycles
+	Duplicate    bool // deliver the reply twice in the same cycle
+}
+
+// TxFault is the memory-side fault-injection seam consulted once per
+// scheduled transaction. Implemented by the chaos engine
+// (internal/chaos); nil means no faults. Called on the goroutine that
+// clocks the controller, so implementations need no locking beyond
+// what their own state requires.
+type TxFault interface {
+	OnTransaction(cycle int64, client string, addr uint32, write bool) FaultAction
+}
+
+// SetFault installs (or clears, with nil) the transaction fault
+// injector. Call before Run.
+func (c *Controller) SetFault(f TxFault) { c.fault = f }
 
 // Controller is the memory controller box. Each client unit provides
 // a request signal named "<client>.MemReq" and binds the reply signal
@@ -97,7 +119,8 @@ type Controller struct {
 	ids     *core.IDSource
 	clients []*mcClient
 	chans   []channelState
-	rr      int // round-robin arbitration pointer
+	rr      int     // round-robin arbitration pointer
+	fault   TxFault // optional chaos seam, consulted per scheduled transaction
 
 	statReadBytes  *core.Counter
 	statWriteBytes *core.Counter
@@ -257,7 +280,19 @@ func (c *Controller) schedule(cycle int64, chIdx int, ch *channelState) {
 		cl.queue = cl.queue[1:]
 		c.rr = (ci + 1) % n
 
+		var fa FaultAction
+		if c.fault != nil {
+			fa = c.fault.OnTransaction(cycle, cl.name, req.Addr, req.Op == OpWrite)
+		}
+		if fa.Drop {
+			// The request vanishes: the client's outstanding budget never
+			// drains, so the pipeline backs up and the watchdog reports a
+			// deadlock — the observable signature of a lost transaction.
+			return
+		}
+
 		dur := (req.Size + c.cfg.ChannelBW - 1) / c.cfg.ChannelBW
+		dur += fa.ExtraLatency
 		page := req.Addr / c.cfg.PageSize
 		if !ch.hasPage || ch.openPage != page {
 			dur += c.cfg.PagePenalty
@@ -276,7 +311,7 @@ func (c *Controller) schedule(cycle int64, chIdx int, ch *channelState) {
 		ch.lastOp = req.Op
 		ch.issued = true
 		dur += c.cfg.BaseLatency
-		ch.current = &inflight{req: req, client: ci, done: cycle + int64(dur)}
+		ch.current = &inflight{req: req, client: ci, done: cycle + int64(dur), dup: fa.Duplicate}
 		return
 	}
 }
@@ -302,6 +337,18 @@ func (c *Controller) complete(cycle int64, fl *inflight) {
 		c.clientRead[fl.client].Add(float64(req.Size))
 	}
 	cl.reply.Write(cycle, reply)
+	if fl.dup {
+		// Injected duplicate: a second reply with a fresh ID for the
+		// same request. The client's bookkeeping (outstanding budget,
+		// miss table) breaks on the echo and panics, which the
+		// simulator reports as a crash in the client box.
+		echo := *reply
+		echo.DynObject.ID = c.ids.Next()
+		if reply.Data != nil {
+			echo.Data = append([]byte(nil), reply.Data...)
+		}
+		cl.reply.Write(cycle, &echo)
+	}
 }
 
 // Port is a client-side connection to the memory controller: it owns

@@ -38,6 +38,34 @@ type Manifest struct {
 	ExitCode int      `json:"exitCode"`
 	Error    string   `json:"error,omitempty"`
 	Outputs  []string `json:"outputs,omitempty"`
+
+	// Restore/retry bookkeeping. A run resumed from a checkpoint stamps
+	// where it resumed from and keeps the failed attempts' outcomes in
+	// Previous instead of silently overwriting them.
+	Attempt        int           `json:"attempt,omitempty"`             // 1-based; 0 means first (only) attempt
+	RestoredFrom   string        `json:"restoredFrom,omitempty"`        // checkpoint file this run resumed from
+	RestoredCycle  int64         `json:"restoredCycle,omitempty"`       // cycle the restore landed on
+	Checkpoints    int64         `json:"checkpoints,omitempty"`         // checkpoints written by this run
+	LastCheckpoint int64         `json:"lastCheckpointCycle,omitempty"` // cycle of the newest checkpoint
+	Previous       []PreviousRun `json:"previousRuns,omitempty"`        // earlier attempts of the same run
+
+	// AttemptCounts records, for sweep drivers (cmd/experiments), how
+	// many attempts each named run took — >1 means a retry recovered it.
+	AttemptCounts map[string]int `json:"attemptCounts,omitempty"`
+}
+
+// PreviousRun summarizes an earlier attempt of the same logical run:
+// enough to audit what failed and when, without keeping the full
+// manifest of every attempt.
+type PreviousRun struct {
+	Attempt  int       `json:"attempt,omitempty"`
+	Args     []string  `json:"args,omitempty"`
+	Start    time.Time `json:"start"`
+	Stop     time.Time `json:"stop,omitempty"`
+	Cycles   int64     `json:"cycles,omitempty"`
+	ExitCode int       `json:"exitCode"`
+	Error    string    `json:"error,omitempty"`
+	Outputs  []string  `json:"outputs,omitempty"`
 }
 
 // NewManifest starts a manifest for the current process: tool name,
@@ -75,6 +103,46 @@ func (m *Manifest) Finish(exitCode int, err error) {
 	if err != nil {
 		m.Error = err.Error()
 	}
+}
+
+// LoadManifest reads a previously written run-manifest.json. Used by
+// the restore path to preserve the failed attempt's record instead of
+// overwriting it.
+func LoadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// AbsorbPrevious folds an earlier attempt's manifest into this one:
+// the earlier attempt (and any attempts it had absorbed) land in
+// Previous, and this manifest's Attempt counter advances past it.
+func (m *Manifest) AbsorbPrevious(prev *Manifest) {
+	if prev == nil {
+		return
+	}
+	m.Previous = append(m.Previous, prev.Previous...)
+	pa := prev.Attempt
+	if pa == 0 {
+		pa = 1
+	}
+	m.Previous = append(m.Previous, PreviousRun{
+		Attempt:  pa,
+		Args:     prev.Args,
+		Start:    prev.Start,
+		Stop:     prev.Stop,
+		Cycles:   prev.Cycles,
+		ExitCode: prev.ExitCode,
+		Error:    prev.Error,
+		Outputs:  prev.Outputs,
+	})
+	m.Attempt = pa + 1
 }
 
 // WriteFile serializes the manifest as indented JSON at path.

@@ -25,6 +25,9 @@ type ServerOptions struct {
 	Crash func() *core.CrashReport
 	// Manifest, when non-nil, is served under /manifest.
 	Manifest func() *Manifest
+	// Checkpoint, when non-nil, is served under /checkpoint: the live
+	// checkpoint engine's progress and this run's restore provenance.
+	Checkpoint func() *CheckpointStatus
 }
 
 // Server is the attilasim status server: a plain stdlib HTTP server
@@ -36,6 +39,7 @@ type ServerOptions struct {
 //	/crash       black-box report of a failed run (404 while healthy)
 //	/profile     ranked per-box host-time attribution
 //	/manifest    the run manifest
+//	/checkpoint  checkpoint engine progress and restore provenance
 //	/debug/pprof the standard Go profiling endpoints
 type Server struct {
 	opts ServerOptions
@@ -60,6 +64,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/crash", s.handleCrash)
 	mux.HandleFunc("/profile", s.handleProfile)
 	mux.HandleFunc("/manifest", s.handleManifest)
+	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -110,6 +115,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /crash        black-box report of a failed run")
 	fmt.Fprintln(w, "  /profile      per-box host-time attribution")
 	fmt.Fprintln(w, "  /manifest     run manifest")
+	fmt.Fprintln(w, "  /checkpoint   checkpoint engine progress and restore provenance")
 	fmt.Fprintln(w, "  /debug/pprof  Go profiling")
 }
 
@@ -174,6 +180,19 @@ func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, m)
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Checkpoint == nil {
+		http.Error(w, "no checkpoint engine attached (run with -checkpoint-interval)", http.StatusNotFound)
+		return
+	}
+	st := s.opts.Checkpoint()
+	if st == nil {
+		http.Error(w, "no checkpoint state recorded", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, st)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -1,0 +1,100 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"attila/internal/chkpt"
+)
+
+// This file makes the metrics bus checkpointable. The bus is host-side
+// state, but its window baselines (per-stat previous values, per-box
+// busy counters, the sample ring) feed the metrics NDJSON — restoring
+// them is what makes a resumed run's NDJSON byte-identical to an
+// uninterrupted one. Wall-clock anchors are deliberately NOT
+// serialized: a resumed run re-baselines them from its own clock, so
+// host-time fields measure the new process, not the dead one.
+
+// SnapshotName implements chkpt.Snapshotter.
+func (b *Bus) SnapshotName() string { return "obsv.Bus" }
+
+// SnapshotState serializes the sampling position (seq, prevCycle,
+// curCycle), the per-stat and per-box delta baselines, and the sample
+// ring (as JSON — WindowSample is already the NDJSON wire format).
+func (b *Bus) SnapshotState(e *chkpt.Encoder) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e.I64(b.seq)
+	e.I64(b.prevCycle)
+	e.I64(b.curCycle.Load())
+	e.F64s(b.prev)
+	busyPrev := make([]float64, len(b.busy))
+	for i := range b.busy {
+		busyPrev[i] = b.busy[i].prev
+	}
+	e.F64s(busyPrev)
+	ring, err := json.Marshal(b.ring)
+	if err != nil {
+		// Samples are plain data; Marshal cannot fail on them. Encode an
+		// empty ring rather than corrupting the section layout.
+		ring = []byte("[]")
+	}
+	e.Blob(ring)
+}
+
+// RestoreState implements chkpt.Snapshotter. The bus must be attached
+// to a pipeline with the same statistics registry and box population
+// as the one snapshotted.
+func (b *Bus) RestoreState(d *chkpt.Decoder) error {
+	seq := d.I64()
+	prevCycle := d.I64()
+	cur := d.I64()
+	prev := d.F64s()
+	busyPrev := d.F64s()
+	ring := d.Blob()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if len(prev) != len(b.prev) {
+		return fmt.Errorf("%w: snapshot has %d stat baselines, bus has %d", chkpt.ErrMismatch, len(prev), len(b.prev))
+	}
+	if len(busyPrev) != len(b.busy) {
+		return fmt.Errorf("%w: snapshot has %d busy baselines, bus has %d", chkpt.ErrMismatch, len(busyPrev), len(b.busy))
+	}
+	var samples []*WindowSample
+	if err := json.Unmarshal(ring, &samples); err != nil {
+		return fmt.Errorf("%w: bus ring: %v", chkpt.ErrCorrupt, err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.seq = seq
+	b.prevCycle = prevCycle
+	b.curCycle.Store(cur)
+	copy(b.prev, prev)
+	for i := range b.busy {
+		b.busy[i].prev = busyPrev[i]
+	}
+	b.ring = samples
+	if len(b.ring) > b.depth {
+		b.ring = b.ring[len(b.ring)-b.depth:]
+	}
+	b.flushed = false
+	// Re-anchor the wall clock: host time starts over in this process.
+	wall := b.now()
+	b.lastWall = wall
+	b.startWall = wall
+	return nil
+}
+
+// CheckpointStatus is the /checkpoint payload of the status server:
+// how many checkpoints the engine has written, where, and whether this
+// run itself was restored from one.
+type CheckpointStatus struct {
+	Path          string `json:"path,omitempty"`          // checkpoint file being written
+	Count         int64  `json:"count"`                   // checkpoints written so far
+	LastCycle     int64  `json:"lastCycle,omitempty"`     // cycle of the newest checkpoint
+	Interval      int64  `json:"interval,omitempty"`      // requested cadence in cycles
+	RestoredFrom  string `json:"restoredFrom,omitempty"`  // checkpoint this run resumed from
+	RestoredCycle int64  `json:"restoredCycle,omitempty"` // cycle the restore landed on
+	Err           string `json:"error,omitempty"`         // last write failure, if any
+}

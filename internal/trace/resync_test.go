@@ -1,0 +1,148 @@
+package trace_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"attila/internal/gpu"
+	"attila/internal/trace"
+)
+
+// encodeTrace serializes cmds and returns the byte stream plus the
+// offset of every record's type byte (found by encoding each prefix:
+// a closed trace of k commands is the k+1'th record's offset plus the
+// end marker).
+func encodeTrace(t *testing.T, cmds []gpu.Command, hdr trace.Header) (data []byte, recOffs []int64) {
+	t.Helper()
+	for k := 0; k <= len(cmds); k++ {
+		var buf bytes.Buffer
+		w, err := trace.NewWriter(&buf, hdr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteCommands(cmds[:k]); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if k < len(cmds) {
+			recOffs = append(recOffs, int64(buf.Len()-1))
+		} else {
+			data = buf.Bytes()
+		}
+	}
+	return data, recOffs
+}
+
+// unseekable hides the Seeker interface of a bytes.Reader, like a
+// pipe would.
+type unseekable struct{ r io.Reader }
+
+func (u unseekable) Read(b []byte) (int, error) { return u.r.Read(b) }
+
+func readMutated(t *testing.T, data []byte, seekable, skip bool) (*trace.Reader, []gpu.Command, error) {
+	t.Helper()
+	var src io.Reader = bytes.NewReader(data)
+	if !seekable {
+		src = unseekable{src}
+	}
+	r, err := trace.NewReader(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetSkipCorrupt(skip)
+	cmds, err := r.ReadAll(0, -1)
+	return r, cmds, err
+}
+
+func TestResyncSkipsCorruptRecord(t *testing.T) {
+	cmds, hdr := buildTrace(t, "simple", 1)
+	if len(cmds) < 6 {
+		t.Fatalf("workload too small: %d commands", len(cmds))
+	}
+	data, recOffs := encodeTrace(t, cmds, hdr)
+
+	// Smash one mid-stream record's type byte.
+	victim := len(recOffs) / 2
+	mut := append([]byte(nil), data...)
+	mut[recOffs[victim]] = 0xEE
+
+	// Strict mode: typed corruption error.
+	if _, _, err := readMutated(t, mut, true, false); !errors.Is(err, trace.ErrCorrupt) {
+		t.Fatalf("strict read: got %v, want ErrCorrupt", err)
+	}
+
+	// Skip mode on a seekable source: resync past the bad record and
+	// deliver the rest.
+	r, got, err := readMutated(t, mut, true, true)
+	if err != nil {
+		t.Fatalf("skip mode failed: %v", err)
+	}
+	regions, bytesSkipped := r.Skipped()
+	if regions < 1 || bytesSkipped < 1 {
+		t.Errorf("skipped %d regions / %d bytes, want at least one", regions, bytesSkipped)
+	}
+	if len(got) == 0 || len(got) >= len(cmds) {
+		t.Errorf("recovered %d commands out of %d; a bad record must cost at least one", len(got), len(cmds))
+	}
+
+	// A clean trace must skip nothing.
+	r, got, err = readMutated(t, data, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regions, _ := r.Skipped(); regions != 0 {
+		t.Errorf("clean trace skipped %d regions", regions)
+	}
+	if len(got) != len(cmds) {
+		t.Errorf("clean trace yielded %d commands, want %d", len(got), len(cmds))
+	}
+}
+
+// Resync needs to rewind; on a pipe-like source the skip flag cannot
+// help and the typed error must come through unchanged.
+func TestResyncNeedsSeekableSource(t *testing.T) {
+	cmds, hdr := buildTrace(t, "simple", 1)
+	data, recOffs := encodeTrace(t, cmds, hdr)
+	mut := append([]byte(nil), data...)
+	mut[recOffs[len(recOffs)/2]] = 0xEE
+
+	if _, _, err := readMutated(t, mut, false, true); !errors.Is(err, trace.ErrCorrupt) {
+		t.Fatalf("unseekable skip read: got %v, want ErrCorrupt", err)
+	}
+}
+
+// Truncation is not corruption: there is nothing after the cut to
+// resync onto, so skip mode still reports ErrTruncated.
+func TestResyncDoesNotMaskTruncation(t *testing.T) {
+	cmds, hdr := buildTrace(t, "simple", 1)
+	data, recOffs := encodeTrace(t, cmds, hdr)
+	cut := data[:recOffs[len(recOffs)/2]+2]
+
+	if _, _, err := readMutated(t, cut, true, true); !errors.Is(err, trace.ErrTruncated) {
+		t.Fatalf("truncated skip read: got %v, want ErrTruncated", err)
+	}
+}
+
+// Every record type byte, when flipped to garbage, must be either
+// resynced past or reported as a typed error — never a panic or an
+// untyped failure.
+func TestResyncEveryRecordMutation(t *testing.T) {
+	cmds, hdr := buildTrace(t, "simple", 1)
+	data, recOffs := encodeTrace(t, cmds, hdr)
+	for _, off := range recOffs {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0x5A
+		// The mutation may decode as a valid record of another type
+		// (no error, nothing skipped); only parse failures must be
+		// resynced past or typed.
+		_, _, err := readMutated(t, mut, true, true)
+		if err != nil &&
+			!errors.Is(err, trace.ErrCorrupt) && !errors.Is(err, trace.ErrTruncated) {
+			t.Errorf("offset %d: untyped error %v", off, err)
+		}
+	}
+}

@@ -283,6 +283,10 @@ const (
 	maxFrameCount = 1 << 24
 	maxStringLen  = 1 << 26 // shader text, labels
 	blobChunk     = 1 << 20 // read granularity when input size is unknown
+
+	// maxResyncScan bounds how far past a corrupt record the reader
+	// will look for the next parseable record in skip-corrupt mode.
+	maxResyncScan = 1 << 16
 )
 
 // Reader deserializes a trace. Length fields are validated against
@@ -295,6 +299,16 @@ type Reader struct {
 	err  error
 	off  int64 // bytes consumed so far
 	size int64 // total input bytes, -1 when unknown
+
+	// Skip-corrupt mode (SetSkipCorrupt): on a corrupt record body the
+	// reader rewinds to the byte after the bad record's start and scans
+	// forward for the next offset where a whole record parses, instead
+	// of failing the read. Needs a seekable source.
+	src          io.ReadSeeker // nil when the source cannot seek
+	base         int64         // absolute source offset of the stream start
+	skipCorrupt  bool
+	skipped      int   // corrupt regions skipped over
+	skippedBytes int64 // bytes discarded by skipping
 }
 
 // inputSize returns how many bytes remain in r when it is seekable,
@@ -322,6 +336,11 @@ func inputSize(r io.Reader) int64 {
 // or ErrCorrupt.
 func NewReader(r io.Reader) (*Reader, error) {
 	tr := &Reader{r: bufio.NewReaderSize(r, 1<<16), size: inputSize(r)}
+	if s, ok := r.(io.ReadSeeker); ok {
+		if base, err := s.Seek(0, io.SeekCurrent); err == nil {
+			tr.src, tr.base = s, base
+		}
+	}
 	magic := make([]byte, len(Magic))
 	tr.readFull(magic)
 	if tr.err != nil {
@@ -350,6 +369,24 @@ func NewReader(r io.Reader) (*Reader, error) {
 // Header returns the trace metadata.
 func (t *Reader) Header() Header { return t.hdr }
 
+// SetSkipCorrupt switches the reader into graceful-degradation mode:
+// a record that fails to parse as corrupt is skipped by scanning
+// forward (up to maxResyncScan bytes) for the next offset where a
+// whole record parses, instead of failing the read. Skipped regions
+// are counted; see Skipped. Resynchronization needs a seekable source
+// (a file, not a pipe) — on an unseekable source the flag has no
+// effect. Truncation still fails: there is nothing after the end to
+// resync onto.
+func (t *Reader) SetSkipCorrupt(on bool) { t.skipCorrupt = on }
+
+// Skipped reports how many corrupt regions were skipped over and how
+// many bytes they covered. Nonzero counts mean the command stream has
+// holes: the simulation still runs, but rendered output may differ
+// from the original capture.
+func (t *Reader) Skipped() (regions int, bytes int64) {
+	return t.skipped, t.skippedBytes
+}
+
 // ReadAll reads every command. startFrame > 0 applies hot start:
 // commands belonging to earlier frames are dropped except buffer
 // writes. endFrame < 0 reads to the end; otherwise reading stops
@@ -362,66 +399,138 @@ func (t *Reader) ReadAll(startFrame, endFrame int) ([]gpu.Command, error) {
 	var out []gpu.Command
 	frame := 0
 	for {
+		recStart := t.off
 		rec := t.u8()
 		if t.err != nil {
 			return nil, t.err
 		}
-		skip := frame < startFrame
-		switch rec {
-		case recEnd:
+		if rec == recEnd {
 			return out, t.err
-		case recBufferWrite:
-			addr := t.u32()
-			n := t.u32()
-			data := t.blob(n, "buffer write")
-			out = append(out, gpu.CmdBufferWrite{Addr: addr, Data: data})
-		case recDraw:
-			st := t.drawState()
-			if !skip {
-				out = append(out, gpu.CmdDraw{State: st})
+		}
+		cmd := t.readRecordBody(rec)
+		if t.err != nil {
+			if t.skipCorrupt && errors.Is(t.err, ErrCorrupt) && t.resync(recStart) {
+				continue
 			}
-		case recClearColor:
-			var v [4]byte
-			t.readFull(v[:])
+			return nil, t.err
+		}
+		skip := frame < startFrame
+		switch c := cmd.(type) {
+		case gpu.CmdBufferWrite, gpu.CmdSetRenderTarget:
+			// State carriers survive hot start: later frames depend on
+			// the buffers and targets earlier frames established.
+			out = append(out, c)
+		case gpu.CmdSwap:
 			if !skip {
-				out = append(out, gpu.CmdClearColor{Value: v})
-			}
-		case recClearZS:
-			d := t.f32()
-			s := t.u8()
-			if !skip {
-				out = append(out, gpu.CmdClearZS{Depth: d, Stencil: s})
-			}
-		case recSetTarget:
-			def := t.boolb()
-			base := t.u32()
-			w := t.i32()
-			hh := t.i32()
-			cmd := gpu.CmdSetRenderTarget{Default: def}
-			if !def {
-				if t.err == nil && (w <= 0 || w > maxSurfaceDim || hh <= 0 || hh > maxSurfaceDim) {
-					t.fail(ErrCorrupt, "implausible render target %dx%d", w, hh)
-					return nil, t.err
-				}
-				cmd.Target = gpu.NewSurfaceLayout(base, w, hh)
-			}
-			out = append(out, cmd)
-		case recSwap:
-			if !skip {
-				out = append(out, gpu.CmdSwap{})
+				out = append(out, c)
 			}
 			frame++
 			if endFrame >= 0 && frame >= endFrame {
 				return out, t.err
 			}
 		default:
-			t.fail(ErrCorrupt, "unknown record type %d", rec)
-			return nil, t.err
-		}
-		if t.err != nil {
-			return nil, t.err
+			if !skip {
+				out = append(out, c)
+			}
 		}
 	}
+}
+
+// readRecordBody parses the body of one record of the given type and
+// returns the decoded command. On any parse failure it records a typed
+// error and returns nil.
+func (t *Reader) readRecordBody(rec byte) gpu.Command {
+	switch rec {
+	case recBufferWrite:
+		addr := t.u32()
+		n := t.u32()
+		data := t.blob(n, "buffer write")
+		return gpu.CmdBufferWrite{Addr: addr, Data: data}
+	case recDraw:
+		return gpu.CmdDraw{State: t.drawState()}
+	case recClearColor:
+		var v [4]byte
+		t.readFull(v[:])
+		return gpu.CmdClearColor{Value: v}
+	case recClearZS:
+		d := t.f32()
+		s := t.u8()
+		return gpu.CmdClearZS{Depth: d, Stencil: s}
+	case recSetTarget:
+		def := t.boolb()
+		base := t.u32()
+		w := t.i32()
+		hh := t.i32()
+		cmd := gpu.CmdSetRenderTarget{Default: def}
+		if !def {
+			if t.err == nil && (w <= 0 || w > maxSurfaceDim || hh <= 0 || hh > maxSurfaceDim) {
+				t.fail(ErrCorrupt, "implausible render target %dx%d", w, hh)
+				return nil
+			}
+			cmd.Target = gpu.NewSurfaceLayout(base, w, hh)
+		}
+		return cmd
+	case recSwap:
+		return gpu.CmdSwap{}
+	default:
+		t.fail(ErrCorrupt, "unknown record type %d", rec)
+		return nil
+	}
+}
+
+// seekTo repositions the reader at stream offset off (relative to the
+// stream start, like t.off). Only callable when the source can seek.
+func (t *Reader) seekTo(off int64) bool {
+	if _, err := t.src.Seek(t.base+off, io.SeekStart); err != nil {
+		t.err = err
+		return false
+	}
+	t.r.Reset(t.src)
+	t.off = off
+	return true
+}
+
+// resync recovers from a corrupt record starting at recStart: it
+// retries the parse at each successive byte offset until a whole
+// record (or the end marker) parses cleanly, then repositions the
+// stream there so the caller's loop continues with that record. The
+// scan is bounded by maxResyncScan; if no offset works — or the source
+// cannot seek — the original error is reinstated and resync reports
+// false.
+func (t *Reader) resync(recStart int64) bool {
+	if t.src == nil {
+		return false
+	}
+	firstErr := t.err
+	limit := recStart + 1 + maxResyncScan
+	if t.size >= 0 && limit > t.size {
+		limit = t.size
+	}
+	for cand := recStart + 1; cand < limit; cand++ {
+		if !t.seekTo(cand) {
+			return false
+		}
+		t.err = nil
+		rec := t.u8()
+		if t.err == nil && rec != recEnd {
+			t.readRecordBody(rec)
+		}
+		if t.err != nil {
+			continue
+		}
+		// The candidate parses. Rewind to it so the caller re-reads the
+		// record for real (the trial discarded the decoded command).
+		if !t.seekTo(cand) {
+			t.err = firstErr
+			return false
+		}
+		t.err = nil
+		t.skipped++
+		t.skippedBytes += cand - recStart
+		return true
+	}
+	t.err = firstErr
+	return false
 }
 
 // fail records the first error, tagged with the stream offset so a
