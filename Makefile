@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-parallel fuzz
+.PHONY: build test check bench bench-gate bench-parallel fuzz
 
 build:
 	$(GO) build ./...
@@ -14,13 +14,18 @@ test:
 # shared state live), the watchdog/cancellation/metrics paths raced
 # through the GPU pipeline, the checkpoint round trip (restore must be
 # bit-identical in serial and parallel mode) with the chaos smoke, a
-# bench smoke, and a fuzz smoke over the trace reader.
+# bench smoke, the hot-path allocation gate (1 iteration, allocation
+# check only — wall-clock gating needs `make bench-gate`), a race run
+# of the pooled-pipeline serial/parallel equality test, and a fuzz
+# smoke over the trace reader.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/core/... ./internal/mem/... ./internal/obsv/... ./internal/chkpt/... ./internal/chaos/...
 	$(GO) test -race -run 'Watchdog|Deadlock|Cancel|ParallelMetrics' ./internal/gpu/ .
 	$(GO) test -race -run 'Checkpoint|Chaos' -count=1 .
+	$(GO) test -race -run '^TestParallelMatchesSerial$$' -count=1 .
 	BENCH_OBSV_OUT=$$(mktemp) $(GO) test -run '^TestBenchObsv$$' .
+	BENCH_HOTPATH_OUT=$$(mktemp) BENCH_HOTPATH_SMOKE=1 $(GO) test -run '^TestBenchHotpath$$' -count=1 .
 	$(GO) test -fuzz=FuzzReader -fuzztime=10s ./internal/trace
 
 # fuzz hammers every untrusted-input decoder: the trace reader and the
@@ -35,6 +40,14 @@ fuzz:
 # top-5 host-time boxes for three representative scenes.
 bench:
 	BENCH_OBSV_OUT=BENCH_obsv.json $(GO) test -run '^TestBenchObsv$$' -v .
+
+# bench-gate reruns the Table 1 baseline workload (serial and 4
+# workers), gates serial throughput (>10% regression) and allocations
+# (>25%) against the committed BENCH_hotpath.json, and rewrites the
+# snapshot in place. Commit the updated file to ratify a deliberate
+# performance change.
+bench-gate:
+	BENCH_HOTPATH_OUT=BENCH_hotpath.json $(GO) test -run '^TestBenchHotpath$$' -count=1 -v .
 
 # bench-parallel reproduces the BENCH_parallel.json snapshot.
 bench-parallel:

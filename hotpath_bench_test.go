@@ -1,0 +1,190 @@
+package attila_test
+
+// Hot-path allocation gate. Two parts:
+//
+//   - TestPipelineRunAllocBudget always runs: it measures host heap
+//     allocations across a full simple-scene run and fails when the
+//     steady-state rate creeps above a small per-cycle budget, so a
+//     reintroduced per-quad or per-transaction allocation shows up in
+//     plain `go test ./...`.
+//
+//   - TestBenchHotpath is the benchmark regression gate, driven by
+//     `make bench-gate` (full, 3 iterations, gates throughput and
+//     allocations against the committed BENCH_hotpath.json) and by
+//     `make check` in smoke mode (1 iteration, allocation gate only —
+//     wall-clock timing is too noisy for a shared machine). It writes
+//     a fresh snapshot to $BENCH_HOTPATH_OUT; copy that over
+//     BENCH_hotpath.json to ratify a deliberate performance change.
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"attila/internal/gpu"
+)
+
+// mallocsDuring reports heap allocations and wall time for one run.
+func mallocsDuring(f func()) (allocs uint64, wall time.Duration) {
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	f()
+	wall = time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return m1.Mallocs - m0.Mallocs, wall
+}
+
+// TestPipelineRunAllocBudget bounds the pipeline's steady-state
+// allocation rate. A fresh pipeline's first frame allocates while the
+// free lists, signal rings and queues grow to working-set size, so
+// the test measures the MARGINAL rate: allocations of a 4-frame run
+// minus a 1-frame run, divided by the extra cycles. Once the pools
+// are warm the clock loop allocates almost nothing (< 0.05
+// allocs/cycle); before the purge it was ~2.5 per cycle, every cycle.
+func TestPipelineRunAllocBudget(t *testing.T) {
+	cfg := gpu.Baseline()
+	cfg.Workers = 0
+	measure := func(frames int) (allocs uint64, cycles int64) {
+		p := benchParams()
+		p.Frames = frames
+		var pipe *gpu.Pipeline
+		a, _ := mallocsDuring(func() { pipe = runWorkloadOnce(t, cfg, "simple", p) })
+		return a, pipe.Cycles()
+	}
+	measure(1) // warm the process (lazy runtime init, file caches)
+	allocs1, cycles1 := measure(1)
+	allocs4, cycles4 := measure(4)
+	if cycles4 <= cycles1 || allocs4 < allocs1 {
+		t.Fatalf("unexpected scaling: %d allocs/%d cycles vs %d allocs/%d cycles",
+			allocs1, cycles1, allocs4, cycles4)
+	}
+	perCycle := float64(allocs4-allocs1) / float64(cycles4-cycles1)
+	t.Logf("marginal %d allocs over %d cycles = %.4f allocs/cycle (first frame: %d allocs)",
+		allocs4-allocs1, cycles4-cycles1, perCycle, allocs1)
+	const budget = 0.05
+	if perCycle > budget {
+		t.Fatalf("allocation budget exceeded: %.4f allocs/cycle > %.2f — a hot-path allocation crept back in",
+			perCycle, budget)
+	}
+}
+
+type hotpathResult struct {
+	Case         string  `json:"case"`
+	Workers      int     `json:"workers"`
+	NsPerRun     int64   `json:"ns_per_run"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	AllocsPerRun uint64  `json:"allocs_per_run"`
+	SimCycles    int64   `json:"sim_cycles"`
+}
+
+type hotpathSnapshot struct {
+	Benchmark string          `json:"benchmark"`
+	Workload  string          `json:"workload"`
+	Command   string          `json:"command"`
+	PrePurge  hotpathResult   `json:"pre_purge_baseline"`
+	Results   []hotpathResult `json:"results"`
+	Notes     []string        `json:"notes,omitempty"`
+}
+
+// TestBenchHotpath reruns the Table 1 baseline workload serially and
+// with 4 workers, records throughput and allocations, and fails when
+// the serial numbers regress more than 10% (time) or 25% (allocs)
+// against the committed snapshot. Skipped unless BENCH_HOTPATH_OUT
+// names the output file; BENCH_HOTPATH_SMOKE=1 runs one iteration and
+// skips the wall-clock gate.
+func TestBenchHotpath(t *testing.T) {
+	out := os.Getenv("BENCH_HOTPATH_OUT")
+	if out == "" {
+		t.Skip("set BENCH_HOTPATH_OUT=<file> to run the hot-path benchmark gate")
+	}
+	smoke := os.Getenv("BENCH_HOTPATH_SMOKE") != ""
+	iters := 3
+	if smoke {
+		iters = 1
+	}
+	p := benchParams()
+
+	snap := hotpathSnapshot{
+		Benchmark: "BenchmarkTable1Baseline",
+		Workload:  "simple 128x96x1",
+		Command:   "make bench-gate",
+		PrePurge: hotpathResult{
+			Case: "serial", Workers: 0,
+			NsPerRun: 187_900_000, AllocsPerRun: 134_077,
+		},
+		Notes: []string{
+			"pre_purge_baseline is the serial run before the hot-path allocation purge (pooled pipeline objects, recycled memory transactions, batched stats); it is the fixed reference for the PR's 1.3x throughput / 5x allocation acceptance floor.",
+			"The gate compares the serial case against the committed BENCH_hotpath.json: fail at >10% ns_per_run regression (full mode only) or >25% allocs_per_run regression (always). Copy the BENCH_HOTPATH_OUT file over BENCH_hotpath.json to ratify a deliberate change.",
+		},
+	}
+	for _, c := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 0},
+		{"parallel-4w", 4},
+	} {
+		cfg := gpu.Baseline()
+		cfg.Workers = c.workers
+		var pipe *gpu.Pipeline
+		best := hotpathResult{Case: c.name, Workers: c.workers}
+		for i := 0; i < iters; i++ {
+			allocs, wall := mallocsDuring(func() {
+				pipe = runWorkloadOnce(t, cfg, "simple", p)
+			})
+			if best.NsPerRun == 0 || wall.Nanoseconds() < best.NsPerRun {
+				best.NsPerRun = wall.Nanoseconds()
+			}
+			if best.AllocsPerRun == 0 || allocs < best.AllocsPerRun {
+				best.AllocsPerRun = allocs
+			}
+		}
+		best.SimCycles = pipe.Cycles()
+		best.CyclesPerSec = float64(best.SimCycles) / (float64(best.NsPerRun) / 1e9)
+		snap.Results = append(snap.Results, best)
+		t.Logf("%s: %d cycles, %.1f ms/run (%.0f cycles/sec), %d allocs/run",
+			c.name, best.SimCycles, float64(best.NsPerRun)/1e6, best.CyclesPerSec, best.AllocsPerRun)
+	}
+
+	// Gate the serial case against the committed snapshot, if any.
+	if data, err := os.ReadFile("BENCH_hotpath.json"); err == nil {
+		var committed hotpathSnapshot
+		if err := json.Unmarshal(data, &committed); err != nil {
+			t.Fatalf("BENCH_hotpath.json: %v", err)
+		}
+		var ref, cur *hotpathResult
+		for i := range committed.Results {
+			if committed.Results[i].Case == "serial" {
+				ref = &committed.Results[i]
+			}
+		}
+		for i := range snap.Results {
+			if snap.Results[i].Case == "serial" {
+				cur = &snap.Results[i]
+			}
+		}
+		if ref != nil && cur != nil {
+			if !smoke && float64(cur.NsPerRun) > 1.10*float64(ref.NsPerRun) {
+				t.Errorf("serial throughput regressed: %.1f ms/run vs committed %.1f ms/run (>10%%)",
+					float64(cur.NsPerRun)/1e6, float64(ref.NsPerRun)/1e6)
+			}
+			if float64(cur.AllocsPerRun) > 1.25*float64(ref.AllocsPerRun) {
+				t.Errorf("serial allocations regressed: %d allocs/run vs committed %d (>25%%)",
+					cur.AllocsPerRun, ref.AllocsPerRun)
+			}
+		}
+	}
+
+	data, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("wrote", out)
+}

@@ -142,13 +142,21 @@ func (s *Signal) WriteLat(cycle int64, lat int, obj Dynamic) {
 // from the wire. It returns nil when nothing arrives. Objects not
 // read during their arrival cycle are detected as lost data on a
 // later conflicting write.
+//
+// The returned slice's backing array is owned by the signal and
+// reused for later writes into the same ring slot; the consumer must
+// finish with it during the clock cycle it was read on (which every
+// box does — the earliest conflicting write lands at cycle+1, on the
+// far side of the cycle barrier). This keeps the steady state
+// allocation-free: the ring reaches its high-water capacity once and
+// never reallocates.
 func (s *Signal) Read(cycle int64) []Dynamic {
 	slot := int(cycle % int64(len(s.ring)))
 	if len(s.ring[slot]) == 0 || s.stamp[slot] != cycle {
 		return nil
 	}
 	out := s.ring[slot]
-	s.ring[slot] = nil
+	s.ring[slot] = out[:0]
 	s.consumed.Add(uint64(len(out)))
 	if s.tracer != nil {
 		for _, o := range out {

@@ -85,15 +85,16 @@ type Simulator struct {
 	gate ClockGate
 
 	// Cooperative cancellation: Stop (or a context watcher) raises
-	// stopped; the clock loop polls it once per cycle. stopCause is
-	// written before the Store and read after a true Load, which the
-	// atomic orders. The loop additionally polls the context directly
+	// stopped; the clock loop polls it once per cycle. The atomic is
+	// the only cross-goroutine state — the cancellation cause is
+	// derived from the context itself when the loop stops, so the
+	// watcher goroutine never writes a plain field the loop might be
+	// writing too. The loop additionally polls the context directly
 	// every ctxPollMask+1 cycles, bounding cancellation latency in
 	// cycles even when the watcher goroutine is slow to schedule.
-	stopped   atomic.Bool
-	stopCause error
-	runCtx    context.Context
-	ctxDone   <-chan struct{}
+	stopped atomic.Bool
+	runCtx  context.Context
+	ctxDone <-chan struct{}
 
 	curBox Box // serial mode: box being clocked, for panic attribution
 }
@@ -259,7 +260,6 @@ func (s *Simulator) RunContext(ctx context.Context, maxCycles int64) error {
 	s.refreshTraced()
 	s.crash = nil
 	s.stopped.Store(false)
-	s.stopCause = nil
 	s.runCtx = nil
 	s.ctxDone = nil
 	if ctx != nil && ctx.Done() != nil {
@@ -268,14 +268,12 @@ func (s *Simulator) RunContext(ctx context.Context, maxCycles int64) error {
 		if ctx.Err() != nil {
 			// Already canceled: fail deterministically before the
 			// first cycle instead of racing the watcher goroutine.
-			s.stopCause = context.Cause(ctx)
 			s.stopped.Store(true)
 		} else {
 			quit := make(chan struct{})
 			go func() {
 				select {
 				case <-ctx.Done():
-					s.stopCause = context.Cause(ctx)
 					s.stopped.Store(true)
 				case <-quit:
 				}
@@ -295,6 +293,7 @@ func (s *Simulator) RunContext(ctx context.Context, maxCycles int64) error {
 	// A failing cycle stops before its barrier: drain whatever trace
 	// entries its boxes produced so the trace shows the violation.
 	s.flushTraces()
+	s.Stats.FoldShadows()
 	s.Stats.Flush(s.cycle)
 	s.crash = s.buildCrashReport(err)
 	return err
@@ -314,7 +313,6 @@ func (s *Simulator) shouldStop(cycle int64) bool {
 	if s.ctxDone != nil && cycle&ctxPollMask == 0 {
 		select {
 		case <-s.ctxDone:
-			s.stopCause = context.Cause(s.runCtx)
 			s.stopped.Store(true)
 			return true
 		default:
@@ -324,10 +322,12 @@ func (s *Simulator) shouldStop(cycle int64) bool {
 }
 
 // stopErr builds the cancellation error, folding in the context
-// cause when one was recorded.
+// cause when the run context was canceled (a bare Stop has none).
 func (s *Simulator) stopErr() error {
-	if cause := s.stopCause; cause != nil {
-		return fmt.Errorf("%w at cycle %d: %v", ErrCanceled, s.cycle, cause)
+	if s.runCtx != nil {
+		if cause := context.Cause(s.runCtx); cause != nil {
+			return fmt.Errorf("%w at cycle %d: %v", ErrCanceled, s.cycle, cause)
+		}
 	}
 	return fmt.Errorf("%w at cycle %d", ErrCanceled, s.cycle)
 }
@@ -365,6 +365,7 @@ func (s *Simulator) endOfCycle() (bool, error) {
 // harnesses that clock boxes manually (outside Run) need to call it
 // themselves.
 func (s *Simulator) EndCycle(cycle int64) {
+	s.Stats.FoldShadows()
 	for _, fn := range s.hooks {
 		fn(cycle)
 	}

@@ -34,6 +34,13 @@ type Thread struct {
 	Killed  [Lanes]bool // lane discarded by KIL
 	Done    bool        // executed END
 	Blocked *TexRequest // non-nil while waiting on a texture result
+
+	// texReq is the thread-owned backing store for Blocked. A thread
+	// has at most one texture operation in flight (Step panics
+	// otherwise), and once CompleteTexture runs nothing references
+	// the old request, so reusing the same storage keeps the shader
+	// hot loop allocation-free.
+	texReq TexRequest
 }
 
 // Reset prepares the thread to run a program needing temps temporary
@@ -137,7 +144,8 @@ func (e *Emulator) Step(t *Thread) isa.Instruction {
 			}
 		}
 	case info.Texture:
-		req := &TexRequest{
+		req := &t.texReq
+		*req = TexRequest{
 			Sampler:  in.Sampler,
 			Target:   in.Target,
 			Dst:      in.Dst,

@@ -123,6 +123,15 @@ func (t *Texture) QuadLOD(coords [4]vmath.Vec4, mode Mode, lodArg float32) LODIn
 // applied when mode was ModeProj (PrepareCoord does it).
 func (t *Texture) Plan(coord vmath.Vec4, info LODInfo) SamplePlan {
 	var plan SamplePlan
+	t.PlanInto(&plan, coord, info)
+	return plan
+}
+
+// PlanInto is Plan writing into a caller-owned plan, reusing its
+// Texels backing array so steady-state sampling does not allocate.
+func (t *Texture) PlanInto(plan *SamplePlan, coord vmath.Vec4, info LODInfo) {
+	plan.Texels = plan.Texels[:0]
+	plan.BilinearSamples = 0
 	n := info.N
 	if n < 1 {
 		n = 1
@@ -136,9 +145,8 @@ func (t *Texture) Plan(coord vmath.Vec4, info LODInfo) SamplePlan {
 		pos := coord
 		pos[0] += o * info.DS
 		pos[1] += o * info.DT
-		t.planIsotropic(&plan, pos, info.Lod, w)
+		t.planIsotropic(plan, pos, info.Lod, w)
 	}
-	return plan
 }
 
 // PrepareCoord applies the projective division of TXP. Call before

@@ -13,11 +13,11 @@ type Clipper struct {
 	core.BoxBase
 	triIn  *Flow
 	triOut *Flow
-	queue  []*TriWork
+	queue  core.FIFO[*TriWork]
 
-	statIn       *core.Counter
-	statRejected *core.Counter
-	statBusy     *core.Counter
+	statIn       core.Shadow
+	statRejected core.Shadow
+	statBusy     core.Shadow
 }
 
 // NewClipper builds the box. The output flow's signal latency models
@@ -25,9 +25,9 @@ type Clipper struct {
 func NewClipper(sim *core.Simulator, triIn, triOut *Flow) *Clipper {
 	c := &Clipper{triIn: triIn, triOut: triOut}
 	c.Init("Clipper")
-	c.statIn = sim.Stats.Counter("Clipper.triangles")
-	c.statRejected = sim.Stats.Counter("Clipper.rejected")
-	c.statBusy = sim.Stats.Counter("Clipper.busyCycles")
+	sim.Stats.ShadowCounter(&c.statIn, "Clipper.triangles")
+	sim.Stats.ShadowCounter(&c.statRejected, "Clipper.rejected")
+	sim.Stats.ShadowCounter(&c.statBusy, "Clipper.busyCycles")
 	sim.Register(c)
 	return c
 }
@@ -35,12 +35,12 @@ func NewClipper(sim *core.Simulator, triIn, triOut *Flow) *Clipper {
 // Clock implements core.Box.
 func (c *Clipper) Clock(cycle int64) {
 	for _, obj := range c.triIn.Recv(cycle) {
-		c.queue = append(c.queue, obj.(*TriWork))
+		c.queue.Push(obj.(*TriWork))
 	}
-	if len(c.queue) == 0 {
+	if c.queue.Len() == 0 {
 		return
 	}
-	tri := c.queue[0]
+	tri := c.queue.Peek()
 	rejected := clipemu.TriviallyRejected(
 		tri.V[0].Out[isa.AttrPos],
 		tri.V[1].Out[isa.AttrPos],
@@ -48,7 +48,7 @@ func (c *Clipper) Clock(cycle int64) {
 	if !rejected && !c.triOut.CanSend(cycle, 1) {
 		return
 	}
-	c.queue = c.queue[1:]
+	c.queue.Pop()
 	c.triIn.Release(1)
 	c.statIn.Inc()
 	c.statBusy.Inc()

@@ -13,10 +13,11 @@ import (
 type ColorWrite struct {
 	core.BoxBase
 	cfg     *Config
+	pool    *pipePool
 	cache   *mem.Cache
 	quadIns []*Flow
 
-	queue      []*Quad
+	queue      core.FIFO[*Quad]
 	headLooked bool
 
 	// Fast-clear block state, kept per color buffer (double
@@ -31,18 +32,18 @@ type ColorWrite struct {
 
 	layoutFn func() SurfaceLayout // draw buffer (changes on swap)
 
-	statQuads *core.Counter
-	statFrags *core.Counter
-	statBusy  *core.Counter
-	statStall *core.Counter
+	statQuads core.Shadow
+	statFrags core.Shadow
+	statBusy  core.Shadow
+	statStall core.Shadow
 }
 
 // NewColorWrite builds ROPc unit idx. layoutFn returns the current
 // draw color buffer (double buffering swaps it).
-func NewColorWrite(sim *core.Simulator, cfg *Config, idx int,
+func NewColorWrite(sim *core.Simulator, cfg *Config, idx int, pool *pipePool,
 	layoutFn func() SurfaceLayout, quadIns []*Flow) *ColorWrite {
 	c := &ColorWrite{
-		cfg: cfg, quadIns: quadIns, layoutFn: layoutFn,
+		cfg: cfg, pool: pool, quadIns: quadIns, layoutFn: layoutFn,
 		clearFlags: make(map[uint32][]bool),
 		clearVals:  make(map[uint32][4]byte),
 		clearValue: [4]byte{0, 0, 0, 255},
@@ -53,10 +54,10 @@ func NewColorWrite(sim *core.Simulator, cfg *Config, idx int,
 		LineBytes: SurfaceBlockBytes, MissQ: 8, PortLimit: 8,
 	}
 	c.cache = mem.NewCache(sim, cc, &colorHooks{c: c})
-	c.statQuads = sim.Stats.Counter(c.BoxName() + ".quads")
-	c.statFrags = sim.Stats.Counter(c.BoxName() + ".fragments")
-	c.statBusy = sim.Stats.Counter(c.BoxName() + ".busyCycles")
-	c.statStall = sim.Stats.Counter(c.BoxName() + ".stallCycles")
+	sim.Stats.ShadowCounter(&c.statQuads, c.BoxName()+".quads")
+	sim.Stats.ShadowCounter(&c.statFrags, c.BoxName()+".fragments")
+	sim.Stats.ShadowCounter(&c.statBusy, c.BoxName()+".busyCycles")
+	sim.Stats.ShadowCounter(&c.statStall, c.BoxName()+".stallCycles")
 	sim.Register(c)
 	return c
 }
@@ -87,7 +88,7 @@ func (c *ColorWrite) Clock(cycle int64) {
 	c.cache.Clock(cycle)
 
 	if c.clearPending {
-		if len(c.queue) == 0 && c.cache.Quiesce() {
+		if c.queue.Len() == 0 && c.cache.Quiesce() {
 			flags := c.flags()
 			for i := range flags {
 				flags[i] = true
@@ -99,7 +100,7 @@ func (c *ColorWrite) Clock(cycle int64) {
 		return
 	}
 	if c.flushPending {
-		if len(c.queue) == 0 {
+		if c.queue.Len() == 0 {
 			if !c.flushIssued {
 				if c.cache.FlushDirty(cycle) {
 					c.flushIssued = true
@@ -115,14 +116,14 @@ func (c *ColorWrite) Clock(cycle int64) {
 		for _, obj := range in.Recv(cycle) {
 			q := obj.(*Quad)
 			q.srcFlow = in
-			c.queue = append(c.queue, q)
+			c.queue.Push(q)
 		}
 	}
-	if len(c.queue) == 0 {
+	if c.queue.Len() == 0 {
 		return
 	}
 
-	q := c.queue[0]
+	q := c.queue.Peek()
 	st := q.Batch.State
 	mask := st.ColorMask
 	if !mask[0] && !mask[1] && !mask[2] && !mask[3] {
@@ -171,9 +172,10 @@ func (c *ColorWrite) Clock(cycle int64) {
 func (c *ColorWrite) retire(q *Quad) {
 	q.srcFlow.Release(1)
 	q.srcFlow = nil
-	c.queue = c.queue[1:]
+	c.queue.Pop()
 	c.headLooked = false
 	q.Batch.QuadsRetired++
+	c.pool.putQuad(q)
 }
 
 // flags returns (creating if needed) the clear-state array for the

@@ -56,11 +56,11 @@ type CommandProcessor struct {
 
 	finished bool
 
-	statCmds    *core.Counter
-	statBatches *core.Counter
-	statFrames  *core.Counter
-	statBytesUp *core.Counter
-	statOverlap *core.Counter
+	statCmds    core.Shadow
+	statBatches core.Shadow
+	statFrames  core.Shadow
+	statBytesUp core.Shadow
+	statOverlap core.Shadow
 }
 
 // NewCommandProcessor builds the box.
@@ -72,11 +72,11 @@ func NewCommandProcessor(sim *core.Simulator, cfg *Config, fb *Framebuffer,
 	}
 	cp.Init("CommandProcessor")
 	cp.port = mem.NewPort(sim, "CP", 8)
-	cp.statCmds = sim.Stats.Counter("CP.commands")
-	cp.statBatches = sim.Stats.Counter("CP.batches")
-	cp.statFrames = sim.Stats.Counter("CP.frames")
-	cp.statBytesUp = sim.Stats.Counter("CP.uploadBytes")
-	cp.statOverlap = sim.Stats.Counter("CP.overlapCycles")
+	sim.Stats.ShadowCounter(&cp.statCmds, "CP.commands")
+	sim.Stats.ShadowCounter(&cp.statBatches, "CP.batches")
+	sim.Stats.ShadowCounter(&cp.statFrames, "CP.frames")
+	sim.Stats.ShadowCounter(&cp.statBytesUp, "CP.uploadBytes")
+	sim.Stats.ShadowCounter(&cp.statOverlap, "CP.overlapCycles")
 	sim.Register(cp)
 	return cp
 }

@@ -32,9 +32,9 @@ type DAC struct {
 
 	frames []*Frame
 
-	statBlocks  *core.Counter
-	statSynth   *core.Counter
-	statRefresh *core.Counter
+	statBlocks  core.Shadow
+	statSynth   core.Shadow
+	statRefresh core.Shadow
 }
 
 // Frame is one dumped image.
@@ -53,9 +53,9 @@ func NewDAC(sim *core.Simulator, ropcs []*ColorWrite, refreshCycles int64, front
 	}
 	d.Init("DAC")
 	d.port = mem.NewPort(sim, "DAC", 8)
-	d.statBlocks = sim.Stats.Counter("DAC.blocksRead")
-	d.statSynth = sim.Stats.Counter("DAC.blocksSynthesized")
-	d.statRefresh = sim.Stats.Counter("DAC.refreshBytes")
+	sim.Stats.ShadowCounter(&d.statBlocks, "DAC.blocksRead")
+	sim.Stats.ShadowCounter(&d.statSynth, "DAC.blocksSynthesized")
+	sim.Stats.ShadowCounter(&d.statRefresh, "DAC.refreshBytes")
 	sim.Register(d)
 	return d
 }

@@ -33,6 +33,7 @@ type ShaderWork struct {
 type FragmentFIFO struct {
 	core.BoxBase
 	cfg    *Config
+	pool   *pipePool
 	layout SurfaceLayout
 
 	vtxIn  *Flow // vertex groups from the streamer
@@ -45,40 +46,40 @@ type FragmentFIFO struct {
 	shaderIn  []*Flow // new threads to each shader
 	shaderOut []*Flow // completed threads from each shader
 
-	vtxArrived  []*ShaderWork // received, flow credit still held
-	fragArrived []*ShaderWork
-	vtxPending  []*ShaderWork // admitted to the thread window
-	fragPending []*ShaderWork
-	outbox      []*ShaderWork // completed, waiting for downstream room
+	vtxArrived  core.FIFO[*ShaderWork] // received, flow credit still held
+	fragArrived core.FIFO[*ShaderWork]
+	vtxPending  core.FIFO[*ShaderWork] // admitted to the thread window
+	fragPending core.FIFO[*ShaderWork]
+	outbox      core.FIFO[*ShaderWork] // completed, waiting for downstream room
 
 	windowUsed int
 	fragRegs   int // fragment/unified register pool in use
 	vtxRegs    int // vertex pool in use (non-unified)
 	rr         int
 
-	statVtxThreads  *core.Counter
-	statFragThreads *core.Counter
-	statKilled      *core.Counter
-	statWindowFull  *core.Counter
-	statRegStall    *core.Counter
+	statVtxThreads  core.Shadow
+	statFragThreads core.Shadow
+	statKilled      core.Shadow
+	statWindowFull  core.Shadow
+	statRegStall    core.Shadow
 	windowGauge     *core.Gauge
 }
 
 // NewFragmentFIFO builds the box.
-func NewFragmentFIFO(sim *core.Simulator, cfg *Config, layout SurfaceLayout,
+func NewFragmentFIFO(sim *core.Simulator, cfg *Config, pool *pipePool, layout SurfaceLayout,
 	vtxIn, fragIn, vtxOut *Flow, fragEarly, fragLate, shaderIn, shaderOut []*Flow) *FragmentFIFO {
 	f := &FragmentFIFO{
-		cfg: cfg, layout: layout,
+		cfg: cfg, pool: pool, layout: layout,
 		vtxIn: vtxIn, fragIn: fragIn, vtxOut: vtxOut,
 		fragEarly: fragEarly, fragLate: fragLate,
 		shaderIn: shaderIn, shaderOut: shaderOut,
 	}
 	f.Init("FragmentFIFO")
-	f.statVtxThreads = sim.Stats.Counter("FFIFO.vertexThreads")
-	f.statFragThreads = sim.Stats.Counter("FFIFO.fragmentThreads")
-	f.statKilled = sim.Stats.Counter("FFIFO.killedQuads")
-	f.statWindowFull = sim.Stats.Counter("FFIFO.windowFullCycles")
-	f.statRegStall = sim.Stats.Counter("FFIFO.regStallCycles")
+	sim.Stats.ShadowCounter(&f.statVtxThreads, "FFIFO.vertexThreads")
+	sim.Stats.ShadowCounter(&f.statFragThreads, "FFIFO.fragmentThreads")
+	sim.Stats.ShadowCounter(&f.statKilled, "FFIFO.killedQuads")
+	sim.Stats.ShadowCounter(&f.statWindowFull, "FFIFO.windowFullCycles")
+	sim.Stats.ShadowCounter(&f.statRegStall, "FFIFO.regStallCycles")
 	f.windowGauge = sim.Stats.Gauge("FFIFO.windowOccupancy")
 	sim.Register(f)
 	return f
@@ -98,29 +99,27 @@ func (f *FragmentFIFO) acceptInputs(cycle int64) {
 	// credit until admitted into the thread window.
 	for _, obj := range f.vtxIn.Recv(cycle) {
 		g := obj.(*VtxGroup)
-		f.vtxArrived = append(f.vtxArrived, &ShaderWork{
-			DynObject: core.DynObject{ID: g.ID, Parent: g.Parent, Tag: "vwork"},
-			Batch:     g.Batch, Kind: workVertex, Vtx: g,
-		})
+		w := f.pool.getWork()
+		w.DynObject = core.DynObject{ID: g.ID, Parent: g.Parent, Tag: "vwork"}
+		w.Batch, w.Kind, w.Vtx = g.Batch, workVertex, g
+		f.vtxArrived.Push(w)
 	}
 	for _, obj := range f.fragIn.Recv(cycle) {
 		q := obj.(*Quad)
-		f.fragArrived = append(f.fragArrived, &ShaderWork{
-			DynObject: core.DynObject{ID: q.ID, Parent: q.Parent, Tag: "fwork"},
-			Batch:     q.Batch, Kind: workFragment, Frag: q,
-		})
+		w := f.pool.getWork()
+		w.DynObject = core.DynObject{ID: q.ID, Parent: q.Parent, Tag: "fwork"}
+		w.Batch, w.Kind, w.Frag = q.Batch, workFragment, q
+		f.fragArrived.Push(w)
 	}
 	// Admit into the window, vertices first (geometry starvation
 	// stalls the whole pipeline).
-	for f.windowUsed < f.cfg.WindowThreads && len(f.vtxArrived) > 0 {
-		f.vtxPending = append(f.vtxPending, f.vtxArrived[0])
-		f.vtxArrived = f.vtxArrived[1:]
+	for f.windowUsed < f.cfg.WindowThreads && f.vtxArrived.Len() > 0 {
+		f.vtxPending.Push(f.vtxArrived.Pop())
 		f.vtxIn.Release(1)
 		f.windowUsed++
 	}
-	for f.windowUsed < f.cfg.WindowThreads && len(f.fragArrived) > 0 {
-		f.fragPending = append(f.fragPending, f.fragArrived[0])
-		f.fragArrived = f.fragArrived[1:]
+	for f.windowUsed < f.cfg.WindowThreads && f.fragArrived.Len() > 0 {
+		f.fragPending.Push(f.fragArrived.Pop())
 		f.fragIn.Release(1)
 		f.windowUsed++
 	}
@@ -149,19 +148,19 @@ func (f *FragmentFIFO) dispatch(cycle int64) {
 		}
 		var w *ShaderWork
 		switch {
-		case len(f.vtxPending) > 0 && f.eligible(s, workVertex):
-			w = f.vtxPending[0]
+		case f.vtxPending.Len() > 0 && f.eligible(s, workVertex):
+			w = f.vtxPending.Peek()
 			if !f.reserveRegs(w) {
 				w = nil
 			} else {
-				f.vtxPending = f.vtxPending[1:]
+				f.vtxPending.Pop()
 			}
-		case len(f.fragPending) > 0 && f.eligible(s, workFragment):
-			w = f.fragPending[0]
+		case f.fragPending.Len() > 0 && f.eligible(s, workFragment):
+			w = f.fragPending.Peek()
 			if !f.reserveRegs(w) {
 				w = nil
 			} else {
-				f.fragPending = f.fragPending[1:]
+				f.fragPending.Pop()
 			}
 		}
 		if w == nil {
@@ -214,19 +213,20 @@ func (f *FragmentFIFO) collectCompletions(cycle int64) {
 			} else {
 				f.fragRegs -= w.Regs
 			}
-			f.outbox = append(f.outbox, w)
+			f.outbox.Push(w)
 		}
 	}
 }
 
 func (f *FragmentFIFO) drainOutbox(cycle int64) {
-	for len(f.outbox) > 0 {
-		w := f.outbox[0]
+	for f.outbox.Len() > 0 {
+		w := f.outbox.Peek()
 		if !f.route(cycle, w) {
 			return
 		}
-		f.outbox = f.outbox[1:]
+		f.outbox.Pop()
 		f.windowUsed--
+		f.pool.putWork(w)
 	}
 }
 
@@ -241,12 +241,13 @@ func (f *FragmentFIFO) route(cycle int64, w *ShaderWork) bool {
 		return true
 	}
 	q := w.Frag
-	q.Batch.ShadedQuads++
 	if !q.Alive() {
 		// Every lane killed by KIL: the quad retires here.
+		q.Batch.ShadedQuads++
 		q.Batch.QuadsRetired++
 		q.Batch.KilledQuads++
 		f.statKilled.Inc()
+		f.pool.putQuad(q)
 		return true
 	}
 	rop := f.layout.BlockIndex(q.X, q.Y) % len(f.fragEarly)
@@ -257,6 +258,9 @@ func (f *FragmentFIFO) route(cycle int64, w *ShaderWork) bool {
 	if !out.CanSend(cycle, 1) {
 		return false
 	}
+	// Count only on successful routing: route is retried every cycle
+	// while the consumer is full, and each quad is shaded once.
+	q.Batch.ShadedQuads++
 	out.Send(cycle, q)
 	return true
 }

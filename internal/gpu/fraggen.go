@@ -14,9 +14,10 @@ type FragmentGenerator struct {
 	core.BoxBase
 	cfg     *Config
 	ids     *core.IDSource
+	pool    *pipePool
 	triIn   *Flow
 	tileOut *Flow
-	queue   []*SetupTri
+	queue   core.FIFO[*SetupTri]
 
 	// Traversal state for the current triangle.
 	cur   *SetupTri
@@ -24,10 +25,10 @@ type FragmentGenerator struct {
 	scanX int      // scanline traversal
 	scanY int
 
-	statTiles *core.Counter
-	statQuads *core.Counter
-	statFrags *core.Counter
-	statBusy  *core.Counter
+	statTiles core.Shadow
+	statQuads core.Shadow
+	statFrags core.Shadow
+	statBusy  core.Shadow
 }
 
 type region struct {
@@ -35,13 +36,13 @@ type region struct {
 }
 
 // NewFragmentGenerator builds the box.
-func NewFragmentGenerator(sim *core.Simulator, cfg *Config, triIn, tileOut *Flow) *FragmentGenerator {
-	f := &FragmentGenerator{cfg: cfg, ids: &sim.IDs, triIn: triIn, tileOut: tileOut}
+func NewFragmentGenerator(sim *core.Simulator, cfg *Config, pool *pipePool, triIn, tileOut *Flow) *FragmentGenerator {
+	f := &FragmentGenerator{cfg: cfg, ids: &sim.IDs, pool: pool, triIn: triIn, tileOut: tileOut}
 	f.Init("FragmentGenerator")
-	f.statTiles = sim.Stats.Counter("FGen.tiles")
-	f.statQuads = sim.Stats.Counter("FGen.quads")
-	f.statFrags = sim.Stats.Counter("FGen.fragments")
-	f.statBusy = sim.Stats.Counter("FGen.busyCycles")
+	sim.Stats.ShadowCounter(&f.statTiles, "FGen.tiles")
+	sim.Stats.ShadowCounter(&f.statQuads, "FGen.quads")
+	sim.Stats.ShadowCounter(&f.statFrags, "FGen.fragments")
+	sim.Stats.ShadowCounter(&f.statBusy, "FGen.busyCycles")
 	sim.Register(f)
 	return f
 }
@@ -49,29 +50,30 @@ func NewFragmentGenerator(sim *core.Simulator, cfg *Config, triIn, tileOut *Flow
 // Clock implements core.Box.
 func (f *FragmentGenerator) Clock(cycle int64) {
 	for _, obj := range f.triIn.Recv(cycle) {
-		f.queue = append(f.queue, obj.(*SetupTri))
+		f.queue.Push(obj.(*SetupTri))
 	}
 	if f.cur == nil {
-		if len(f.queue) == 0 {
+		if f.queue.Len() == 0 {
 			return
 		}
-		f.cur = f.queue[0]
-		f.queue = f.queue[1:]
+		f.cur = f.queue.Pop()
 		f.triIn.Release(1)
 		f.startTraversal()
 	}
-	f.statBusy.Inc()
-
-	// Process up to FGenTilesPerCycle tile candidates.
+	// Process up to FGenTilesPerCycle tile candidates. Busy counts
+	// cycles where traversal advanced; a cycle spent blocked on a full
+	// tile output is a stall and must not inflate utilization.
+	worked := false
 	for n := 0; n < f.cfg.FGenTilesPerCycle && f.cur != nil; {
 		if !f.tileOut.CanSend(cycle, 1) {
-			return
+			break
 		}
 		x, y, ok := f.nextTile()
+		worked = true
 		if !ok {
 			f.cur.Batch.TrisRetired++
 			f.cur = nil
-			return
+			break
 		}
 		n++
 		tile := f.buildTile(x, y)
@@ -79,6 +81,9 @@ func (f *FragmentGenerator) Clock(cycle int64) {
 			f.tileOut.Send(cycle, tile)
 			f.statTiles.Inc()
 		}
+	}
+	if worked {
+		f.statBusy.Inc()
 	}
 }
 
@@ -146,13 +151,12 @@ func (f *FragmentGenerator) nextTile() (x, y int, ok bool) {
 func (f *FragmentGenerator) buildTile(x0, y0 int) *Tile {
 	st := f.cur.Batch.State
 	tri := &f.cur.Tri
-	tile := &Tile{
-		DynObject: core.DynObject{ID: f.ids.Next(), Parent: f.cur.ID, Tag: "tile"},
-		Batch:     f.cur.Batch,
-		Tri:       f.cur,
-		X:         x0,
-		Y:         y0,
-	}
+	tile := f.pool.getTile()
+	tile.DynObject = core.DynObject{ID: f.ids.Next(), Parent: f.cur.ID, Tag: "tile"}
+	tile.Batch = f.cur.Batch
+	tile.Tri = f.cur
+	tile.X = x0
+	tile.Y = y0
 	for qy := 0; qy < SurfaceTile; qy += 2 {
 		for qx := 0; qx < SurfaceTile; qx += 2 {
 			var q *Quad
@@ -167,13 +171,12 @@ func (f *FragmentGenerator) buildTile(x0, y0 int) *Tile {
 					continue
 				}
 				if q == nil {
-					q = &Quad{
-						DynObject: core.DynObject{ID: f.ids.Next(), Parent: tile.ID, Tag: "quad"},
-						Batch:     f.cur.Batch,
-						Tri:       f.cur,
-						X:         x0 + qx,
-						Y:         y0 + qy,
-					}
+					q = f.pool.getQuad()
+					q.DynObject = core.DynObject{ID: f.ids.Next(), Parent: tile.ID, Tag: "quad"}
+					q.Batch = f.cur.Batch
+					q.Tri = f.cur
+					q.X = x0 + qx
+					q.Y = y0 + qy
 				}
 				q.Mask[l] = true
 				q.Depth[l] = fragemu.DepthToFixed(tri.Depth(px, py))
@@ -185,6 +188,7 @@ func (f *FragmentGenerator) buildTile(x0, y0 int) *Tile {
 		}
 	}
 	if len(tile.Quads) == 0 {
+		f.pool.putTile(tile)
 		return nil
 	}
 	minD := tri.TileMinDepth(x0, y0, SurfaceTile)

@@ -16,26 +16,27 @@ import (
 type HierarchicalZ struct {
 	core.BoxBase
 	cfg     *Config
+	pool    *pipePool
 	layout  SurfaceLayout
 	tileIn  *Flow
 	earlyZ  []*Flow // per-ROP, early-Z path (HZ -> Z test)
 	lateOut *Flow   // late-Z path (HZ -> interpolator)
-	queue   []*Tile
+	queue   core.FIFO[*Tile]
 	maxZ    []uint32 // per block
 
-	statTiles  *core.Counter
-	statCulled *core.Counter
-	statQuads  *core.Counter
-	statBusy   *core.Counter
+	statTiles  core.Shadow
+	statCulled core.Shadow
+	statQuads  core.Shadow
+	statBusy   core.Shadow
 }
 
 // NewHierarchicalZ builds the box. earlyZ carries one flow per ROP
 // unit; lateOut feeds the interpolator when the batch performs Z
 // after shading.
-func NewHierarchicalZ(sim *core.Simulator, cfg *Config, layout SurfaceLayout,
+func NewHierarchicalZ(sim *core.Simulator, cfg *Config, pool *pipePool, layout SurfaceLayout,
 	tileIn *Flow, earlyZ []*Flow, lateOut *Flow) *HierarchicalZ {
 	h := &HierarchicalZ{
-		cfg: cfg, layout: layout,
+		cfg: cfg, pool: pool, layout: layout,
 		tileIn: tileIn, earlyZ: earlyZ, lateOut: lateOut,
 		maxZ: make([]uint32, layout.NumBlocks()),
 	}
@@ -43,10 +44,10 @@ func NewHierarchicalZ(sim *core.Simulator, cfg *Config, layout SurfaceLayout,
 	for i := range h.maxZ {
 		h.maxZ[i] = fragemu.MaxDepth
 	}
-	h.statTiles = sim.Stats.Counter("HZ.tiles")
-	h.statCulled = sim.Stats.Counter("HZ.culledTiles")
-	h.statQuads = sim.Stats.Counter("HZ.quadsOut")
-	h.statBusy = sim.Stats.Counter("HZ.busyCycles")
+	sim.Stats.ShadowCounter(&h.statTiles, "HZ.tiles")
+	sim.Stats.ShadowCounter(&h.statCulled, "HZ.culledTiles")
+	sim.Stats.ShadowCounter(&h.statQuads, "HZ.quadsOut")
+	sim.Stats.ShadowCounter(&h.statBusy, "HZ.busyCycles")
 	sim.Register(h)
 	return h
 }
@@ -76,20 +77,28 @@ func (h *HierarchicalZ) ropFor(x, y int) int {
 // Clock implements core.Box.
 func (h *HierarchicalZ) Clock(cycle int64) {
 	for _, obj := range h.tileIn.Recv(cycle) {
-		h.queue = append(h.queue, obj.(*Tile))
+		h.queue.Push(obj.(*Tile))
 	}
-	if len(h.queue) == 0 {
+	if h.queue.Len() == 0 {
 		return
 	}
-	h.statBusy.Inc()
-	for n := 0; n < h.cfg.HZTilesPerCycle && len(h.queue) > 0; n++ {
-		tile := h.queue[0]
+	worked := false
+	for n := 0; n < h.cfg.HZTilesPerCycle && h.queue.Len() > 0; n++ {
+		tile := h.queue.Peek()
 		if !h.process(cycle, tile) {
-			return // downstream full; retry next cycle
+			break // downstream full; retry next cycle
 		}
-		h.queue = h.queue[1:]
+		worked = true
+		h.queue.Pop()
 		h.tileIn.Release(1)
 		h.statTiles.Inc()
+		h.pool.putTile(tile) // quads culled or forwarded; wrapper done
+	}
+	// A cycle spent entirely blocked on a full consumer is not busy:
+	// busyCycles must reflect tiles actually tested, or utilization
+	// reads 100% during downstream stalls.
+	if worked {
+		h.statBusy.Inc()
 	}
 }
 
@@ -103,6 +112,9 @@ func (h *HierarchicalZ) process(cycle int64, tile *Tile) bool {
 			b.QuadsRetired += len(tile.Quads)
 			b.HZCulledQuads += len(tile.Quads)
 			h.statCulled.Inc()
+			for _, q := range tile.Quads {
+				h.pool.putQuad(q)
+			}
 			return true
 		}
 	}

@@ -18,19 +18,19 @@ type Interpolator struct {
 	cfg     *Config
 	quadIns []*Flow // early path: one per ROPz; late path: from HZ
 	quadOut *Flow   // to FragmentFIFO for shading
-	queue   []*Quad
+	queue   core.FIFO[*Quad]
 	rr      int
 
-	statQuads *core.Counter
-	statBusy  *core.Counter
+	statQuads core.Shadow
+	statBusy  core.Shadow
 }
 
 // NewInterpolator builds the box.
 func NewInterpolator(sim *core.Simulator, cfg *Config, quadIns []*Flow, quadOut *Flow) *Interpolator {
 	ip := &Interpolator{cfg: cfg, quadIns: quadIns, quadOut: quadOut}
 	ip.Init("Interpolator")
-	ip.statQuads = sim.Stats.Counter("Interpolator.quads")
-	ip.statBusy = sim.Stats.Counter("Interpolator.busyCycles")
+	sim.Stats.ShadowCounter(&ip.statQuads, "Interpolator.quads")
+	sim.Stats.ShadowCounter(&ip.statBusy, "Interpolator.busyCycles")
 	sim.Register(ip)
 	return ip
 }
@@ -39,23 +39,28 @@ func NewInterpolator(sim *core.Simulator, cfg *Config, quadIns []*Flow, quadOut 
 func (ip *Interpolator) Clock(cycle int64) {
 	for _, in := range ip.quadIns {
 		for _, obj := range in.Recv(cycle) {
-			ip.queue = append(ip.queue, obj.(*Quad))
+			ip.queue.Push(obj.(*Quad))
 			in.Release(1)
 		}
 	}
-	if len(ip.queue) == 0 {
+	if ip.queue.Len() == 0 {
 		return
 	}
-	ip.statBusy.Inc()
-	for n := 0; n < ip.cfg.InterpQuadsPerCycle && len(ip.queue) > 0; n++ {
+	worked := false
+	for n := 0; n < ip.cfg.InterpQuadsPerCycle && ip.queue.Len() > 0; n++ {
 		if !ip.quadOut.CanSend(cycle, 1) {
-			return
+			break
 		}
-		q := ip.queue[0]
-		ip.queue = ip.queue[1:]
+		q := ip.queue.Pop()
 		lat := ip.interpolate(q)
 		ip.quadOut.SendLat(cycle, q, lat)
 		ip.statQuads.Inc()
+		worked = true
+	}
+	// Busy only when at least one quad was interpolated; a cycle
+	// blocked on a full FragmentFIFO is a stall, not work.
+	if worked {
+		ip.statBusy.Inc()
 	}
 }
 

@@ -198,23 +198,27 @@ func New(cfg Config, width, height int) (*Pipeline, error) {
 
 	// Boxes. Registration order is the clocking order; with all
 	// signal latencies >= 1 it does not affect results.
+	// Shared free lists for tiles, quads and shader-work wrappers. All
+	// alloc/release sites are on boxes pinned to the "pipe" shard, so
+	// the pool is single-goroutine even under Workers>1.
+	pool := &pipePool{}
 	p.streamer = NewStreamer(sim, &cfg, p.Mem, drawFlow, shadeOut, vtxShaded, vtxOut)
 	pa := NewPrimAssembly(sim, vtxOut, paOut)
 	clip := NewClipper(sim, paOut, clipOut)
 	p.setupBox = NewSetup(sim, clipOut, setupOut)
-	fgen := NewFragmentGenerator(sim, &cfg, setupOut, fgenOut)
-	p.hz = NewHierarchicalZ(sim, &cfg, p.FB.Z(), fgenOut, hzEarly, hzLate)
+	fgen := NewFragmentGenerator(sim, &cfg, pool, setupOut, fgenOut)
+	p.hz = NewHierarchicalZ(sim, &cfg, pool, p.FB.Z(), fgenOut, hzEarly, hzLate)
 	p.ropzs = make([]*ZStencil, nROP)
 	p.ropcs = make([]*ColorWrite, nROP)
 	for i := 0; i < nROP; i++ {
-		p.ropzs[i] = NewZStencil(sim, &cfg, i, p.FB.Z(),
+		p.ropzs[i] = NewZStencil(sim, &cfg, i, pool, p.FB.Z(),
 			[]*Flow{hzEarly[i], ffifoLate[i]}, ropzEarly[i], ropzLate[i])
 		p.ropzs[i].SetHZ(p.hz)
-		p.ropcs[i] = NewColorWrite(sim, &cfg, i, p.FB.Draw,
+		p.ropcs[i] = NewColorWrite(sim, &cfg, i, pool, p.FB.Draw,
 			[]*Flow{ffifoEarly[i], ropzLate[i]})
 	}
 	interp := NewInterpolator(sim, &cfg, interpIns, interpOut)
-	ffifo := NewFragmentFIFO(sim, &cfg, p.FB.Z(), shadeOut, interpOut, vtxShaded,
+	ffifo := NewFragmentFIFO(sim, &cfg, pool, p.FB.Z(), shadeOut, interpOut, vtxShaded,
 		ffifoEarly, ffifoLate, shaderIn, shaderOut)
 	p.shaders = make([]*ShaderUnit, nShaders)
 	for i := 0; i < nShaders; i++ {

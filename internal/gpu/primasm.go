@@ -15,21 +15,21 @@ type PrimAssembly struct {
 	vtxIn  *Flow
 	triOut *Flow
 
-	queue   []*ShadedVertex // input queue (Table 1: 8 entries)
+	queue   core.FIFO[*ShadedVertex] // input queue (Table 1: 8 entries)
 	window  []*ShadedVertex // primitive assembly window
 	count   int             // vertices consumed for the current batch
 	pending *TriWork        // second triangle of a completed quad
 
-	statTris *core.Counter
-	statBusy *core.Counter
+	statTris core.Shadow
+	statBusy core.Shadow
 }
 
 // NewPrimAssembly builds the box.
 func NewPrimAssembly(sim *core.Simulator, vtxIn, triOut *Flow) *PrimAssembly {
 	p := &PrimAssembly{ids: &sim.IDs, vtxIn: vtxIn, triOut: triOut}
 	p.Init("PrimAssembly")
-	p.statTris = sim.Stats.Counter("PrimAssembly.triangles")
-	p.statBusy = sim.Stats.Counter("PrimAssembly.busyCycles")
+	sim.Stats.ShadowCounter(&p.statTris, "PrimAssembly.triangles")
+	sim.Stats.ShadowCounter(&p.statBusy, "PrimAssembly.busyCycles")
 	sim.Register(p)
 	return p
 }
@@ -37,7 +37,7 @@ func NewPrimAssembly(sim *core.Simulator, vtxIn, triOut *Flow) *PrimAssembly {
 // Clock implements core.Box.
 func (p *PrimAssembly) Clock(cycle int64) {
 	for _, obj := range p.vtxIn.Recv(cycle) {
-		p.queue = append(p.queue, obj.(*ShadedVertex))
+		p.queue.Push(obj.(*ShadedVertex))
 	}
 	// A quad's fourth vertex completes two triangles; the second one
 	// goes out the cycle after (one triangle per cycle, Table 1).
@@ -54,18 +54,18 @@ func (p *PrimAssembly) Clock(cycle int64) {
 		p.finishBatch(tri.Batch)
 		return
 	}
-	if len(p.queue) == 0 {
+	if p.queue.Len() == 0 {
 		return
 	}
 	// One vertex consumed, at most one triangle emitted per cycle
 	// (Table 1). A vertex can complete a triangle only when there is
 	// room to send it.
-	v := p.queue[0]
+	v := p.queue.Peek()
 	tri, second, emits := p.assemble(v)
 	if emits && !p.triOut.CanSend(cycle, 1) {
 		return
 	}
-	p.queue = p.queue[1:]
+	p.queue.Pop()
 	p.vtxIn.Release(1)
 	p.commit(v)
 	if emits {

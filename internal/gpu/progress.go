@@ -60,19 +60,19 @@ func (s *Streamer) Queues() []core.QueueStat {
 
 // Queues implements core.StallReporter.
 func (p *PrimAssembly) Queues() []core.QueueStat {
-	qs := []core.QueueStat{{Name: "PA.queue", Occupied: len(p.queue), Capacity: cap(p.queue)}}
+	qs := []core.QueueStat{{Name: "PA.queue", Occupied: p.queue.Len(), Capacity: 8}}
 	return append(qs, p.triOut.QueueStat())
 }
 
 // Queues implements core.StallReporter.
 func (c *Clipper) Queues() []core.QueueStat {
-	qs := []core.QueueStat{{Name: "Clipper.queue", Occupied: len(c.queue)}}
+	qs := []core.QueueStat{{Name: "Clipper.queue", Occupied: c.queue.Len()}}
 	return append(qs, c.triOut.QueueStat())
 }
 
 // Queues implements core.StallReporter.
 func (s *Setup) Queues() []core.QueueStat {
-	qs := []core.QueueStat{{Name: "Setup.queue", Occupied: len(s.queue)}}
+	qs := []core.QueueStat{{Name: "Setup.queue", Occupied: s.queue.Len()}}
 	return append(qs, s.triOut.QueueStat())
 }
 
@@ -84,7 +84,7 @@ func (g *FragmentGenerator) ProgressCount() int64 {
 
 // Queues implements core.StallReporter.
 func (g *FragmentGenerator) Queues() []core.QueueStat {
-	qs := []core.QueueStat{{Name: "FGen.queue", Occupied: len(g.queue)}}
+	qs := []core.QueueStat{{Name: "FGen.queue", Occupied: g.queue.Len()}}
 	return append(qs, g.tileOut.QueueStat())
 }
 
@@ -96,14 +96,14 @@ func (h *HierarchicalZ) ProgressCount() int64 {
 
 // Queues implements core.StallReporter.
 func (h *HierarchicalZ) Queues() []core.QueueStat {
-	qs := []core.QueueStat{{Name: "HZ.queue", Occupied: len(h.queue)}}
+	qs := []core.QueueStat{{Name: "HZ.queue", Occupied: h.queue.Len()}}
 	qs = append(qs, flowStats(h.earlyZ...)...)
 	return append(qs, h.lateOut.QueueStat())
 }
 
 // Queues implements core.StallReporter.
 func (ip *Interpolator) Queues() []core.QueueStat {
-	qs := []core.QueueStat{{Name: ip.BoxName() + ".queue", Occupied: len(ip.queue)}}
+	qs := []core.QueueStat{{Name: ip.BoxName() + ".queue", Occupied: ip.queue.Len()}}
 	return append(qs, ip.quadOut.QueueStat())
 }
 
@@ -119,9 +119,9 @@ func (f *FragmentFIFO) Queues() []core.QueueStat {
 		{Name: "FFIFO.window", Occupied: f.windowUsed, Capacity: f.cfg.WindowThreads},
 		{Name: "FFIFO.fragRegs", Occupied: f.fragRegs, Capacity: f.cfg.PhysRegsFragment},
 		{Name: "FFIFO.vtxRegs", Occupied: f.vtxRegs, Capacity: f.cfg.PhysRegsVertex},
-		{Name: "FFIFO.arrived", Occupied: len(f.vtxArrived) + len(f.fragArrived)},
-		{Name: "FFIFO.pending", Occupied: len(f.vtxPending) + len(f.fragPending)},
-		{Name: "FFIFO.outbox", Occupied: len(f.outbox)},
+		{Name: "FFIFO.arrived", Occupied: f.vtxArrived.Len() + f.fragArrived.Len()},
+		{Name: "FFIFO.pending", Occupied: f.vtxPending.Len() + f.fragPending.Len()},
+		{Name: "FFIFO.outbox", Occupied: f.outbox.Len()},
 	}
 	qs = append(qs, f.vtxOut.QueueStat())
 	qs = append(qs, flowStats(f.fragEarly...)...)
@@ -148,8 +148,8 @@ func (s *ShaderUnit) Queues() []core.QueueStat {
 // Queues implements core.StallReporter.
 func (x *TexCrossbar) Queues() []core.QueueStat {
 	qs := []core.QueueStat{
-		{Name: "TexXBar.requests", Occupied: len(x.queue)},
-		{Name: "TexXBar.replies", Occupied: len(x.replies)},
+		{Name: "TexXBar.requests", Occupied: x.queue.Len()},
+		{Name: "TexXBar.replies", Occupied: x.replies.Len()},
 	}
 	qs = append(qs, flowStats(x.toTU...)...)
 	return append(qs, flowStats(x.toShader...)...)
@@ -163,7 +163,7 @@ func (t *TextureUnit) ProgressCount() int64 {
 
 // Queues implements core.StallReporter.
 func (t *TextureUnit) Queues() []core.QueueStat {
-	qs := []core.QueueStat{{Name: t.BoxName() + ".queue", Occupied: len(t.queue), Capacity: t.cfg.TexQueue}}
+	qs := []core.QueueStat{{Name: t.BoxName() + ".queue", Occupied: t.queue.Len(), Capacity: t.cfg.TexQueue}}
 	return append(qs, t.repOut.QueueStat())
 }
 
@@ -175,7 +175,7 @@ func (z *ZStencil) ProgressCount() int64 {
 
 // Queues implements core.StallReporter.
 func (z *ZStencil) Queues() []core.QueueStat {
-	qs := []core.QueueStat{{Name: z.BoxName() + ".queue", Occupied: len(z.queue), Capacity: z.cfg.ROPQueue}}
+	qs := []core.QueueStat{{Name: z.BoxName() + ".queue", Occupied: z.queue.Len(), Capacity: z.cfg.ROPQueue}}
 	return append(qs, flowStats(z.earlyOut, z.lateOut)...)
 }
 
@@ -187,7 +187,7 @@ func (c *ColorWrite) ProgressCount() int64 {
 
 // Queues implements core.StallReporter.
 func (c *ColorWrite) Queues() []core.QueueStat {
-	return []core.QueueStat{{Name: c.BoxName() + ".queue", Occupied: len(c.queue), Capacity: c.cfg.ROPQueue}}
+	return []core.QueueStat{{Name: c.BoxName() + ".queue", Occupied: c.queue.Len(), Capacity: c.cfg.ROPQueue}}
 }
 
 // Queues implements core.StallReporter.

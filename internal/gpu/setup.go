@@ -17,13 +17,13 @@ type Setup struct {
 	core.BoxBase
 	triIn  *Flow
 	triOut *Flow
-	queue  []*TriWork
+	queue  core.FIFO[*TriWork]
 
 	fragBatch *BatchState // batch currently owning the fragment phase
 
-	statIn     *core.Counter
-	statCulled *core.Counter
-	statBusy   *core.Counter
+	statIn     core.Shadow
+	statCulled core.Shadow
+	statBusy   core.Shadow
 }
 
 // NewSetup builds the box; the output flow's latency models the
@@ -31,9 +31,9 @@ type Setup struct {
 func NewSetup(sim *core.Simulator, triIn, triOut *Flow) *Setup {
 	s := &Setup{triIn: triIn, triOut: triOut}
 	s.Init("TriangleSetup")
-	s.statIn = sim.Stats.Counter("Setup.triangles")
-	s.statCulled = sim.Stats.Counter("Setup.culled")
-	s.statBusy = sim.Stats.Counter("Setup.busyCycles")
+	sim.Stats.ShadowCounter(&s.statIn, "Setup.triangles")
+	sim.Stats.ShadowCounter(&s.statCulled, "Setup.culled")
+	sim.Stats.ShadowCounter(&s.statBusy, "Setup.busyCycles")
 	sim.Register(s)
 	return s
 }
@@ -45,16 +45,16 @@ func (s *Setup) FragmentBatch() *BatchState { return s.fragBatch }
 // Clock implements core.Box.
 func (s *Setup) Clock(cycle int64) {
 	for _, obj := range s.triIn.Recv(cycle) {
-		s.queue = append(s.queue, obj.(*TriWork))
+		s.queue.Push(obj.(*TriWork))
 	}
 	// Release the fragment phase when its batch fully retires.
 	if s.fragBatch != nil && s.fragBatch.Done() {
 		s.fragBatch = nil
 	}
-	if len(s.queue) == 0 {
+	if s.queue.Len() == 0 {
 		return
 	}
-	tw := s.queue[0]
+	tw := s.queue.Peek()
 	if s.fragBatch == nil {
 		s.fragBatch = tw.Batch
 	}
@@ -72,7 +72,7 @@ func (s *Setup) Clock(cycle int64) {
 	if ok && !s.triOut.CanSend(cycle, 1) {
 		return
 	}
-	s.queue = s.queue[1:]
+	s.queue.Pop()
 	s.triIn.Release(1)
 	s.statIn.Inc()
 	s.statBusy.Inc()

@@ -17,6 +17,10 @@ type TexReqMsg struct {
 	Slot    int // thread slot within the shader
 	Req     *shaderemu.TexRequest
 	Texture *texemu.Texture
+
+	// spent piggybacks a consumed TexRepMsg back to the texture units
+	// for recycling. Carries no simulation state.
+	spent *TexRepMsg
 }
 
 // TexRepMsg carries the filtered texels back.
@@ -25,6 +29,10 @@ type TexRepMsg struct {
 	Shader int
 	Slot   int
 	Result [shaderLanes]vmath.Vec4
+
+	// spent piggybacks the consumed TexReqMsg back to its issuing
+	// shader for recycling.
+	spent *TexReqMsg
 }
 
 type threadState uint8
@@ -66,9 +74,24 @@ type ShaderUnit struct {
 	rr      int
 	seq     int64
 
-	statInstr   *core.Counter
-	statBusy    *core.Counter
-	statTexWait *core.Counter
+	// Maintained thread-state class counts (updated by setState) so
+	// the per-cycle scheduler can early-out instead of scanning every
+	// thread slot: resident = non-free, blocked = waiting on a texture
+	// request (sent or pending).
+	resident int
+	running  int
+	blocked  int
+
+	// Texture message recycling (no simulation state): completed
+	// requests come back on TexRepMsg.spent; consumed replies ride out
+	// on the next TexReqMsg.spent. Both lists are touched only on this
+	// box's clocking goroutine.
+	freeReqs  []*TexReqMsg
+	spentReps []*TexRepMsg
+
+	statInstr   core.Shadow
+	statBusy    core.Shadow
+	statTexWait core.Shadow
 	statThreads *core.Gauge
 }
 
@@ -87,9 +110,9 @@ func NewShaderUnit(sim *core.Simulator, cfg *Config, idx int, vertexOnly bool,
 		threads: make([]shaderThread, threads),
 	}
 	s.Init(nameIdx("Shader", idx))
-	s.statInstr = sim.Stats.Counter(s.BoxName() + ".instructions")
-	s.statBusy = sim.Stats.Counter(s.BoxName() + ".busyCycles")
-	s.statTexWait = sim.Stats.Counter(s.BoxName() + ".texWaitCycles")
+	sim.Stats.ShadowCounter(&s.statInstr, s.BoxName()+".instructions")
+	sim.Stats.ShadowCounter(&s.statBusy, s.BoxName()+".busyCycles")
+	sim.Stats.ShadowCounter(&s.statTexWait, s.BoxName()+".texWaitCycles")
 	s.statThreads = sim.Stats.Gauge(s.BoxName() + ".threads")
 	sim.Register(s)
 	return s
@@ -103,23 +126,33 @@ func (s *ShaderUnit) Clock(cycle int64) {
 	issued := s.issue(cycle)
 	s.retire(cycle)
 
-	resident := 0
-	blocked := 0
-	for i := range s.threads {
-		switch s.threads[i].state {
-		case threadFree:
-		case threadBlockedTex, threadWaitSend:
-			resident++
-			blocked++
-		default:
-			resident++
-		}
-	}
-	s.statThreads.Set(float64(resident))
+	s.statThreads.Set(float64(s.resident))
 	if issued > 0 {
 		s.statBusy.Inc()
-	} else if resident > 0 && blocked == resident {
+	} else if s.resident > 0 && s.blocked == s.resident {
 		s.statTexWait.Inc()
+	}
+}
+
+// setState moves a thread between states, keeping the class counts in
+// sync. Every state transition must go through here.
+func (s *ShaderUnit) setState(th *shaderThread, ns threadState) {
+	s.adjCount(th.state, -1)
+	s.adjCount(ns, 1)
+	th.state = ns
+}
+
+func (s *ShaderUnit) adjCount(st threadState, d int) {
+	switch st {
+	case threadFree:
+	case threadRunning:
+		s.resident += d
+		s.running += d
+	case threadBlockedTex, threadWaitSend:
+		s.resident += d
+		s.blocked += d
+	case threadDone:
+		s.resident += d
 	}
 }
 
@@ -139,10 +172,15 @@ func (s *ShaderUnit) completeTextures(cycle int64) {
 		if dst.Bank == isa.BankTemp {
 			th.ready[dst.Index] = cycle + 1
 		}
-		th.state = threadRunning
+		s.setState(th, threadRunning)
 		if th.t.Done {
-			th.state = threadDone
+			s.setState(th, threadDone)
 		}
+		if sp := rep.spent; sp != nil {
+			rep.spent = nil
+			s.freeReqs = append(s.freeReqs, sp)
+		}
+		s.spentReps = append(s.spentReps, rep)
 	}
 }
 
@@ -187,13 +225,35 @@ func (s *ShaderUnit) acceptWork(cycle int64) {
 				th.t.In[l] = w.Frag.In[l]
 			}
 		}
-		th.state = threadRunning
+		s.setState(th, threadRunning)
 		th.arrival = s.seq
 		s.seq++
 	}
 }
 
+// getTexReq pops a recycled request message (fully zeroed) or
+// allocates one, and gives a waiting spent reply its ride back to the
+// texture units.
+func (s *ShaderUnit) getTexReq() *TexReqMsg {
+	var msg *TexReqMsg
+	if n := len(s.freeReqs); n > 0 {
+		msg = s.freeReqs[n-1]
+		s.freeReqs = s.freeReqs[:n-1]
+		*msg = TexReqMsg{}
+	} else {
+		msg = &TexReqMsg{}
+	}
+	if n := len(s.spentReps); n > 0 {
+		msg.spent = s.spentReps[n-1]
+		s.spentReps = s.spentReps[:n-1]
+	}
+	return msg
+}
+
 func (s *ShaderUnit) sendPendingTex(cycle int64) {
+	if s.blocked == 0 {
+		return
+	}
 	for i := range s.threads {
 		th := &s.threads[i]
 		if th.state != threadWaitSend {
@@ -204,7 +264,7 @@ func (s *ShaderUnit) sendPendingTex(cycle int64) {
 		}
 		s.texReq.Send(cycle, th.pending)
 		th.pending = nil
-		th.state = threadBlockedTex
+		s.setState(th, threadBlockedTex)
 	}
 }
 
@@ -213,6 +273,9 @@ func (s *ShaderUnit) sendPendingTex(cycle int64) {
 // latency); the in-order input queue configuration only ever executes
 // the oldest resident thread, stalling while it waits (§5).
 func (s *ShaderUnit) pickThread() int {
+	if s.running == 0 {
+		return -1
+	}
 	if s.cfg.Schedule == ScheduleInOrderQueue {
 		oldest, best := -1, int64(0)
 		for i := range s.threads {
@@ -263,18 +326,17 @@ func (s *ShaderUnit) issue(cycle int64) int {
 		s.statInstr.Inc()
 		issued++
 		if th.t.Blocked != nil {
-			msg := &TexReqMsg{
-				DynObject: core.DynObject{ID: th.work.ID, Parent: th.work.Parent, Tag: "texreq"},
-				Shader:    s.idx, Slot: i,
-				Req:     th.t.Blocked,
-				Texture: th.work.Batch.State.Textures[th.t.Blocked.Sampler],
-			}
+			msg := s.getTexReq()
+			msg.DynObject = core.DynObject{ID: th.work.ID, Parent: th.work.Parent, Tag: "texreq"}
+			msg.Shader, msg.Slot = s.idx, i
+			msg.Req = th.t.Blocked
+			msg.Texture = th.work.Batch.State.Textures[th.t.Blocked.Sampler]
 			if s.texReq.CanSend(cycle, 1) {
 				s.texReq.Send(cycle, msg)
-				th.state = threadBlockedTex
+				s.setState(th, threadBlockedTex)
 			} else {
 				th.pending = msg
-				th.state = threadWaitSend
+				s.setState(th, threadWaitSend)
 			}
 			continue
 		}
@@ -283,7 +345,7 @@ func (s *ShaderUnit) issue(cycle int64) int {
 			th.ready[executed.Dst.Index] = cycle + int64(s.execLatency(info.LatencyClass))
 		}
 		if th.t.Done {
-			th.state = threadDone
+			s.setState(th, threadDone)
 		}
 	}
 	return issued
@@ -322,6 +384,9 @@ func (s *ShaderUnit) depsReady(cycle int64, th *shaderThread, in isa.Instruction
 }
 
 func (s *ShaderUnit) retire(cycle int64) {
+	if s.resident-s.running-s.blocked == 0 {
+		return
+	}
 	for i := range s.threads {
 		th := &s.threads[i]
 		if th.state != threadDone {
@@ -349,7 +414,7 @@ func (s *ShaderUnit) retire(cycle int64) {
 			}
 		}
 		s.workOut.Send(cycle, w)
-		th.state = threadFree
+		s.setState(th, threadFree)
 		th.work = nil
 		s.workIn.Release(1) // thread slot is free again
 	}

@@ -49,12 +49,12 @@ func (s *Streamer) CheckpointReady() bool {
 
 // CheckpointReady implements checkpointReady.
 func (z *ZStencil) CheckpointReady() bool {
-	return len(z.queue) == 0 && !z.clearPending && !z.flushPending && z.cache.Quiesce()
+	return z.queue.Len() == 0 && !z.clearPending && !z.flushPending && z.cache.Quiesce()
 }
 
 // CheckpointReady implements checkpointReady.
 func (c *ColorWrite) CheckpointReady() bool {
-	return len(c.queue) == 0 && !c.clearPending && !c.flushPending && c.cache.Quiesce()
+	return c.queue.Len() == 0 && !c.clearPending && !c.flushPending && c.cache.Quiesce()
 }
 
 // CheckpointReady implements checkpointReady.
@@ -67,12 +67,12 @@ func (d *DAC) CheckpointReady() bool {
 // live condition: it is only called at the barrier, on the
 // coordinating goroutine.
 func (t *TextureUnit) CheckpointReady() bool {
-	return t.current == nil && len(t.queue) == 0 && t.cache.Quiesce()
+	return t.current == nil && t.queue.Len() == 0 && t.cache.Quiesce()
 }
 
 // CheckpointReady implements checkpointReady.
 func (f *FragmentFIFO) CheckpointReady() bool {
-	return f.windowUsed == 0 && len(f.vtxArrived) == 0 && len(f.fragArrived) == 0 && len(f.outbox) == 0
+	return f.windowUsed == 0 && f.vtxArrived.Len() == 0 && f.fragArrived.Len() == 0 && f.outbox.Len() == 0
 }
 
 // CheckpointReady implements checkpointReady.
@@ -87,7 +87,7 @@ func (s *ShaderUnit) CheckpointReady() bool {
 
 // CheckpointReady implements checkpointReady.
 func (x *TexCrossbar) CheckpointReady() bool {
-	return len(x.queue) == 0 && len(x.replies) == 0
+	return x.queue.Len() == 0 && x.replies.Len() == 0
 }
 
 // ---- Per-box persistent state ----

@@ -47,10 +47,10 @@ type Streamer struct {
 		looked bool
 	}
 
-	statVtx       *core.Counter
-	statVCacheHit *core.Counter
-	statVCacheMis *core.Counter
-	statBusy      *core.Counter
+	statVtx       core.Shadow
+	statVCacheHit core.Shadow
+	statVCacheMis core.Shadow
+	statBusy      core.Shadow
 }
 
 type vcacheEntry struct {
@@ -73,10 +73,10 @@ func NewStreamer(sim *core.Simulator, cfg *Config, gm *mem.GPUMemory,
 		LineBytes: 64, MissQ: 8, PortLimit: 8,
 	}
 	s.fetch = mem.NewCache(sim, fc, mem.PassThrough{})
-	s.statVtx = sim.Stats.Counter("Streamer.vertices")
-	s.statVCacheHit = sim.Stats.Counter("Streamer.vcacheHits")
-	s.statVCacheMis = sim.Stats.Counter("Streamer.vcacheMisses")
-	s.statBusy = sim.Stats.Counter("Streamer.busyCycles")
+	sim.Stats.ShadowCounter(&s.statVtx, "Streamer.vertices")
+	sim.Stats.ShadowCounter(&s.statVCacheHit, "Streamer.vcacheHits")
+	sim.Stats.ShadowCounter(&s.statVCacheMis, "Streamer.vcacheMisses")
+	sim.Stats.ShadowCounter(&s.statBusy, "Streamer.busyCycles")
 	sim.Register(s)
 	return s
 }

@@ -19,8 +19,8 @@ type TexCrossbar struct {
 	fromTU     []*Flow
 	toShader   []*Flow
 	rrTU       int
-	queue      []*TexReqMsg
-	replies    []*TexRepMsg
+	queue      core.FIFO[*TexReqMsg]
+	replies    core.FIFO[*TexRepMsg]
 }
 
 // NewTexCrossbar builds the box.
@@ -38,44 +38,44 @@ func (x *TexCrossbar) Clock(cycle int64) {
 			continue
 		}
 		for _, obj := range in.Recv(cycle) {
-			x.queue = append(x.queue, obj.(*TexReqMsg))
+			x.queue.Push(obj.(*TexReqMsg))
 			in.Release(1)
 		}
 	}
 	for _, in := range x.fromTU {
 		for _, obj := range in.Recv(cycle) {
-			x.replies = append(x.replies, obj.(*TexRepMsg))
+			x.replies.Push(obj.(*TexRepMsg))
 			in.Release(1)
 		}
 	}
 	// Distribute requests round-robin over TUs.
-	for len(x.queue) > 0 {
+	for x.queue.Len() > 0 {
 		tu := x.rrTU % len(x.toTU)
 		if !x.toTU[tu].CanSend(cycle, 1) {
 			break
 		}
-		x.toTU[tu].Send(cycle, x.queue[0])
-		x.queue = x.queue[1:]
+		x.toTU[tu].Send(cycle, x.queue.Pop())
 		x.rrTU++
 	}
 	// Return replies to their shaders.
-	for len(x.replies) > 0 {
-		rep := x.replies[0]
+	for x.replies.Len() > 0 {
+		rep := x.replies.Peek()
 		out := x.toShader[rep.Shader]
 		if !out.CanSend(cycle, 1) {
 			break
 		}
-		out.Send(cycle, rep)
-		x.replies = x.replies[1:]
+		out.Send(cycle, x.replies.Pop())
 	}
 }
 
-// texWork is one in-flight quad sample on a texture unit.
+// texWork is one in-flight quad sample on a texture unit. Each unit
+// owns a single instance that is reset per request, keeping the plan
+// and texel-value backing arrays across requests.
 type texWork struct {
 	msg    *TexReqMsg
 	plans  [shaderLanes]texemu.SamplePlan
-	vals   [][]texemu.RGBA // fetched texels per lane
-	lane   int             // next texel cursor
+	vals   [shaderLanes][]texemu.RGBA // fetched texels per lane
+	lane   int                        // next texel cursor
 	texel  int
 	looked bool // current texel's cache access already counted
 }
@@ -96,18 +96,24 @@ type TextureUnit struct {
 	reqIn  *Flow
 	repOut *Flow
 
-	queue   []*TexReqMsg
+	queue   core.FIFO[*TexReqMsg]
 	current *texWork
+	work    texWork // the single in-flight request's reusable scratch
+	// freeReps holds recycled reply messages: a consumed TexRepMsg
+	// rides back from its shader on the next TexReqMsg's spent field
+	// (any unit may receive it — the free lists are per-box and the
+	// handoff is barrier-ordered through the signals).
+	freeReps []*TexRepMsg
 	// quiesced is the barrier-published snapshot of the idle
 	// condition, read by the command processor, which may be clocked
 	// on a different worker shard.
 	quiesced bool
 
-	statReqs     *core.Counter
-	statTexels   *core.Counter
-	statBilinear *core.Counter
-	statBusy     *core.Counter
-	statStall    *core.Counter
+	statReqs     core.Shadow
+	statTexels   core.Shadow
+	statBilinear core.Shadow
+	statBusy     core.Shadow
+	statStall    core.Shadow
 }
 
 // texHooks decode compressed texture tiles into the cache on fill
@@ -153,11 +159,11 @@ func NewTextureUnit(sim *core.Simulator, cfg *Config, idx int, reqIn, repOut *Fl
 		LineBytes: texemu.TileTexels * texemu.TileTexels * 4, MissQ: 8, PortLimit: 8,
 	}
 	t.cache = mem.NewCache(sim, cc, t.hooks)
-	t.statReqs = sim.Stats.Counter(t.BoxName() + ".requests")
-	t.statTexels = sim.Stats.Counter(t.BoxName() + ".texels")
-	t.statBilinear = sim.Stats.Counter(t.BoxName() + ".bilinearSamples")
-	t.statBusy = sim.Stats.Counter(t.BoxName() + ".busyCycles")
-	t.statStall = sim.Stats.Counter(t.BoxName() + ".missStallCycles")
+	sim.Stats.ShadowCounter(&t.statReqs, t.BoxName()+".requests")
+	sim.Stats.ShadowCounter(&t.statTexels, t.BoxName()+".texels")
+	sim.Stats.ShadowCounter(&t.statBilinear, t.BoxName()+".bilinearSamples")
+	sim.Stats.ShadowCounter(&t.statBusy, t.BoxName()+".busyCycles")
+	sim.Stats.ShadowCounter(&t.statStall, t.BoxName()+".missStallCycles")
 	sim.Register(t)
 	return t
 }
@@ -176,21 +182,25 @@ func (t *TextureUnit) Quiesce() bool { return t.quiesced }
 // publishQuiesce snapshots the live idle condition at the cycle
 // barrier (core.EndCycleFunc).
 func (t *TextureUnit) publishQuiesce(cycle int64) {
-	t.quiesced = t.current == nil && len(t.queue) == 0 && t.cache.Quiesce()
+	t.quiesced = t.current == nil && t.queue.Len() == 0 && t.cache.Quiesce()
 }
 
 // Clock implements core.Box.
 func (t *TextureUnit) Clock(cycle int64) {
 	t.cache.Clock(cycle)
 	for _, obj := range t.reqIn.Recv(cycle) {
-		t.queue = append(t.queue, obj.(*TexReqMsg))
+		msg := obj.(*TexReqMsg)
+		if sp := msg.spent; sp != nil {
+			msg.spent = nil
+			t.freeReps = append(t.freeReps, sp)
+		}
+		t.queue.Push(msg)
 	}
 	if t.current == nil {
-		if len(t.queue) == 0 {
+		if t.queue.Len() == 0 {
 			return
 		}
-		t.current = t.startWork(t.queue[0])
-		t.queue = t.queue[1:]
+		t.current = t.startWork(t.queue.Pop())
 		t.reqIn.Release(1)
 		t.statReqs.Inc()
 	}
@@ -236,10 +246,9 @@ func (t *TextureUnit) Clock(cycle int64) {
 	if !t.repOut.CanSend(cycle, 1) {
 		return
 	}
-	rep := &TexRepMsg{
-		DynObject: core.DynObject{ID: w.msg.ID, Parent: w.msg.Parent, Tag: "texrep"},
-		Shader:    w.msg.Shader, Slot: w.msg.Slot,
-	}
+	rep := t.getRep()
+	rep.DynObject = core.DynObject{ID: w.msg.ID, Parent: w.msg.Parent, Tag: "texrep"}
+	rep.Shader, rep.Slot = w.msg.Shader, w.msg.Slot
 	for l := 0; l < shaderLanes; l++ {
 		i := 0
 		rep.Result[l] = texemu.FilterPlan(w.plans[l], func(texemu.TexelRef) texemu.RGBA {
@@ -248,6 +257,9 @@ func (t *TextureUnit) Clock(cycle int64) {
 			return v
 		})
 	}
+	// The consumed request rides the reply back to its issuing shader.
+	rep.spent = w.msg
+	w.msg = nil
 	lat := t.cfg.TexFilterLat
 	if lat < 1 {
 		lat = 1
@@ -256,9 +268,23 @@ func (t *TextureUnit) Clock(cycle int64) {
 	t.current = nil
 }
 
-// startWork computes the LOD and sample plans for a quad request.
+// getRep pops a recycled reply message (fully zeroed) or allocates one.
+func (t *TextureUnit) getRep() *TexRepMsg {
+	if n := len(t.freeReps); n > 0 {
+		r := t.freeReps[n-1]
+		t.freeReps = t.freeReps[:n-1]
+		*r = TexRepMsg{}
+		return r
+	}
+	return &TexRepMsg{}
+}
+
+// startWork computes the LOD and sample plans for a quad request into
+// the unit's reusable scratch.
 func (t *TextureUnit) startWork(msg *TexReqMsg) *texWork {
-	w := &texWork{msg: msg}
+	w := &t.work
+	w.msg = msg
+	w.lane, w.texel, w.looked = 0, 0, false
 	tex := msg.Texture
 	mode := texemu.ModeNormal
 	lodArg := float32(0)
@@ -276,9 +302,9 @@ func (t *TextureUnit) startWork(msg *TexReqMsg) *texWork {
 	bilinear := 0
 	for l := 0; l < shaderLanes; l++ {
 		c := texemu.PrepareCoord(msg.Req.Coord[l], mode)
-		w.plans[l] = tex.Plan(c, info)
+		tex.PlanInto(&w.plans[l], c, info)
 		bilinear += w.plans[l].BilinearSamples
-		w.vals = append(w.vals, make([]texemu.RGBA, 0, len(w.plans[l].Texels)))
+		w.vals[l] = w.vals[l][:0]
 	}
 	t.statBilinear.Add(float64(bilinear))
 	return w

@@ -29,6 +29,7 @@ const (
 type ZStencil struct {
 	core.BoxBase
 	cfg    *Config
+	pool   *pipePool
 	layout SurfaceLayout
 	cache  *mem.Cache
 	hz     *HierarchicalZ
@@ -37,7 +38,7 @@ type ZStencil struct {
 	earlyOut *Flow   // to interpolator (early-Z path)
 	lateOut  *Flow   // to color write (late-Z path)
 
-	queue      []*Quad
+	queue      core.FIFO[*Quad]
 	headLooked bool
 
 	states     []zBlockState
@@ -47,18 +48,18 @@ type ZStencil struct {
 	flushPending bool
 	flushIssued  bool
 
-	statQuads  *core.Counter
-	statFrags  *core.Counter
-	statCulled *core.Counter
-	statBusy   *core.Counter
-	statStall  *core.Counter
+	statQuads  core.Shadow
+	statFrags  core.Shadow
+	statCulled core.Shadow
+	statBusy   core.Shadow
+	statStall  core.Shadow
 }
 
 // NewZStencil builds ROPz unit idx.
-func NewZStencil(sim *core.Simulator, cfg *Config, idx int, layout SurfaceLayout,
+func NewZStencil(sim *core.Simulator, cfg *Config, idx int, pool *pipePool, layout SurfaceLayout,
 	quadIns []*Flow, earlyOut, lateOut *Flow) *ZStencil {
 	z := &ZStencil{
-		cfg: cfg, layout: layout,
+		cfg: cfg, pool: pool, layout: layout,
 		quadIns: quadIns, earlyOut: earlyOut, lateOut: lateOut,
 		states:     make([]zBlockState, layout.NumBlocks()),
 		clearValue: fragemu.PackDS(fragemu.MaxDepth, 0),
@@ -72,11 +73,11 @@ func NewZStencil(sim *core.Simulator, cfg *Config, idx int, layout SurfaceLayout
 		LineBytes: SurfaceBlockBytes, MissQ: 8, PortLimit: 8,
 	}
 	z.cache = mem.NewCache(sim, cc, &zHooks{z: z})
-	z.statQuads = sim.Stats.Counter(z.BoxName() + ".quads")
-	z.statFrags = sim.Stats.Counter(z.BoxName() + ".fragments")
-	z.statCulled = sim.Stats.Counter(z.BoxName() + ".culledQuads")
-	z.statBusy = sim.Stats.Counter(z.BoxName() + ".busyCycles")
-	z.statStall = sim.Stats.Counter(z.BoxName() + ".stallCycles")
+	sim.Stats.ShadowCounter(&z.statQuads, z.BoxName()+".quads")
+	sim.Stats.ShadowCounter(&z.statFrags, z.BoxName()+".fragments")
+	sim.Stats.ShadowCounter(&z.statCulled, z.BoxName()+".culledQuads")
+	sim.Stats.ShadowCounter(&z.statBusy, z.BoxName()+".busyCycles")
+	sim.Stats.ShadowCounter(&z.statStall, z.BoxName()+".stallCycles")
 	sim.Register(z)
 	return z
 }
@@ -115,7 +116,7 @@ func (z *ZStencil) Clock(cycle int64) {
 	z.cache.Clock(cycle)
 
 	if z.clearPending {
-		if len(z.queue) == 0 && z.cache.Quiesce() {
+		if z.queue.Len() == 0 && z.cache.Quiesce() {
 			for i := range z.states {
 				z.states[i] = zStateClear
 			}
@@ -129,7 +130,7 @@ func (z *ZStencil) Clock(cycle int64) {
 		return
 	}
 	if z.flushPending {
-		if len(z.queue) == 0 {
+		if z.queue.Len() == 0 {
 			if !z.flushIssued {
 				if z.cache.FlushDirty(cycle) {
 					z.flushIssued = true
@@ -145,21 +146,23 @@ func (z *ZStencil) Clock(cycle int64) {
 		for _, obj := range in.Recv(cycle) {
 			q := obj.(*Quad)
 			q.srcFlow = in
-			z.queue = append(z.queue, q)
+			z.queue.Push(q)
 		}
 	}
-	if len(z.queue) == 0 {
+	if z.queue.Len() == 0 {
 		return
 	}
 
 	// One quad per cycle (4 fragments, Table 1).
-	q := z.queue[0]
+	q := z.queue.Peek()
 	if q.ZDone {
 		// Tested on an earlier cycle but the output was full: only
 		// retry the forward, never the (stencil-updating) test.
 		if z.forward(cycle, q) {
 			z.pop()
 			z.statBusy.Inc()
+		} else {
+			z.statStall.Inc()
 		}
 		return
 	}
@@ -168,6 +171,8 @@ func (z *ZStencil) Clock(cycle int64) {
 		if z.forward(cycle, q) {
 			z.pop()
 			z.statBusy.Inc()
+		} else {
+			z.statStall.Inc()
 		}
 		return
 	}
@@ -221,6 +226,7 @@ func (z *ZStencil) Clock(cycle int64) {
 		q.Batch.ZCulledQuads++
 		z.statCulled.Inc()
 		z.pop()
+		z.pool.putQuad(q)
 		return
 	}
 	if z.forward(cycle, q) {
@@ -232,19 +238,22 @@ func (z *ZStencil) Clock(cycle int64) {
 }
 
 func (z *ZStencil) pop() {
-	z.queue[0].srcFlow.Release(1)
-	z.queue[0].srcFlow = nil
-	z.queue = z.queue[1:]
+	q := z.queue.Pop()
+	q.srcFlow.Release(1)
+	q.srcFlow = nil
 	z.headLooked = false
 }
 
+// forward routes the tested quad downstream. It does not count stall
+// cycles itself: a cycle is a stall only when the unit did no work at
+// all, which the caller knows (a failed forward right after a test is
+// still a busy cycle — busyCycles and stallCycles partition time).
 func (z *ZStencil) forward(cycle int64, q *Quad) bool {
 	out := z.lateOut
 	if q.Batch.EarlyZ {
 		out = z.earlyOut
 	}
 	if !out.CanSend(cycle, 1) {
-		z.statStall.Inc()
 		return false
 	}
 	out.Send(cycle, q)
@@ -253,7 +262,10 @@ func (z *ZStencil) forward(cycle int64, q *Quad) bool {
 
 // zHooks implements the Z cache's fill/evict behaviour: fast clear,
 // compression and HZ feedback.
-type zHooks struct{ z *ZStencil }
+type zHooks struct {
+	z   *ZStencil
+	enc []byte // Encode scratch; Port.Write copies payloads, so it is reused per call
+}
 
 func (h *zHooks) blockIdx(key uint32) int {
 	return int(key-h.z.layout.Base) / SurfaceBlockBytes
@@ -321,7 +333,8 @@ func (h *zHooks) Encode(key uint32, line []byte) (uint32, []byte) {
 		h.z.states[idx] = zStateUncompressed
 		return key, line
 	}
-	level, data, maxD := fragemu.CompressZBlock(&vals, nil)
+	level, data, maxD := fragemu.CompressZBlock(&vals, h.enc)
+	h.enc = data
 	switch level {
 	case fragemu.CompHalf:
 		h.z.states[idx] = zStateHalf

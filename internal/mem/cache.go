@@ -116,12 +116,14 @@ type Cache struct {
 	miss    []*missEntry
 	waiting map[uint64]*missEntry // transaction id -> owning miss
 
-	statHits    *core.Counter
-	statMisses  *core.Counter
-	statFills   *core.Counter
-	statEvicts  *core.Counter
-	statSynth   *core.Counter
-	statStalled *core.Counter
+	freeMiss []*missEntry // recycled entries (keep wb/fill buffer backing)
+
+	statHits    core.Shadow
+	statMisses  core.Shadow
+	statFills   core.Shadow
+	statEvicts  core.Shadow
+	statSynth   core.Shadow
+	statStalled core.Shadow
 }
 
 // NewCache builds a cache owned by the named client. The port is
@@ -137,12 +139,12 @@ func NewCache(sim *core.Simulator, cfg CacheConfig, hooks Hooks) *Cache {
 			c.sets[i][j].data = make([]byte, cfg.LineBytes)
 		}
 	}
-	c.statHits = sim.Stats.Counter(cfg.Name + ".hits")
-	c.statMisses = sim.Stats.Counter(cfg.Name + ".misses")
-	c.statFills = sim.Stats.Counter(cfg.Name + ".fills")
-	c.statEvicts = sim.Stats.Counter(cfg.Name + ".evictions")
-	c.statSynth = sim.Stats.Counter(cfg.Name + ".synthFills")
-	c.statStalled = sim.Stats.Counter(cfg.Name + ".missStalls")
+	sim.Stats.ShadowCounter(&c.statHits, cfg.Name+".hits")
+	sim.Stats.ShadowCounter(&c.statMisses, cfg.Name+".misses")
+	sim.Stats.ShadowCounter(&c.statFills, cfg.Name+".fills")
+	sim.Stats.ShadowCounter(&c.statEvicts, cfg.Name+".evictions")
+	sim.Stats.ShadowCounter(&c.statSynth, cfg.Name+".synthFills")
+	sim.Stats.ShadowCounter(&c.statStalled, cfg.Name+".missStalls")
 	return c
 }
 
@@ -247,11 +249,12 @@ func (c *Cache) RequestFill(cycle int64, key uint32) bool {
 		return false
 	}
 	ln := &c.sets[set][victim]
-	entry := &missEntry{key: key, set: set, way: victim}
+	entry := c.getMiss()
+	entry.key, entry.set, entry.way = key, set, victim
 	if ln.valid && ln.dirty {
 		entry.needWB = true
 		entry.wbKey = ln.key
-		entry.wbData = append([]byte(nil), ln.data...)
+		entry.wbData = append(entry.wbData[:0], ln.data...)
 		c.statEvicts.Inc()
 	}
 	ln.valid = false
@@ -310,9 +313,8 @@ func (c *Cache) Clock(cycle int64) {
 				if end > len(raw) {
 					end = len(raw)
 				}
-				// The write payload must be stable after issue.
-				buf := append([]byte(nil), raw[off:end]...)
-				id := c.port.Write(cycle, addr+uint32(off), buf, 0)
+				// Port.Write copies the payload, so raw may be reused.
+				id := c.port.Write(cycle, addr+uint32(off), raw[off:end], 0)
 				c.waiting[id] = e
 			}
 			e.state = missWaitWB
@@ -338,7 +340,11 @@ func (c *Cache) Clock(cycle int64) {
 			return
 		}
 		e.plan = plan
-		e.fillBuf = make([]byte, plan.FetchBytes)
+		if cap(e.fillBuf) >= plan.FetchBytes {
+			e.fillBuf = e.fillBuf[:plan.FetchBytes]
+		} else {
+			e.fillBuf = make([]byte, plan.FetchBytes)
+		}
 		e.fillLeft = pieces
 		for off := 0; off < plan.FetchBytes; off += TransactionSize {
 			size := plan.FetchBytes - off
@@ -360,10 +366,27 @@ func (c *Cache) removeMiss(target *missEntry) {
 	for i, e := range c.miss {
 		if e == target {
 			c.miss = append(c.miss[:i], c.miss[i+1:]...)
+			c.putMiss(e)
 			return
 		}
 	}
 }
+
+// getMiss pops a recycled miss entry (zeroed, keeping its buffer
+// backing arrays) or allocates one.
+func (c *Cache) getMiss() *missEntry {
+	if n := len(c.freeMiss); n > 0 {
+		e := c.freeMiss[n-1]
+		c.freeMiss = c.freeMiss[:n-1]
+		wb, fb := e.wbData[:0], e.fillBuf[:0]
+		*e = missEntry{}
+		e.wbData, e.fillBuf = wb, fb
+		return e
+	}
+	return &missEntry{}
+}
+
+func (c *Cache) putMiss(e *missEntry) { c.freeMiss = append(c.freeMiss, e) }
 
 // PendingMisses returns the number of outstanding misses.
 func (c *Cache) PendingMisses() int { return len(c.miss) }
@@ -391,8 +414,7 @@ func (c *Cache) FlushDirty(cycle int64) bool {
 				if end > len(raw) {
 					end = len(raw)
 				}
-				buf := append([]byte(nil), raw[off:end]...)
-				c.port.Write(cycle, addr+uint32(off), buf, 0)
+				c.port.Write(cycle, addr+uint32(off), raw[off:end], 0)
 			}
 			ln.dirty = false
 			c.statEvicts.Inc()

@@ -16,13 +16,20 @@ const (
 )
 
 // Request is a memory transaction travelling from a client unit to
-// the memory controller.
+// the memory controller. The port owns Data: Port.Write copies the
+// caller's payload into a request-owned buffer, so callers are free
+// to reuse theirs immediately.
 type Request struct {
 	core.DynObject
 	Op   Op
 	Addr uint32
 	Size int    // bytes, <= TransactionSize
-	Data []byte // writes only
+	Data []byte // writes only; owned by the request
+
+	// spent piggybacks a consumed Reply back to the controller for
+	// recycling. Carries no simulation state; see the recycling notes
+	// on Controller.
+	spent *Reply
 }
 
 // Reply carries read data (or a write acknowledgement) back to the
@@ -34,6 +41,10 @@ type Reply struct {
 	Addr  uint32
 	Size  int
 	Data  []byte // reads only
+
+	// spent piggybacks the completed Request back to its issuing port
+	// for recycling.
+	spent *Request
 }
 
 // ControllerConfig is the GDDR3-style timing model (paper §2.2): four
@@ -76,7 +87,8 @@ type channelState struct {
 	hasPage   bool
 	lastOp    Op
 	issued    bool // a first op pays no turnaround (zero lastOp is OpRead)
-	current   *inflight
+	active    bool // current holds an in-flight transaction
+	current   inflight
 }
 
 type inflight struct {
@@ -122,20 +134,32 @@ type Controller struct {
 	rr      int     // round-robin arbitration pointer
 	fault   TxFault // optional chaos seam, consulted per scheduled transaction
 
-	statReadBytes  *core.Counter
-	statWriteBytes *core.Counter
-	statPageMiss   *core.Counter
-	statTurnaround *core.Counter
-	statBusy       *core.Counter
-	clientRead     []*core.Counter
-	clientWrite    []*core.Counter
+	// Transaction recycling (no simulation state): a completed Request
+	// rides back to its issuing port on Reply.spent; a consumed Reply
+	// rides back here on Request.spent. freeReps and bufs are touched
+	// only on the controller's clocking goroutine; the cross-shard
+	// handoff happens through the signals, ordered by the cycle
+	// barrier like any other payload. Chaos faults that drop or
+	// corrupt objects in flight simply leak them.
+	freeReps []*Reply
+	bufs     [][]byte // read-data buffers stripped from recycled replies
+
+	statReadBytes  core.Shadow
+	statWriteBytes core.Shadow
+	statPageMiss   core.Shadow
+	statTurnaround core.Shadow
+	statBusy       core.Shadow
+	// Pre-sized before registration: ShadowCounter keeps the element
+	// addresses, so these slices must never be reallocated.
+	clientRead  []core.Shadow
+	clientWrite []core.Shadow
 }
 
 type mcClient struct {
 	name  string
 	req   *core.Signal
 	reply *core.Signal
-	queue []*Request
+	queue core.FIFO[*Request]
 }
 
 // NewController creates the controller and registers its signal
@@ -151,19 +175,21 @@ func NewController(sim *core.Simulator, cfg ControllerConfig, mem *GPUMemory, cl
 	if cfg.Channels > replyBW {
 		replyBW = cfg.Channels
 	}
-	for _, name := range clients {
+	c.clientRead = make([]core.Shadow, len(clients))
+	c.clientWrite = make([]core.Shadow, len(clients))
+	for i, name := range clients {
 		cl := &mcClient{name: name}
 		sim.Binder.Bind(c.BoxName(), name+".MemReq", &cl.req)
 		cl.reply = sim.Binder.Provide(c.BoxName(), "MC."+name+".Reply", replyBW, 1, 0)
 		c.clients = append(c.clients, cl)
-		c.clientRead = append(c.clientRead, sim.Stats.Counter("MC."+name+".readBytes"))
-		c.clientWrite = append(c.clientWrite, sim.Stats.Counter("MC."+name+".writeBytes"))
+		sim.Stats.ShadowCounter(&c.clientRead[i], "MC."+name+".readBytes")
+		sim.Stats.ShadowCounter(&c.clientWrite[i], "MC."+name+".writeBytes")
 	}
-	c.statReadBytes = sim.Stats.Counter("MC.readBytes")
-	c.statWriteBytes = sim.Stats.Counter("MC.writeBytes")
-	c.statPageMiss = sim.Stats.Counter("MC.pageMisses")
-	c.statTurnaround = sim.Stats.Counter("MC.turnarounds")
-	c.statBusy = sim.Stats.Counter("MC.busyCycles")
+	sim.Stats.ShadowCounter(&c.statReadBytes, "MC.readBytes")
+	sim.Stats.ShadowCounter(&c.statWriteBytes, "MC.writeBytes")
+	sim.Stats.ShadowCounter(&c.statPageMiss, "MC.pageMisses")
+	sim.Stats.ShadowCounter(&c.statTurnaround, "MC.turnarounds")
+	sim.Stats.ShadowCounter(&c.statBusy, "MC.busyCycles")
 	sim.Register(c)
 	return c
 }
@@ -172,12 +198,12 @@ func NewController(sim *core.Simulator, cfg ControllerConfig, mem *GPUMemory, cl
 // used by drain logic at batch boundaries.
 func (c *Controller) Pending() bool {
 	for _, cl := range c.clients {
-		if len(cl.queue) > 0 {
+		if cl.queue.Len() > 0 {
 			return true
 		}
 	}
 	for i := range c.chans {
-		if c.chans[i].current != nil {
+		if c.chans[i].active {
 			return true
 		}
 	}
@@ -198,12 +224,12 @@ func (c *Controller) Queues() []core.QueueStat {
 	qs := make([]core.QueueStat, 0, len(c.clients)+1)
 	for _, cl := range c.clients {
 		qs = append(qs, core.QueueStat{
-			Name: "MC." + cl.name + ".queue", Occupied: len(cl.queue), Capacity: c.cfg.QueuePerUnit,
+			Name: "MC." + cl.name + ".queue", Occupied: cl.queue.Len(), Capacity: c.cfg.QueuePerUnit,
 		})
 	}
 	busy := 0
 	for i := range c.chans {
-		if c.chans[i].current != nil {
+		if c.chans[i].active {
 			busy++
 		}
 	}
@@ -231,10 +257,18 @@ func (c *Controller) Clock(cycle int64) {
 			if req.Size <= 0 || req.Size > TransactionSize {
 				panic(fmt.Sprintf("mem: bad transaction size %d from %s", req.Size, cl.name))
 			}
-			if len(cl.queue) >= c.cfg.QueuePerUnit {
+			if cl.queue.Len() >= c.cfg.QueuePerUnit {
 				panic(fmt.Sprintf("mem: %s exceeded its request queue (%d); client must bound outstanding requests", cl.name, c.cfg.QueuePerUnit))
 			}
-			cl.queue = append(cl.queue, req)
+			if sp := req.spent; sp != nil {
+				req.spent = nil
+				if sp.Data != nil {
+					c.bufs = append(c.bufs, sp.Data)
+					sp.Data = nil
+				}
+				c.freeReps = append(c.freeReps, sp)
+			}
+			cl.queue.Push(req)
 			_ = ci
 		}
 	}
@@ -243,11 +277,11 @@ func (c *Controller) Clock(cycle int64) {
 	busy := false
 	for i := range c.chans {
 		ch := &c.chans[i]
-		if ch.current != nil {
+		if ch.active {
 			busy = true
 			if cycle >= ch.current.done {
-				c.complete(cycle, ch.current)
-				ch.current = nil
+				c.complete(cycle, &ch.current)
+				ch.active = false
 			}
 		}
 	}
@@ -258,7 +292,7 @@ func (c *Controller) Clock(cycle int64) {
 	// Arbitrate free channels: round-robin over client queue heads.
 	for i := range c.chans {
 		ch := &c.chans[i]
-		if ch.current != nil {
+		if ch.active {
 			continue
 		}
 		c.schedule(cycle, i, ch)
@@ -270,14 +304,14 @@ func (c *Controller) schedule(cycle int64, chIdx int, ch *channelState) {
 	for k := 0; k < n; k++ {
 		ci := (c.rr + k) % n
 		cl := c.clients[ci]
-		if len(cl.queue) == 0 {
+		if cl.queue.Len() == 0 {
 			continue
 		}
-		req := cl.queue[0]
+		req := cl.queue.Peek()
 		if c.channelOf(req.Addr) != chIdx {
 			continue
 		}
-		cl.queue = cl.queue[1:]
+		cl.queue.Pop()
 		c.rr = (ci + 1) % n
 
 		var fa FaultAction
@@ -311,7 +345,8 @@ func (c *Controller) schedule(cycle int64, chIdx int, ch *channelState) {
 		ch.lastOp = req.Op
 		ch.issued = true
 		dur += c.cfg.BaseLatency
-		ch.current = &inflight{req: req, client: ci, done: cycle + int64(dur), dup: fa.Duplicate}
+		ch.current = inflight{req: req, client: ci, done: cycle + int64(dur), dup: fa.Duplicate}
+		ch.active = true
 		return
 	}
 }
@@ -319,31 +354,35 @@ func (c *Controller) schedule(cycle int64, chIdx int, ch *channelState) {
 func (c *Controller) complete(cycle int64, fl *inflight) {
 	req := fl.req
 	cl := c.clients[fl.client]
-	reply := &Reply{
-		DynObject: core.DynObject{ID: c.ids.Next(), Parent: req.ID, Tag: "memreply"},
-		ReqID:     req.ID,
-		Op:        req.Op,
-		Addr:      req.Addr,
-		Size:      req.Size,
-	}
+	reply := c.getReply()
+	reply.DynObject = core.DynObject{ID: c.ids.Next(), Parent: req.ID, Tag: "memreply"}
+	reply.ReqID = req.ID
+	reply.Op = req.Op
+	reply.Addr = req.Addr
+	reply.Size = req.Size
 	if req.Op == OpWrite {
 		c.mem.WriteBytes(req.Addr, req.Data[:req.Size])
 		c.statWriteBytes.Add(float64(req.Size))
 		c.clientWrite[fl.client].Add(float64(req.Size))
 	} else {
-		reply.Data = make([]byte, req.Size)
+		reply.Data = c.getBuf(req.Size)
 		c.mem.ReadBytes(req.Addr, reply.Data)
 		c.statReadBytes.Add(float64(req.Size))
 		c.clientRead[fl.client].Add(float64(req.Size))
 	}
+	// The completed request rides the reply back to its issuing port.
+	reply.spent = req
 	cl.reply.Write(cycle, reply)
 	if fl.dup {
 		// Injected duplicate: a second reply with a fresh ID for the
 		// same request. The client's bookkeeping (outstanding budget,
 		// miss table) breaks on the echo and panics, which the
-		// simulator reports as a crash in the client box.
+		// simulator reports as a crash in the client box. The echo
+		// must not alias the recycling fields: the request may ride
+		// back only once.
 		echo := *reply
 		echo.DynObject.ID = c.ids.Next()
+		echo.spent = nil
 		if reply.Data != nil {
 			echo.Data = append([]byte(nil), reply.Data...)
 		}
@@ -351,9 +390,39 @@ func (c *Controller) complete(cycle int64, fl *inflight) {
 	}
 }
 
+// getReply pops a recycled Reply (fully zeroed) or allocates one.
+func (c *Controller) getReply() *Reply {
+	if n := len(c.freeReps); n > 0 {
+		r := c.freeReps[n-1]
+		c.freeReps = c.freeReps[:n-1]
+		*r = Reply{}
+		return r
+	}
+	return &Reply{}
+}
+
+// getBuf returns a read-data buffer of the given size, reusing a
+// recycled buffer's backing array when it is large enough.
+func (c *Controller) getBuf(size int) []byte {
+	if n := len(c.bufs); n > 0 {
+		b := c.bufs[n-1]
+		c.bufs = c.bufs[:n-1]
+		if cap(b) >= size {
+			return b[:size]
+		}
+	}
+	return make([]byte, size)
+}
+
 // Port is a client-side connection to the memory controller: it owns
 // the request signal, tracks outstanding transactions against the
 // controller's queue bound and collects replies.
+//
+// The port recycles transaction objects: completed Requests come back
+// on Reply.spent and are reused by Read/Write; consumed Replies ride
+// out on Request.spent for the controller to reuse. The slice handed
+// out by Replies and the replies in it are valid until the next
+// Replies call — every client consumes them inside the same Clock.
 type Port struct {
 	name        string
 	req         *core.Signal
@@ -361,6 +430,10 @@ type Port struct {
 	ids         *core.IDSource
 	outstanding int
 	limit       int
+
+	freeReqs []*Request
+	spentRep []*Reply // consumed replies awaiting a ride back
+	out      []*Reply // reusable result buffer for Replies
 }
 
 // NewPort registers the client side of a controller connection. Call
@@ -383,41 +456,75 @@ func (p *Port) CanIssue() bool { return p.outstanding < p.limit }
 // Free returns how many transactions may still be issued.
 func (p *Port) Free() int { return p.limit - p.outstanding }
 
+// getReq pops a recycled Request (zeroed, keeping its payload
+// buffer's backing array) or allocates one, and gives a waiting spent
+// Reply its ride back to the controller.
+func (p *Port) getReq() *Request {
+	var req *Request
+	if n := len(p.freeReqs); n > 0 {
+		req = p.freeReqs[n-1]
+		p.freeReqs = p.freeReqs[:n-1]
+		data := req.Data[:0]
+		*req = Request{}
+		req.Data = data
+	} else {
+		req = &Request{}
+	}
+	if n := len(p.spentRep); n > 0 {
+		req.spent = p.spentRep[n-1]
+		p.spentRep = p.spentRep[:n-1]
+	}
+	return req
+}
+
 // Read issues a read transaction and returns its id. parent links the
 // transaction to the object that caused it for signal tracing.
 func (p *Port) Read(cycle int64, addr uint32, size int, parent uint64) uint64 {
-	req := &Request{
-		DynObject: core.DynObject{ID: p.ids.Next(), Parent: parent, Tag: "rd"},
-		Op:        OpRead, Addr: addr, Size: size,
-	}
+	req := p.getReq()
+	req.DynObject = core.DynObject{ID: p.ids.Next(), Parent: parent, Tag: "rd"}
+	req.Op, req.Addr, req.Size = OpRead, addr, size
 	p.req.Write(cycle, req)
 	p.outstanding++
 	return req.ID
 }
 
-// Write issues a write transaction of len(data) bytes.
+// Write issues a write transaction of len(data) bytes. The payload is
+// copied into a request-owned buffer; the caller keeps ownership of
+// data and may reuse it immediately.
 func (p *Port) Write(cycle int64, addr uint32, data []byte, parent uint64) uint64 {
-	req := &Request{
-		DynObject: core.DynObject{ID: p.ids.Next(), Parent: parent, Tag: "wr"},
-		Op:        OpWrite, Addr: addr, Size: len(data), Data: data,
-	}
+	req := p.getReq()
+	req.DynObject = core.DynObject{ID: p.ids.Next(), Parent: parent, Tag: "wr"}
+	req.Op, req.Addr, req.Size = OpWrite, addr, len(data)
+	req.Data = append(req.Data[:0], data...)
 	p.req.Write(cycle, req)
 	p.outstanding++
 	return req.ID
 }
 
-// Replies returns the transactions completed this cycle.
+// Replies returns the transactions completed this cycle. The returned
+// slice and the replies in it are recycled at the next Replies call;
+// callers must finish with them within their own Clock (they all do —
+// reply payloads are copied into cache lines or frames on the spot).
 func (p *Port) Replies(cycle int64) []*Reply {
+	// The previous batch is consumed by now: queue it for recycling.
+	for _, rep := range p.out {
+		p.spentRep = append(p.spentRep, rep)
+	}
+	p.out = p.out[:0]
 	objs := p.reply.Read(cycle)
 	if len(objs) == 0 {
 		return nil
 	}
-	out := make([]*Reply, len(objs))
-	for i, o := range objs {
-		out[i] = o.(*Reply)
+	for _, o := range objs {
+		rep := o.(*Reply)
+		if sp := rep.spent; sp != nil {
+			rep.spent = nil
+			p.freeReqs = append(p.freeReqs, sp)
+		}
+		p.out = append(p.out, rep)
 		p.outstanding--
 	}
-	return out
+	return p.out
 }
 
 // Outstanding returns the number of in-flight transactions.

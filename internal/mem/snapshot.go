@@ -150,7 +150,7 @@ func (c *Controller) RestoreState(d *chkpt.Decoder) error {
 		ch.hasPage = d.Bool()
 		ch.lastOp = Op(d.U8())
 		ch.issued = d.Bool()
-		ch.current = nil
+		ch.active = false
 	}
 	if err := d.Err(); err != nil {
 		return err

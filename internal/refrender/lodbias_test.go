@@ -1,0 +1,141 @@
+package refrender
+
+import (
+	"testing"
+
+	"attila/internal/emu/fragemu"
+	"attila/internal/emu/rastemu"
+	"attila/internal/emu/texemu"
+	"attila/internal/gpu"
+	"attila/internal/isa"
+)
+
+// levelColors gives each mip level a distinct solid color so the
+// sampled pixel identifies exactly which level was fetched.
+var levelColors = []texemu.RGBA{
+	{255, 0, 0, 255},   // level 0: red
+	{0, 255, 0, 255},   // level 1: green
+	{0, 0, 255, 255},   // level 2: blue
+	{255, 255, 0, 255}, // level 3: yellow
+	{0, 255, 255, 255}, // level 4: cyan
+	{255, 0, 255, 255}, // level 5: magenta
+}
+
+// encodeMipChain fills a buffer with the texture's full mip chain,
+// each level a solid color, and sets the per-level base addresses.
+func encodeMipChain(tex *texemu.Texture, base uint32) []byte {
+	addr := base
+	for l := 0; l < tex.Levels; l++ {
+		tex.Base[0][l] = addr
+		addr += uint32(tex.LevelBytes(l))
+	}
+	data := make([]byte, tex.TotalBytes())
+	for l := 0; l < tex.Levels; l++ {
+		var tile [texemu.TileTexels * texemu.TileTexels]texemu.RGBA
+		for i := range tile {
+			tile[i] = levelColors[l]
+		}
+		tilesX, tilesY := tex.LevelTiles(l)
+		for ty := 0; ty < tilesY; ty++ {
+			for tx := 0; tx < tilesX; tx++ {
+				addr, _ := tex.TileAddr(0, l, 0, tx*texemu.TileTexels, ty*texemu.TileTexels)
+				texemu.EncodeTile(tex.Format, &tile, data[addr-base:])
+			}
+		}
+	}
+	return data
+}
+
+// renderBiased draws a 16x16 fullscreen quad sampling a 32x32
+// mipmapped texture with TXB and the given LOD bias, through both the
+// timing simulator and the reference renderer. The texel:pixel ratio
+// is exactly 2, so the derivative LOD is exactly 1; the returned
+// pixel identifies the sampled mip level.
+func renderBiased(t *testing.T, bias float32) texemu.RGBA {
+	t.Helper()
+	const w, h = 16, 16
+	cfg := gpu.CaseStudy(2, gpu.ScheduleWindow)
+	cfg.StatInterval = 0
+	p, err := gpu.New(cfg, w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tex := &texemu.Texture{
+		Target: isa.Tex2D, Format: texemu.FmtRGBA8,
+		Width: 32, Height: 32, Depth: 1, Levels: 6,
+		MinFilter: texemu.FilterNearestMipNearest,
+		MagFilter: texemu.FilterNearest,
+		MaxAniso:  1,
+	}
+	texBase, err := p.Alloc(tex.TotalBytes(), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	texData := encodeMipChain(tex, texBase)
+
+	vbuf, err := p.Alloc(6*7*4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleaved position(3) + texcoord(u, v, 0, bias): TXB reads
+	// the bias from the coordinate's w component.
+	quad := func(u, v float32) [7]float32 { return [7]float32{u*2 - 1, v*2 - 1, 0, u, v, 0, bias} }
+	verts := packVerts([][7]float32{
+		quad(0, 0), quad(1, 0), quad(1, 1),
+		quad(0, 0), quad(1, 1), quad(0, 1),
+	})
+
+	vp := isa.MustAssemble(isa.VertexProgram, "vp", "MOV o0, v0\nMOV o4, v1\nEND")
+	fp := isa.MustAssemble(isa.FragmentProgram, "fp", "TXB o0, v4, t0, 2D\nEND")
+	st := &gpu.DrawState{
+		VertexProg: vp, FragmentProg: fp,
+		Viewport:  rastemu.Viewport{X: 0, Y: 0, W: w, H: h, Near: 0, Far: 1},
+		Depth:     fragemu.DepthState{Enabled: true, Func: fragemu.CmpLess, WriteMask: true},
+		ColorMask: [4]bool{true, true, true, true},
+		Count:     6,
+		Primitive: gpu.Triangles,
+	}
+	st.Attribs[0] = gpu.AttribBinding{Enabled: true, Addr: vbuf, Stride: 28, Size: 3}
+	st.Attribs[1] = gpu.AttribBinding{Enabled: true, Addr: vbuf + 12, Stride: 28, Size: 4}
+	st.Textures[0] = tex
+
+	cmds := []gpu.Command{
+		gpu.CmdBufferWrite{Addr: texBase, Data: texData},
+		gpu.CmdBufferWrite{Addr: vbuf, Data: verts},
+		gpu.CmdClearZS{Depth: 1, Stencil: 0},
+		gpu.CmdClearColor{Value: [4]byte{0, 0, 0, 255}},
+		gpu.CmdDraw{State: st},
+		gpu.CmdSwap{},
+	}
+
+	ref := New(cfg.GPUMemBytes, w, h)
+	if err := ref.Execute(cmds); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(cmds, 20_000_000); err != nil {
+		t.Fatal(err)
+	}
+	sim, rf := p.Frames(), ref.Frames()
+	if len(sim) != 1 || len(rf) != 1 {
+		t.Fatalf("frames: sim %d ref %d", len(sim), len(rf))
+	}
+	if diff, maxd := gpu.DiffFrames(sim[0], rf[0]); diff != 0 {
+		t.Fatalf("bias %v: simulator and reference differ on %d pixels (max delta %d)", bias, diff, maxd)
+	}
+	px := sim[0].Pix[(8*w+8)*4:]
+	return texemu.RGBA{px[0], px[1], px[2], px[3]}
+}
+
+// TXB must ADD the bias to the derivative-computed LOD (OpenGL
+// semantics), not replace it. The quad's derivative LOD is exactly 1,
+// so bias 0 must sample level 1 and bias +1 must sample level 2; a
+// replace-style bug would return level 1 for both.
+func TestTXBBiasAddsToDerivativeLOD(t *testing.T) {
+	if got := renderBiased(t, 0); got != levelColors[1] {
+		t.Fatalf("bias 0 sampled %+v, want level 1 color %+v (derivative LOD must be 1)", got, levelColors[1])
+	}
+	if got := renderBiased(t, 1); got != levelColors[2] {
+		t.Fatalf("bias 1 sampled %+v, want level 2 color %+v (bias must add to the derivative LOD)", got, levelColors[2])
+	}
+}
