@@ -68,7 +68,7 @@ func run() int {
 	sigOut := flag.String("sigtrace", "", "write a signal trace file (large!)")
 	verify := flag.Bool("verify", false, "compare frames against the functional reference")
 	maxCycles := flag.Int64("max-cycles", 2_000_000_000, "cycle budget")
-	workers := flag.Int("workers", 0, "host worker shards for the clock loop (0/1 = serial; results identical)")
+	workers := flag.Int("workers", 0, "host worker shards for the clock loop (0/1 = serial, -1 = auto-size to CPUs; clamped to GOMAXPROCS and shardable units; results identical)")
 	watchdog := flag.Int64("watchdog", 0, "abort with a deadlock report after this many cycles without progress (0 = off)")
 	timeout := flag.Duration("timeout", 0, "wall-clock limit for the simulation (0 = none)")
 	blackbox := flag.String("blackbox", "", "write a JSON crash report here when the run fails")

@@ -82,12 +82,14 @@ type hotpathResult struct {
 }
 
 type hotpathSnapshot struct {
-	Benchmark string          `json:"benchmark"`
-	Workload  string          `json:"workload"`
-	Command   string          `json:"command"`
-	PrePurge  hotpathResult   `json:"pre_purge_baseline"`
-	Results   []hotpathResult `json:"results"`
-	Notes     []string        `json:"notes,omitempty"`
+	Benchmark  string          `json:"benchmark"`
+	Workload   string          `json:"workload"`
+	Command    string          `json:"command"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	CPUsOnline int             `json:"cpus_online"`
+	PrePurge   hotpathResult   `json:"pre_purge_baseline"`
+	Results    []hotpathResult `json:"results"`
+	Notes      []string        `json:"notes,omitempty"`
 }
 
 // TestBenchHotpath reruns the Table 1 baseline workload serially and
@@ -109,9 +111,11 @@ func TestBenchHotpath(t *testing.T) {
 	p := benchParams()
 
 	snap := hotpathSnapshot{
-		Benchmark: "BenchmarkTable1Baseline",
-		Workload:  "simple 128x96x1",
-		Command:   "make bench-gate",
+		Benchmark:  "BenchmarkTable1Baseline",
+		Workload:   "simple 128x96x1",
+		Command:    "make bench-gate",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUsOnline: runtime.NumCPU(),
 		PrePurge: hotpathResult{
 			Case: "serial", Workers: 0,
 			NsPerRun: 187_900_000, AllocsPerRun: 134_077,
@@ -119,6 +123,7 @@ func TestBenchHotpath(t *testing.T) {
 		Notes: []string{
 			"pre_purge_baseline is the serial run before the hot-path allocation purge (pooled pipeline objects, recycled memory transactions, batched stats); it is the fixed reference for the PR's 1.3x throughput / 5x allocation acceptance floor.",
 			"The gate compares the serial case against the committed BENCH_hotpath.json: fail at >10% ns_per_run regression (full mode only) or >25% allocs_per_run regression (always). Copy the BENCH_HOTPATH_OUT file over BENCH_hotpath.json to ratify a deliberate change.",
+			"The parallel-4w case must reach >= 1.2x the serial throughput — but only when cpus_online >= 4 and not in smoke mode; on fewer cores the shards timeshare and the run measures scheduling overhead, not speedup (the simulator logs the same warning).",
 		},
 	}
 	for _, c := range []struct {
@@ -148,6 +153,32 @@ func TestBenchHotpath(t *testing.T) {
 		snap.Results = append(snap.Results, best)
 		t.Logf("%s: %d cycles, %.1f ms/run (%.0f cycles/sec), %d allocs/run",
 			c.name, best.SimCycles, float64(best.NsPerRun)/1e6, best.CyclesPerSec, best.AllocsPerRun)
+	}
+
+	// Gate the parallel case against the serial one measured in the
+	// same process: with >= 4 CPUs online, 4 workers must buy at least
+	// a 1.2x throughput win or the parallel mode has regressed back to
+	// slower-than-serial. On fewer cores the shards timeshare one CPU
+	// and the comparison is meaningless, so the gate is skipped (the
+	// recorded cpus_online documents which regime the snapshot is from).
+	if !smoke && runtime.NumCPU() >= 4 {
+		var serial, par *hotpathResult
+		for i := range snap.Results {
+			switch snap.Results[i].Case {
+			case "serial":
+				serial = &snap.Results[i]
+			case "parallel-4w":
+				par = &snap.Results[i]
+			}
+		}
+		if serial != nil && par != nil {
+			speedup := float64(serial.NsPerRun) / float64(par.NsPerRun)
+			t.Logf("parallel-4w speedup over serial: %.2fx", speedup)
+			if speedup < 1.2 {
+				t.Errorf("parallel-4w only %.2fx serial (want >= 1.2x with %d CPUs online) — the parallel clock loop has regressed",
+					speedup, runtime.NumCPU())
+			}
+		}
 	}
 
 	// Gate the serial case against the committed snapshot, if any.

@@ -95,6 +95,32 @@ func NewSignal(name string, bandwidth, latency, maxLat int) *Signal {
 	}
 }
 
+// growRing widens the ring to at least n slots, re-placing any
+// in-flight objects by their arrival stamp. The simulator grows
+// cross-unit signals to maxLat+B slots before a skew-batched run:
+// with shards free-running B cycles apart, a reader up to B-1 cycles
+// behind the writer must still find slot (C+L) mod len untouched by
+// writes it has not yet observed, which needs len >= maxLat+B.
+// Growth changes no normal-path behavior — slot arithmetic stays
+// cycle mod len and every in-flight arrival keeps its stamp.
+func (s *Signal) growRing(n int) {
+	if n <= len(s.ring) {
+		return
+	}
+	ring := make([][]Dynamic, n)
+	stamp := make([]int64, n)
+	for i, objs := range s.ring {
+		if len(objs) == 0 {
+			continue
+		}
+		slot := int(s.stamp[i] % int64(n))
+		ring[slot] = objs
+		stamp[slot] = s.stamp[i]
+	}
+	s.ring = ring
+	s.stamp = stamp
+}
+
 // Name returns the signal's registered name.
 func (s *Signal) Name() string { return s.name }
 

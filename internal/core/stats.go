@@ -201,13 +201,30 @@ func (m *StatManager) Names() []string {
 	return out
 }
 
-// Tick is called by the simulator once per cycle and records a sample
-// row whenever the sampling interval elapses.
-func (m *StatManager) Tick(cycle int64) {
-	if m.interval <= 0 || cycle == 0 || cycle%m.interval != 0 {
+// Tick is called once per cycle and records a sample row whenever the
+// sampling interval elapses.
+func (m *StatManager) Tick(cycle int64) { m.TickBatch(cycle, cycle) }
+
+// TickBatch is the batched form of Tick, called by the simulator at
+// each full sync covering cycles [first, last]: it records one sample
+// row when the batch contains a sampling boundary. With first == last
+// it is exactly Tick; with skew batching the row is stamped at the
+// batch's last cycle, identically in serial and parallel mode (batch
+// boundaries are derived from the topology, not the worker count).
+func (m *StatManager) TickBatch(first, last int64) {
+	if m.interval <= 0 {
 		return
 	}
-	m.sample(cycle)
+	// A boundary k*interval (k >= 1) lies in [first, last] exactly
+	// when the interval count advances across the batch; prev clamps
+	// at 0 so the cycle-0 pseudo-boundary never counts.
+	prev := first - 1
+	if prev < 0 {
+		prev = 0
+	}
+	if last/m.interval > prev/m.interval {
+		m.sample(last)
+	}
 }
 
 // Flush records a final partial sample covering the cycles since the

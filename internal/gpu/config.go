@@ -141,8 +141,11 @@ type Config struct {
 
 	// Workers selects the host-side clocking mode: 0 or 1 clocks
 	// every box on one goroutine; >1 shards the boxes over that many
-	// persistent workers with a barrier per simulated cycle. Results
-	// are bit-identical in either mode — the knob only trades host
+	// persistent workers synchronized on a spin barrier; -1
+	// auto-sizes to the schedulable processors. Requests are clamped
+	// to runtime.GOMAXPROCS(0) and to the shardable unit count, with
+	// a structured warning when they exceed the online CPUs. Results
+	// are bit-identical in every mode — the knob only trades host
 	// time. Presets leave it 0 (serial).
 	Workers int
 
@@ -305,7 +308,7 @@ func (c *Config) Validate() error {
 		{c.Memory.Channels >= 1, "memory channels must be >= 1"},
 		{c.GPUMemBytes >= 1<<20, "GPU memory too small"},
 		{c.StatInterval >= 0, "StatInterval must be >= 0"},
-		{c.Workers >= 0, "Workers must be >= 0"},
+		{c.Workers >= -1, "Workers must be >= -1 (-1 auto-sizes to CPUs)"},
 	}
 	for _, ch := range checks {
 		if !ch.ok {

@@ -89,7 +89,13 @@ func pFlow(sim *core.Simulator, producer, consumer, name string, bw, lat, maxLat
 	var bound *core.Signal
 	sim.Binder.Bind(consumer, name, &bound)
 	f := NewFlow(sig, queue)
-	sim.OnEndCycle(f.EndCycle)
+	// Credit release is a latency-1 consumer-to-producer dependency
+	// outside the signal model: the fold must happen every simulated
+	// cycle on the shard owning both endpoints, and the declared edge
+	// keeps the skew batch at 1 whenever the two boxes could land on
+	// different shards.
+	sim.OnLocalCycle(f.EndCycle, producer, consumer)
+	sim.ConstrainSkew(producer, consumer, 1)
 	return f
 }
 
@@ -266,6 +272,26 @@ func New(cfg Config, width, height int) (*Pipeline, error) {
 	_ = xbar // free: flow-mediated only, may land on any shard
 	sim.SetWorkers(cfg.Workers)
 	sim.SetWatchdog(cfg.WatchdogWindow)
+
+	// Parallel-mode tuning. Skew batching is armed but computes a
+	// batch of 1 for this topology: every flow declares a latency-1
+	// credit edge, so cross-shard free-running is provably unsafe here
+	// and the simulator keeps per-cycle full syncs (bit-identity with
+	// the serial run is the contract). The cost seeds mirror the
+	// profiled host-time ranking (texture units ~2x shaders ~2x fixed
+	// pipeline) so the initial bin-packing partition spreads the
+	// expensive free boxes instead of dealing them round-robin; the
+	// warm-up re-shard then rebalances from measured per-box time.
+	sim.EnableSkewBatching(0)
+	costs := make(map[string]float64, nShaders+nTU)
+	for i := 0; i < nShaders; i++ {
+		costs[nameIdx("Shader", i)] = 2
+	}
+	for i := 0; i < nTU; i++ {
+		costs[nameIdx("TextureUnit", i)] = 4
+	}
+	sim.SetBoxCosts(costs)
+	sim.SetAutoReshard(8192)
 
 	sim.SetDone(p.CP.Finished)
 	return p, nil

@@ -1,0 +1,17 @@
+package gpu
+
+import (
+	"os"
+	"runtime"
+	"testing"
+)
+
+// TestMain raises GOMAXPROCS so pipeline tests that set Workers > 1
+// shard for real on single-CPU hosts (the simulator clamps worker
+// counts to GOMAXPROCS, silently degrading to serial otherwise).
+func TestMain(m *testing.M) {
+	if runtime.GOMAXPROCS(0) < 8 {
+		runtime.GOMAXPROCS(8)
+	}
+	os.Exit(m.Run())
+}

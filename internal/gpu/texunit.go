@@ -152,7 +152,12 @@ func (h *texHooks) Encode(key uint32, line []byte) (uint32, []byte) {
 func NewTextureUnit(sim *core.Simulator, cfg *Config, idx int, reqIn, repOut *Flow) *TextureUnit {
 	t := &TextureUnit{cfg: cfg, idx: idx, reqIn: reqIn, repOut: repOut, quiesced: true}
 	t.Init(nameIdx("TextureUnit", idx))
-	sim.OnEndCycle(t.publishQuiesce)
+	// The quiesce flag is published per cycle and read by the command
+	// processor across the shard boundary: a latency-1 dependency
+	// outside the signal model, so it anchors locally and pins the
+	// skew batch to 1 between this unit and the CP's shard.
+	sim.OnLocalCycle(t.publishQuiesce, t.BoxName())
+	sim.ConstrainSkew(t.BoxName(), "CommandProcessor", 1)
 	t.hooks = &texHooks{fmtOf: make(map[uint32]texemu.Format)}
 	cc := mem.CacheConfig{
 		Name: nameIdx("TexCache", idx), Sets: cfg.TexCacheSets, Assoc: cfg.TexCacheAssoc,

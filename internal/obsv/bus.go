@@ -103,6 +103,7 @@ type Bus struct {
 	sigs  []*core.Signal
 
 	curCycle atomic.Int64 // latest cycle seen by the hook, readable anywhere
+	lastHook int64        // previous hooked cycle, for boundary crossing (-1 at start)
 
 	mu        sync.Mutex
 	ring      []*WindowSample
@@ -153,6 +154,7 @@ func NewBus(sim *core.Simulator, opts BusOptions) *Bus {
 		}
 	}
 	b.prevCycle = -1
+	b.lastHook = -1
 	b.lastWall = now()
 	b.startWall = b.lastWall
 	sim.OnEndCycle(b.endCycle)
@@ -163,10 +165,24 @@ func NewBus(sim *core.Simulator, opts BusOptions) *Bus {
 func (b *Bus) Window() int64 { return b.window }
 
 // endCycle is the bus's barrier hook: it publishes the cycle counter
-// every cycle and takes a full sample at window boundaries.
+// and takes a full sample whenever a window boundary has been crossed
+// since the previous hook. Under skew batching the hook fires only at
+// full syncs (every B cycles), so the boundary test tracks the last
+// hooked cycle instead of testing (cycle+1) %% window == 0 — for
+// per-cycle hooks the two are identical, and either way the sample
+// cycles are a pure function of simulation state, not worker count.
 func (b *Bus) endCycle(cycle int64) {
 	b.curCycle.Store(cycle)
-	if (cycle+1)%b.window != 0 {
+	prev := b.lastHook
+	if prev < 0 {
+		// First hook of the run: treat it as an ordinary per-cycle
+		// step. A bus attached to a checkpoint-restored simulator sees
+		// its first hook mid-run and must not misread the gap since
+		// cycle 0 as a boundary crossing.
+		prev = cycle - 1
+	}
+	b.lastHook = cycle
+	if (cycle+1)/b.window == (prev+1)/b.window {
 		return
 	}
 	b.sample(cycle, false)

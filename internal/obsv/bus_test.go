@@ -304,6 +304,41 @@ func TestProfilerAttributesBoxes(t *testing.T) {
 	}
 }
 
+// costBox is a minimal core.Box for feeding the profiler directly.
+type costBox struct{ name string }
+
+func (b costBox) BoxName() string { return b.name }
+func (b costBox) Clock(int64)     {}
+
+// BoxCosts feeds the simulator's profile-guided shard partition: it
+// must report mean ns per Clock call and exclude the barrier
+// pseudo-box, whose wait time is synchronization cost, not box cost.
+func TestProfilerBoxCostsExcludeBarrier(t *testing.T) {
+	prof := NewProfiler()
+	box := costBox{name: "Alpha"}
+	prof.BoxClocked(0, box, 100)
+	prof.BoxClocked(0, box, 300)
+	prof.BoxClocked(0, costBox{name: core.BarrierBoxName}, 9999)
+	costs := prof.BoxCosts()
+	if got := costs["Alpha"]; got != 200 {
+		t.Errorf("Alpha cost %g, want mean 200", got)
+	}
+	if _, ok := costs[core.BarrierBoxName]; ok {
+		t.Errorf("barrier pseudo-box leaked into the cost model: %v", costs)
+	}
+	// The raw report still shows the barrier row — operators want to
+	// see sync cost — it just never feeds the partition.
+	found := false
+	for _, r := range prof.Report() {
+		if r.Box == core.BarrierBoxName {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("barrier row missing from the profiler report")
+	}
+}
+
 func TestProfilerOffByDefault(t *testing.T) {
 	// A simulator without an attached profiler must run exactly as
 	// before — this is the zero-overhead contract's functional half.

@@ -121,7 +121,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 			if len(serial.frames) == 0 {
 				t.Fatal("no frames rendered")
 			}
-			for _, workers := range []int{2, 4} {
+			for _, workers := range []int{2, 3, 4} {
 				par := fingerprint(t, workers, workload)
 				if par.cycles != serial.cycles {
 					t.Errorf("workers=%d: %d cycles, serial %d", workers, par.cycles, serial.cycles)

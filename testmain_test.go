@@ -1,0 +1,20 @@
+package attila_test
+
+import (
+	"os"
+	"runtime"
+	"testing"
+)
+
+// TestMain raises GOMAXPROCS so the parallel-equality, chaos and
+// checkpoint tests exercise real multi-worker sharding even on hosts
+// with a single online CPU (core.Simulator clamps worker counts to
+// GOMAXPROCS, so without this the 2/3/4-worker runs would silently
+// degrade to serial). Results are bit-identical in every mode; the
+// bump only changes host-side scheduling.
+func TestMain(m *testing.M) {
+	if runtime.GOMAXPROCS(0) < 8 {
+		runtime.GOMAXPROCS(8)
+	}
+	os.Exit(m.Run())
+}
