@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-gate bench-parallel fuzz
+.PHONY: build test check lint bench bench-gate bench-parallel fuzz
 
 build:
 	$(GO) build ./...
@@ -16,17 +16,31 @@ test:
 # bit-identical in serial and parallel mode) with the chaos smoke, a
 # bench smoke, the hot-path allocation gate (1 iteration, allocation
 # check only — wall-clock gating needs `make bench-gate`), a race run
-# of the pooled-pipeline serial/parallel equality test, and a fuzz
-# smoke over the trace reader.
+# of the pooled-pipeline serial/parallel equality test, the jobd
+# service smoke (submit -> chaos kill/panic/yank -> auto-resume ->
+# byte-identical convergence, plus the SIGTERM drain/resume path,
+# raced), and a fuzz smoke over the trace reader.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/core/... ./internal/mem/... ./internal/obsv/... ./internal/chkpt/... ./internal/chaos/...
 	$(GO) test -race -run 'Watchdog|Deadlock|Cancel|ParallelMetrics' ./internal/gpu/ .
 	$(GO) test -race -run 'Checkpoint|Chaos' -count=1 .
 	$(GO) test -race -run '^TestParallelMatchesSerial$$' -count=1 .
+	$(GO) test -race -run '^TestJobd(ChaosConvergence|SigtermDrainResume)$$' -count=1 ./internal/jobd/
 	BENCH_OBSV_OUT=$$(mktemp) $(GO) test -run '^TestBenchObsv$$' .
 	BENCH_HOTPATH_OUT=$$(mktemp) BENCH_HOTPATH_SMOKE=1 $(GO) test -run '^TestBenchHotpath$$' -count=1 .
 	$(GO) test -fuzz=FuzzReader -fuzztime=10s ./internal/trace
+
+# lint runs the static analyzers when they are installed (neither is
+# vendored; the build must not depend on network installs). staticcheck
+# catches bug-prone constructs go vet misses; govulncheck flags known
+# CVEs reachable from this module.
+lint:
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "lint: staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+	else echo "lint: govulncheck not installed, skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; fi
 
 # fuzz hammers every untrusted-input decoder: the trace reader and the
 # checkpoint container/section codec. Corrupt or truncated inputs must

@@ -6,6 +6,16 @@
 //
 //	experiments -exp fig7 [-width 192 -height 144 -frames 2]
 //	experiments -exp all -out results/
+//
+// Beyond the one-shot experiments it also fronts the supervised job
+// server (internal/jobd):
+//
+//	experiments -serve :6060 -job-out results/          long-lived service
+//	experiments -sweep sweep.json -job-out results/     one-shot supervised sweep
+//
+// Both modes survive SIGTERM by draining: in-flight jobs checkpoint,
+// stamp their manifests, and persist resumable; re-invoking over the
+// same -job-out resumes them to byte-identical results.
 package main
 
 import (
@@ -13,6 +23,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -24,6 +35,7 @@ import (
 	"attila/internal/core"
 	"attila/internal/experiments"
 	"attila/internal/gpu"
+	"attila/internal/jobd"
 	"attila/internal/obsv"
 )
 
@@ -44,7 +56,32 @@ func main() {
 	ckptInterval := flag.Int64("checkpoint-interval", 0, "checkpoint every run at this cycle cadence so retries resume instead of replaying (0 = off)")
 	ckptDir := flag.String("checkpoint-dir", "", "directory for per-run checkpoint files (default: system temp, removed afterwards)")
 	manifestOut := flag.String("manifest", "", "write a sweep manifest JSON here (args, outcome, per-run attempt counts)")
+	retryBackoffMax := flag.Duration("retry-backoff-max", experiments.DefaultRetryBackoffMax, "cap for the doubling retry backoff (jitter is seeded)")
+
+	// Job-server mode (internal/jobd).
+	serveAddr := flag.String("serve", "", "serve the supervised job API (and status server) on this address, e.g. :6060")
+	sweepFile := flag.String("sweep", "", "run this sweep spec (JSON) as a one-shot supervised sweep and exit")
+	jobOut := flag.String("job-out", "", "output directory for -serve/-sweep (stats CSVs, manifests, state file, checkpoints)")
+	jobWorkers := flag.Int("job-workers", 0, "worker pool size for -serve/-sweep (0 = half the CPUs)")
+	queueLimit := flag.Int("queue-limit", 0, "admission control: reject submits past this many queued jobs with 429 (0 = default 256, negative = unlimited)")
+	preemptCycles := flag.Int64("preempt-cycles", 0, "fairness quantum: checkpoint-and-requeue a job after this many cycles while others wait (0 = off)")
+	jobRetries := flag.Int("job-retries", 0, "default per-job retry budget for -serve/-sweep (0 = default 2, negative = fail fast)")
+	jobTimeout := flag.Duration("job-timeout", 0, "default per-attempt wall-clock limit for -serve/-sweep (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "grace period for SIGTERM drain before in-flight jobs are hard-stopped onto their last checkpoint")
+	chaosServer := flag.String("chaos-server", "", "jobd-level fault plan: seed=N,kill=JOB@CYCLE,panic=JOB@CYCLE[:BOX],yank=JOB (see internal/chaos)")
 	flag.Parse()
+
+	if *serveAddr != "" || *sweepFile != "" {
+		os.Exit(runJobMode(jobModeConfig{
+			serveAddr: *serveAddr, sweepFile: *sweepFile, outDir: *jobOut,
+			workers: *jobWorkers, queueLimit: *queueLimit,
+			preemptCycles: *preemptCycles, retries: *jobRetries,
+			retryBackoff: *retryBackoff, retryBackoffMax: *retryBackoffMax,
+			checkpointInterval: *ckptInterval, watchdog: *watchdog,
+			jobTimeout: *jobTimeout, drainTimeout: *drainTimeout,
+			chaosServer: *chaosServer,
+		}))
+	}
 
 	// SIGINT/SIGTERM and -timeout cancel the in-flight simulation at
 	// a cycle boundary; completed experiments' output has already been
@@ -70,6 +107,7 @@ func main() {
 	}
 	p.Retries = *retries
 	p.RetryBackoff = *retryBackoff
+	p.RetryBackoffMax = *retryBackoffMax
 	p.CheckpointInterval = *ckptInterval
 	p.CheckpointDir = *ckptDir
 	p.Attempts = make(map[string]int)
@@ -274,4 +312,101 @@ func main() {
 		}
 	}
 	os.Exit(exitCode)
+}
+
+// jobModeConfig carries the -serve/-sweep flags.
+type jobModeConfig struct {
+	serveAddr, sweepFile, outDir string
+	workers, queueLimit, retries int
+	preemptCycles, watchdog      int64
+	checkpointInterval           int64
+	retryBackoff                 time.Duration
+	retryBackoffMax              time.Duration
+	jobTimeout                   time.Duration
+	drainTimeout                 time.Duration
+	chaosServer                  string
+}
+
+// runJobMode runs the supervised job server, either as a long-lived
+// service (-serve) or as a one-shot sweep (-sweep). Returns the
+// process exit code.
+func runJobMode(c jobModeConfig) int {
+	if c.outDir == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -serve/-sweep need -job-out DIR")
+		return 4
+	}
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	opts := jobd.Options{
+		OutDir:             c.outDir,
+		Workers:            c.workers,
+		QueueLimit:         c.queueLimit,
+		Retries:            c.retries,
+		RetryBackoff:       c.retryBackoff,
+		RetryBackoffMax:    c.retryBackoffMax,
+		CheckpointInterval: c.checkpointInterval,
+		PreemptCycles:      c.preemptCycles,
+		WatchdogWindow:     c.watchdog,
+		JobTimeout:         c.jobTimeout,
+		Logf:               logger.Printf,
+	}
+	if c.chaosServer != "" {
+		plan, err := chaos.ParseServer(c.chaosServer)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 4
+		}
+		opts.Chaos = plan
+		fmt.Println("chaos-server:", plan)
+	}
+
+	// SIGINT/SIGTERM trigger the graceful drain in both modes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if c.sweepFile != "" {
+		spec, err := jobd.ParseSweepFile(c.sweepFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 4
+		}
+		st, err := jobd.RunSweep(ctx, opts, spec)
+		for _, j := range st.Jobs {
+			fmt.Printf("%-24s %-10s attempts=%d cycles=%d\n", j.Name, j.State, j.Attempts, j.Cycles)
+		}
+		switch {
+		case err == nil:
+			fmt.Printf("sweep %s: %d jobs done; summary at %s\n",
+				st.Name, st.Done, filepath.Join(c.outDir, st.Name+"-summary.txt"))
+			return 0
+		case errors.Is(err, context.Canceled):
+			fmt.Fprintf(os.Stderr, "experiments: sweep interrupted; state saved, re-run to resume\n")
+			return 3
+		default:
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+	}
+
+	srv := jobd.New(opts)
+	if err := srv.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+	status := obsv.NewServer(c.serveAddr, obsv.ServerOptions{Jobs: srv.Handler()})
+	if err := status.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+	logger.Printf("jobd: serving on %s (POST /sweeps to submit; SIGTERM drains)", status.Addr())
+	<-ctx.Done()
+	logger.Printf("jobd: signal received, draining (grace %v)", c.drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), c.drainTimeout)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+	}
+	status.Close()
+	srv.Close()
+	logger.Printf("jobd: drained; state saved, restart to resume")
+	return 0
 }

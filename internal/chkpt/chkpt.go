@@ -32,6 +32,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync/atomic"
+	"syscall"
 )
 
 // Typed failure taxonomy. Every decode failure wraps one of these
@@ -201,24 +202,57 @@ func (s *Snapshot) Encode(w io.Writer) error {
 	return zw.Close()
 }
 
-// WriteFile writes the snapshot atomically: to a temp file in the
-// destination directory, then rename, so a crash mid-write never
-// clobbers the previous checkpoint.
+// WriteFile writes the snapshot atomically and durably: to a temp
+// file in the destination directory, fsync'd before the rename, and
+// the parent directory fsync'd after it. A crash mid-write never
+// clobbers the previous checkpoint, and a power loss after the rename
+// cannot surface a zero-length "latest" checkpoint — without the
+// fsyncs the rename can reach disk before the data does. The parent
+// directory is created if missing, so a checkpoint destination that
+// was removed mid-run (disk yanked, cleanup raced) heals on the next
+// capture instead of failing forever.
 func (s *Snapshot) WriteFile(path string) error {
 	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name())
 	err = s.Encode(tmp)
+	if err == nil {
+		err = tmp.Sync()
+	}
 	if cerr := tmp.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a completed rename is durable.
+// Filesystems that cannot sync a directory handle report EINVAL; the
+// rename is still atomic there, so that case is not an error.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil && errors.Is(err, syscall.EINVAL) {
+		return nil
+	}
+	return err
 }
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -520,15 +554,24 @@ type Engine struct {
 	Capture func() (*Snapshot, error)
 
 	last      int64
+	force     atomic.Bool
 	count     atomic.Int64
 	lastCycle atomic.Int64
 	errv      atomic.Value // error
 }
 
+// ForceNext requests a checkpoint at the next eligible safe point
+// regardless of how recently one was taken. It is safe to call from
+// any goroutine; the job server uses it to checkpoint a run that is
+// about to be preempted or drained. The request stays armed — across
+// failed writes too — until a capture lands, then clears.
+func (e *Engine) ForceNext() { e.force.Store(true) }
+
 // EndCycle is the barrier hook; register it with
 // core.Simulator.OnEndCycle.
 func (e *Engine) EndCycle(cycle int64) {
-	if e.Interval <= 0 || cycle-e.last < e.Interval {
+	forced := e.force.Load()
+	if !forced && (e.Interval <= 0 || cycle-e.last < e.Interval) {
 		return
 	}
 	if e.SafeCycle != nil && !e.SafeCycle(cycle) {
@@ -545,6 +588,9 @@ func (e *Engine) EndCycle(cycle int64) {
 	if err != nil {
 		e.errv.Store(err)
 		return
+	}
+	if forced {
+		e.force.Store(false)
 	}
 	e.count.Add(1)
 	e.lastCycle.Store(cycle)

@@ -214,14 +214,55 @@ func TestEngine(t *testing.T) {
 	if _, err := os.Stat(path); err != nil {
 		t.Fatalf("checkpoint file not written: %v", err)
 	}
-	// A write failure surfaces in Err without stopping anything.
-	eng.Path = filepath.Join(dir, "missing-dir", "x.ckpt")
+	// A write failure surfaces in Err without stopping anything. A
+	// merely missing directory no longer fails (WriteFile recreates
+	// it); a regular file blocking the path still does.
+	blocker := filepath.Join(dir, "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eng.Path = filepath.Join(blocker, "x.ckpt")
 	eng.EndCycle(300)
 	if eng.Err() == nil {
 		t.Fatal("expected a write error for an unwritable path")
 	}
 	if eng.Count() != 1 {
 		t.Fatalf("failed write still counted: %d", eng.Count())
+	}
+}
+
+// ForceNext must capture at the next eligible quiesced barrier even
+// when the interval has not elapsed, stay armed across refused or
+// failed cycles, and disarm only once a capture lands.
+func TestEngineForceNext(t *testing.T) {
+	dir := t.TempDir()
+	quiesced := false
+	eng := &Engine{
+		Interval: 1_000_000,
+		Path:     filepath.Join(dir, "force.ckpt"),
+		Quiesced: func() bool { return quiesced },
+		Capture: func() (*Snapshot, error) {
+			return Capture(Meta{Cycle: 1}, testParts()), nil
+		},
+	}
+	eng.EndCycle(10)
+	if eng.Count() != 0 {
+		t.Fatal("fired below interval without a force request")
+	}
+	eng.ForceNext()
+	eng.EndCycle(11) // not quiesced: stays armed
+	if eng.Count() != 0 {
+		t.Fatal("forced capture fired while not quiesced")
+	}
+	quiesced = true
+	eng.EndCycle(12)
+	if eng.Count() != 1 || eng.LastCycle() != 12 {
+		t.Fatalf("count %d last %d, want forced capture at cycle 12", eng.Count(), eng.LastCycle())
+	}
+	// Disarmed: the next quiesced barrier below the interval is quiet.
+	eng.EndCycle(13)
+	if eng.Count() != 1 {
+		t.Fatal("force request did not disarm after capturing")
 	}
 }
 

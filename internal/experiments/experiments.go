@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"strings"
@@ -56,8 +57,12 @@ type RunParams struct {
 	// set, else replay from the start. Cancellation is never retried.
 	Retries int
 	// RetryBackoff is the wait before the first retry; each further
-	// retry doubles it. 0 retries immediately.
+	// retry doubles it, capped at RetryBackoffMax, with seeded jitter
+	// (see RetryDelay). 0 retries immediately.
 	RetryBackoff time.Duration
+	// RetryBackoffMax caps the doubling backoff; <= 0 selects
+	// DefaultRetryBackoffMax.
+	RetryBackoffMax time.Duration
 	// CheckpointInterval, when > 0, checkpoints every run at this cycle
 	// cadence so a retry can resume instead of replaying.
 	CheckpointInterval int64
@@ -110,7 +115,14 @@ func runOne(cfg gpu.Config, name string, p RunParams) (*gpu.Pipeline, error) {
 		ckptPath = filepath.Join(dir, "attila-"+runName+".ckpt")
 		defer os.Remove(ckptPath)
 	}
-	backoff := p.RetryBackoff
+	// The jitter rng is seeded from the chaos plan when one is active
+	// so chaos runs schedule their retries deterministically, else from
+	// the workload seed.
+	jitterSeed := p.Seed
+	if p.Chaos != nil {
+		jitterSeed = p.Chaos.Seed
+	}
+	rng := rand.New(rand.NewSource(jitterSeed))
 	for attempt := 1; ; attempt++ {
 		if p.Attempts != nil {
 			p.Attempts[runName] = attempt
@@ -122,13 +134,12 @@ func runOne(cfg gpu.Config, name string, p RunParams) (*gpu.Pipeline, error) {
 		if attempt > p.Retries || errors.Is(err, core.ErrCanceled) {
 			return nil, err
 		}
-		if backoff > 0 {
+		if d := RetryDelay(p.RetryBackoff, p.RetryBackoffMax, attempt, rng); d > 0 {
 			select {
 			case <-p.context().Done():
 				return nil, err
-			case <-time.After(backoff):
+			case <-time.After(d):
 			}
-			backoff *= 2
 		}
 	}
 }

@@ -1,0 +1,132 @@
+package jobd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"attila/internal/obsv"
+)
+
+// SIGTERM graceful drain (the satellite this test exists for): an
+// in-flight sweep gets SIGTERM, the running job checkpoints at its
+// next quiesced barrier and stamps its manifest "preempted", the queue
+// persists to the state file, and a restarted invocation resumes the
+// sweep to results byte-identical to a never-interrupted run.
+func TestJobdSigtermDrainResume(t *testing.T) {
+	total, cleanCSV := cleanRun(t)
+	dir := t.TempDir()
+	opts := Options{
+		OutDir: dir, Workers: 1, Retries: -1,
+		CheckpointInterval: total / 8,
+		Logf:               t.Logf,
+	}
+	s := New(opts)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	spec := SweepSpec{Name: "drain", Jobs: []JobSpec{testSpec("drain-1"), testSpec("drain-2")}}
+	if _, err := s.SubmitSweep(spec); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until the first job is genuinely mid-run, then deliver a
+	// real SIGTERM to this process — the same signal path the CLI's
+	// serve/sweep modes drain on.
+	waitState(t, s, "drain-1", StateRunning)
+	for {
+		if st, _ := s.JobStatus("drain-1"); st.Cycle > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sigCtx.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("SIGTERM not delivered")
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	if err := s.Drain(dctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The in-flight job parked resumable with a checkpoint…
+	st, err := s.JobStatus("drain-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StatePreempted || !st.Resumable {
+		t.Fatalf("drained job: state %s resumable %v, want preempted/resumable", st.State, st.Resumable)
+	}
+	if st.CheckpointCycle <= 0 {
+		t.Error("drained job has no checkpoint cycle")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "checkpoints", "drain-1.ckpt")); err != nil {
+		t.Errorf("drained job's checkpoint file missing: %v", err)
+	}
+	// …stamped its manifest with the drain state…
+	var man obsv.Manifest
+	manData, err := os.ReadFile(filepath.Join(dir, "drain-1-manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(manData, &man); err != nil {
+		t.Fatal(err)
+	}
+	if man.State != string(StatePreempted) {
+		t.Errorf("manifest state %q, want %q", man.State, StatePreempted)
+	}
+	// …and the state file records a resumable sweep.
+	if _, err := os.Stat(filepath.Join(dir, "jobd-state.json")); err != nil {
+		t.Fatalf("state file missing after drain: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart over the same output directory: the state loads, the
+	// interrupted job resumes from its checkpoint, and re-submitting
+	// the same sweep attaches to it instead of colliding.
+	s2 := New(opts)
+	if err := s2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	sw, err := s2.SubmitSweep(spec)
+	if err != nil {
+		t.Fatalf("continuation resubmit failed: %v", err)
+	}
+	ctx, cancel2 := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel2()
+	if err := s2.WaitSweep(ctx, sw); err != nil {
+		t.Fatal(err)
+	}
+	final := s2.SweepStatus(sw)
+	if final.Done != 2 {
+		t.Fatalf("resumed sweep: %d done of %d (%+v)", final.Done, final.Total, final)
+	}
+	for _, name := range []string{"drain-1", "drain-2"} {
+		csv, err := os.ReadFile(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(csv, cleanCSV) {
+			t.Errorf("%s.csv differs from the uninterrupted run after drain+resume", name)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "drain-summary.txt")); err != nil {
+		t.Errorf("sweep summary missing after resume: %v", err)
+	}
+}

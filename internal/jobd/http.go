@@ -1,0 +1,156 @@
+package jobd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Handler exposes the job server over HTTP. The routes (mounted under
+// the obsv status server or standalone):
+//
+//	POST   /jobs               submit one job (JobSpec JSON) → 202
+//	GET    /jobs               list all jobs
+//	GET    /jobs/{ref}         one job by name or ID
+//	GET    /jobs/{ref}/progress  live cycle/checkpoint progress
+//	GET    /jobs/{ref}/crash   black-box report of the last failed attempt
+//	POST   /jobs/{ref}/cancel  cancel (also DELETE /jobs/{ref})
+//	POST   /sweeps             submit a sweep (SweepSpec JSON) → 202
+//	GET    /sweeps             list sweeps
+//	GET    /sweeps/{ref}       one sweep with per-job detail
+//
+// Admission control maps to status codes: a full queue is 429 with a
+// Retry-After hint, a draining server is 503, a duplicate name 409.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Jobs())
+	})
+	mux.HandleFunc("POST /jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /jobs/{ref}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.JobStatus(r.PathValue("ref"))
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /jobs/{ref}/progress", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.JobStatus(r.PathValue("ref"))
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"name": st.Name, "state": st.State,
+			"cycle": st.Cycle, "checkpointCycle": st.CheckpointCycle,
+			"attempts": st.Attempts, "preemptions": st.Preemptions,
+		})
+	})
+	mux.HandleFunc("GET /jobs/{ref}/crash", func(w http.ResponseWriter, r *http.Request) {
+		crash, err := s.JobCrash(r.PathValue("ref"))
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		if crash == nil {
+			s.writeError(w, fmt.Errorf("%w: job %q has no crash report", ErrNotFound, r.PathValue("ref")))
+			return
+		}
+		writeJSON(w, http.StatusOK, crash)
+	})
+	cancel := func(w http.ResponseWriter, r *http.Request) {
+		ref := r.PathValue("ref")
+		if err := s.CancelJob(ref); err != nil {
+			s.writeError(w, err)
+			return
+		}
+		st, _ := s.JobStatus(ref)
+		writeJSON(w, http.StatusOK, st)
+	}
+	mux.HandleFunc("POST /jobs/{ref}/cancel", cancel)
+	mux.HandleFunc("DELETE /jobs/{ref}", cancel)
+
+	mux.HandleFunc("GET /sweeps", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Sweeps())
+	})
+	mux.HandleFunc("POST /sweeps", s.handleSweepSubmit)
+	mux.HandleFunc("GET /sweeps/{ref}", func(w http.ResponseWriter, r *http.Request) {
+		sw, err := s.SweepByRef(r.PathValue("ref"))
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.SweepStatus(sw))
+	})
+	return mux
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		http.Error(w, "bad job spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	j, err := s.SubmitJob(spec)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": j.ID, "name": j.Spec.Name})
+}
+
+func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec SweepSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		http.Error(w, "bad sweep spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	sw, err := s.SubmitSweep(spec)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": sw.ID, "name": sw.Name, "jobs": len(sw.jobs)})
+}
+
+// writeError maps the typed submit/lookup errors to HTTP codes.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterHint()))
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "30")
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrDuplicate):
+		code = http.StatusConflict
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	}
+	http.Error(w, err.Error(), code)
+}
+
+// retryAfterHint estimates (in seconds) when queue capacity may free
+// up: one slot per worker, scaled by backlog, clamped to [1, 60].
+func (s *Server) retryAfterHint() int {
+	queued := int(s.queueLen.Load())
+	hint := 1 + queued/s.opts.Workers
+	if hint > 60 {
+		hint = 60
+	}
+	if hint < 1 {
+		hint = 1
+	}
+	return hint
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

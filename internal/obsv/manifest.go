@@ -39,6 +39,12 @@ type Manifest struct {
 	Error    string   `json:"error,omitempty"`
 	Outputs  []string `json:"outputs,omitempty"`
 
+	// State is the job lifecycle state a supervised run was stamped
+	// with (internal/jobd): "done", "failed", "canceled", or
+	// "preempted" when a drain or fairness preemption parked the job
+	// resumable mid-run.
+	State string `json:"state,omitempty"`
+
 	// Restore/retry bookkeeping. A run resumed from a checkpoint stamps
 	// where it resumed from and keeps the failed attempts' outcomes in
 	// Previous instead of silently overwriting them.

@@ -28,6 +28,10 @@ type ServerOptions struct {
 	// Checkpoint, when non-nil, is served under /checkpoint: the live
 	// checkpoint engine's progress and this run's restore provenance.
 	Checkpoint func() *CheckpointStatus
+	// Jobs, when non-nil, is mounted under /jobs and /sweeps: the job
+	// server's HTTP API (internal/jobd) for submitting, watching, and
+	// canceling supervised runs.
+	Jobs http.Handler
 }
 
 // Server is the attilasim status server: a plain stdlib HTTP server
@@ -65,6 +69,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/profile", s.handleProfile)
 	mux.HandleFunc("/manifest", s.handleManifest)
 	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
+	if s.opts.Jobs != nil {
+		mux.Handle("/jobs", s.opts.Jobs)
+		mux.Handle("/jobs/", s.opts.Jobs)
+		mux.Handle("/sweeps", s.opts.Jobs)
+		mux.Handle("/sweeps/", s.opts.Jobs)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -116,6 +126,10 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /profile      per-box host-time attribution")
 	fmt.Fprintln(w, "  /manifest     run manifest")
 	fmt.Fprintln(w, "  /checkpoint   checkpoint engine progress and restore provenance")
+	if s.opts.Jobs != nil {
+		fmt.Fprintln(w, "  /jobs         job server: submit/list/cancel supervised runs")
+		fmt.Fprintln(w, "  /sweeps       job server: submit/list sweeps")
+	}
 	fmt.Fprintln(w, "  /debug/pprof  Go profiling")
 }
 
