@@ -19,14 +19,19 @@ test:
 # of the pooled-pipeline serial/parallel equality test, the jobd
 # service smoke (submit -> chaos kill/panic/yank -> auto-resume ->
 # byte-identical convergence, plus the SIGTERM drain/resume path,
-# raced), and a fuzz smoke over the trace reader.
+# raced), the span-tracing determinism suite (serial-vs-parallel and
+# checkpoint byte-identity of the sampled spans and latency windows),
+# the fleet-metrics merge under concurrent job completion, the
+# OpenMetrics self-lint over /metrics.prom, and a fuzz smoke over the
+# trace reader.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/core/... ./internal/mem/... ./internal/obsv/... ./internal/chkpt/... ./internal/chaos/...
 	$(GO) test -race -run 'Watchdog|Deadlock|Cancel|ParallelMetrics' ./internal/gpu/ .
 	$(GO) test -race -run 'Checkpoint|Chaos' -count=1 .
 	$(GO) test -race -run '^TestParallelMatchesSerial$$' -count=1 .
-	$(GO) test -race -run '^TestJobd(ChaosConvergence|SigtermDrainResume)$$' -count=1 ./internal/jobd/
+	$(GO) test -race -run '^TestTracing(SerialVsParallel|CheckpointRoundTrip)$$' -count=1 .
+	$(GO) test -race -run '^TestJobd(ChaosConvergence|SigtermDrainResume)$$|^TestFleetMetricsMergeAcrossJobs$$' -count=1 ./internal/jobd/
 	BENCH_OBSV_OUT=$$(mktemp) $(GO) test -run '^TestBenchObsv$$' .
 	BENCH_HOTPATH_OUT=$$(mktemp) BENCH_HOTPATH_SMOKE=1 $(GO) test -run '^TestBenchHotpath$$' -count=1 .
 	$(GO) test -fuzz=FuzzReader -fuzztime=10s ./internal/trace
@@ -62,8 +67,12 @@ bench:
 # CPUs are online (on fewer cores the shards timeshare and the
 # comparison is meaningless), and rewrites the snapshot in place.
 # Commit the updated file to ratify a deliberate performance change.
+# The tracing alloc budget rides along: the marginal heap cost per
+# sampled span must stay within a few allocations, and tracing-off
+# runs are what the BENCH_hotpath.json gate itself measures.
 bench-gate:
 	BENCH_HOTPATH_OUT=BENCH_hotpath.json $(GO) test -run '^TestBenchHotpath$$' -count=1 -v .
+	$(GO) test -run '^TestTracingAllocBudget$$' -count=1 -v .
 
 # bench-parallel reproduces the BENCH_parallel.json snapshot.
 bench-parallel:

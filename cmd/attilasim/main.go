@@ -36,6 +36,7 @@ import (
 	"attila/internal/core"
 	"attila/internal/gpu"
 	"attila/internal/obsv"
+	spantrace "attila/internal/obsv/trace"
 	"attila/internal/refrender"
 	"attila/internal/trace"
 )
@@ -84,10 +85,20 @@ func run() int {
 	restoreFrom := flag.String("restore", "", "resume from a checkpoint file written by -checkpoint-interval")
 	chaosSpec := flag.String("chaos", "", "seeded fault injection plan, e.g. seed=7,panic@cycle=100000 (see internal/chaos)")
 	skipCorrupt := flag.Bool("trace-skip-corrupt", false, "skip corrupt trace records by resyncing to the next parseable record")
+	traceSample := flag.String("trace-sample", "", "request tracing: keep 1 in N memory/shader spans, e.g. 1/64 (off by default)")
+	traceSeed := flag.Uint64("trace-seed", 1, "seed for the deterministic span sampler")
+	spansOut := flag.String("spans", "", "write the retained sampled spans as NDJSON to file")
 	flag.Parse()
 
 	if *in == "" {
 		return fail(exitUsage, errors.New("need -trace (generate one with tracegen)"))
+	}
+	sampleRate, err := spantrace.ParseSampleRate(*traceSample)
+	if err != nil {
+		return fail(exitUsage, err)
+	}
+	if *spansOut != "" && sampleRate == 0 {
+		return fail(exitUsage, errors.New("-spans needs -trace-sample (e.g. -trace-sample 1/64)"))
 	}
 
 	var plan *chaos.Plan
@@ -162,6 +173,12 @@ func run() int {
 	if err != nil {
 		return fail(exitUsage, err)
 	}
+	// Request tracing attaches first: its fold hook must run before the
+	// metrics bus samples and before the checkpoint engine captures.
+	var col *spantrace.Collector
+	if sampleRate > 0 {
+		col = pipe.EnableSpanTracing(spantrace.Options{SampleRate: sampleRate, Seed: *traceSeed})
+	}
 	var sigWriter *core.SigTraceWriter
 	if *sigOut != "" {
 		sf, err := os.Create(*sigOut)
@@ -197,7 +214,11 @@ func run() int {
 			Frames:     func() int64 { return int64(pipe.CP.Frames()) },
 			Goal:       *maxCycles,
 			GoalFrames: goalFrames,
+			Spans:      col,
 		})
+	}
+	if col != nil {
+		man.Tracing = &obsv.TracingConfig{SampleRate: sampleRate, Seed: *traceSeed, Buckets: spantrace.NumBuckets}
 	}
 	var prof *obsv.Profiler
 	if *profileBoxes {
@@ -220,6 +241,9 @@ func run() int {
 	// trace or frame range is refused before any state is touched.
 	workload := fmt.Sprintf("%s %dx%d frames[%d:%d] cmds=%d", hdr.Label, hdr.Width, hdr.Height, *start, *end, len(cmds))
 	var busExtra []chkpt.Snapshotter
+	if col != nil {
+		busExtra = append(busExtra, col)
+	}
 	if bus != nil {
 		busExtra = append(busExtra, bus)
 	}
@@ -257,6 +281,7 @@ func run() int {
 		srv = obsv.NewServer(*httpAddr, obsv.ServerOptions{
 			Bus:      bus,
 			Profiler: prof,
+			Spans:    col,
 			Crash:    pipe.Sim.Crash,
 			Manifest: func() *obsv.Manifest { return man },
 			Checkpoint: func() *obsv.CheckpointStatus {
@@ -336,9 +361,15 @@ func run() int {
 	if *metricsOut != "" {
 		outOK = writeTo(*metricsOut, bus.WriteNDJSON) && outOK
 	}
+	if *spansOut != "" {
+		outOK = writeTo(*spansOut, col.WriteSpansNDJSON) && outOK
+	}
 	if *perfettoOut != "" {
 		pf := obsv.NewPerfetto()
 		pf.AddWindows(bus.Snapshot())
+		if col != nil {
+			pf.AddSpans(col.Spans())
+		}
 		outOK = writeTo(*perfettoOut, pf.WriteJSON) && outOK
 	}
 	if *blackbox != "" && pipe.Sim.Crash() != nil {
@@ -377,7 +408,7 @@ func run() int {
 	}
 	man.Cycles = pipe.Cycles()
 	man.Frames = int64(pipe.CP.Frames())
-	man.Outputs = collectOutputs(*sigOut, *statsOut, *summaryOut, *framesOut, *metricsOut, *perfettoOut, *blackbox)
+	man.Outputs = collectOutputs(*sigOut, *statsOut, *summaryOut, *framesOut, *metricsOut, *spansOut, *perfettoOut, *blackbox)
 	if eng != nil {
 		man.Checkpoints = eng.Count()
 		man.LastCheckpoint = eng.LastCycle()

@@ -37,6 +37,7 @@ import (
 	"attila/internal/gpu"
 	"attila/internal/jobd"
 	"attila/internal/obsv"
+	"attila/internal/obsv/trace"
 )
 
 func main() {
@@ -69,9 +70,16 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 0, "default per-attempt wall-clock limit for -serve/-sweep (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "grace period for SIGTERM drain before in-flight jobs are hard-stopped onto their last checkpoint")
 	chaosServer := flag.String("chaos-server", "", "jobd-level fault plan: seed=N,kill=JOB@CYCLE,panic=JOB@CYCLE[:BOX],yank=JOB (see internal/chaos)")
+	traceSample := flag.String("trace-sample", "", "request tracing for -serve/-sweep jobs: keep 1/N spans (e.g. 1/64; off by default)")
+	traceSeed := flag.Uint64("trace-seed", 1, "seed for the deterministic span sampler")
 	flag.Parse()
 
 	if *serveAddr != "" || *sweepFile != "" {
+		rate, err := trace.ParseSampleRate(*traceSample)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(4)
+		}
 		os.Exit(runJobMode(jobModeConfig{
 			serveAddr: *serveAddr, sweepFile: *sweepFile, outDir: *jobOut,
 			workers: *jobWorkers, queueLimit: *queueLimit,
@@ -80,6 +88,7 @@ func main() {
 			checkpointInterval: *ckptInterval, watchdog: *watchdog,
 			jobTimeout: *jobTimeout, drainTimeout: *drainTimeout,
 			chaosServer: *chaosServer,
+			traceSample: rate, traceSeed: *traceSeed,
 		}))
 	}
 
@@ -325,6 +334,7 @@ type jobModeConfig struct {
 	jobTimeout                   time.Duration
 	drainTimeout                 time.Duration
 	chaosServer                  string
+	traceSample, traceSeed       uint64
 }
 
 // runJobMode runs the supervised job server, either as a long-lived
@@ -347,6 +357,8 @@ func runJobMode(c jobModeConfig) int {
 		PreemptCycles:      c.preemptCycles,
 		WatchdogWindow:     c.watchdog,
 		JobTimeout:         c.jobTimeout,
+		TraceSample:        c.traceSample,
+		TraceSeed:          c.traceSeed,
 		Logf:               logger.Printf,
 	}
 	if c.chaosServer != "" {
@@ -392,7 +404,10 @@ func runJobMode(c jobModeConfig) int {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		return 1
 	}
-	status := obsv.NewServer(c.serveAddr, obsv.ServerOptions{Jobs: srv.Handler()})
+	status := obsv.NewServer(c.serveAddr, obsv.ServerOptions{
+		Jobs:  srv.Handler(),
+		Ready: func() bool { return !srv.Draining() },
+	})
 	if err := status.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		return 1

@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	sigtrace -in run.sig [-buckets 100] [-signal FGen.Tiles] [-follow 42] [-top 10] [-perfetto out.json]
+//	sigtrace -in run.sig [-buckets 100] [-signal FGen.Tiles] [-follow 42] [-top 10] [-hist] [-perfetto out.json]
 package main
 
 import (
@@ -22,6 +22,7 @@ import (
 
 	"attila/internal/core"
 	"attila/internal/obsv"
+	"attila/internal/obsv/trace"
 )
 
 func main() {
@@ -30,6 +31,7 @@ func main() {
 	signal := flag.String("signal", "", "only show signals containing this substring")
 	follow := flag.Uint64("follow", 0, "print the full event path of one object id (and its descendants)")
 	top := flag.Int("top", 0, "rank the N busiest signals in the utilization summary (0 = all, by name)")
+	hist := flag.Bool("hist", false, "print per-signal hop-latency histograms (p50/p90/p99) instead of the utilization summary")
 	perfetto := flag.String("perfetto", "", "write the trace as Perfetto/Chrome trace-event JSON to file")
 	flag.Parse()
 
@@ -133,6 +135,14 @@ func main() {
 		fmt.Printf("%-*s |%s| %d objects\n", width, n, sb.String(), totals[n])
 	}
 
+	// In -hist mode, the per-signal hop-latency histograms replace the
+	// mean-only utilization summary: how long objects took to reach
+	// each signal from their previous hop, as percentiles.
+	if *hist {
+		printHopLatencies(recs, *signal, *top, width)
+		return
+	}
+
 	// End-of-run utilization summary: busy cycles over the traced
 	// span, so bubbles show up as numbers, not just gaps in the art.
 	usage := obsv.SigUsage(recs)
@@ -154,6 +164,73 @@ func main() {
 	for _, u := range usage {
 		fmt.Printf("%-*s %6.1f%%  busy %d/%d cycles, %d objects\n",
 			width, u.Name, 100*u.Util, u.Busy, u.Span, u.Objects)
+	}
+}
+
+// printHopLatencies aggregates, per destination signal, the cycles
+// each object took to reach it from that object's previous traced hop,
+// into log2 latency histograms. The percentiles are bucket upper
+// bounds, the same fidelity the simulator's span histograms report.
+func printHopLatencies(recs []core.SigTraceRecord, filter string, top, width int) {
+	// Stable-sort a copy by (id, cycle) so each object's journey reads
+	// in order; records of one id at the same cycle keep file order.
+	sorted := append([]core.SigTraceRecord(nil), recs...)
+	sort.SliceStable(sorted, func(a, b int) bool {
+		if sorted[a].ID != sorted[b].ID {
+			return sorted[a].ID < sorted[b].ID
+		}
+		return sorted[a].Cycle < sorted[b].Cycle
+	})
+	hists := map[string]*trace.Histogram{}
+	for i := 1; i < len(sorted); i++ {
+		prev, cur := &sorted[i-1], &sorted[i]
+		if cur.ID != prev.ID {
+			continue
+		}
+		if filter != "" && !strings.Contains(cur.Signal, filter) {
+			continue
+		}
+		h := hists[cur.Signal]
+		if h == nil {
+			h = &trace.Histogram{}
+			hists[cur.Signal] = h
+		}
+		h.Observe(cur.Cycle - prev.Cycle)
+	}
+	if len(hists) == 0 {
+		fmt.Println("\nno multi-hop objects to measure (ids appear once each)")
+		return
+	}
+	names := make([]string, 0, len(hists))
+	for n := range hists {
+		names = append(names, n)
+	}
+	if top > 0 {
+		sort.Slice(names, func(a, b int) bool {
+			ha, hb := hists[names[a]], hists[names[b]]
+			if pa, pb := ha.Quantile(0.99), hb.Quantile(0.99); pa != pb {
+				return pa > pb
+			}
+			return names[a] < names[b]
+		})
+		if len(names) > top {
+			names = names[:top]
+		}
+		fmt.Printf("\ntop %d signals by p99 hop latency (cycles from the object's previous hop):\n", len(names))
+	} else {
+		sort.Strings(names)
+		fmt.Println("\nhop latency per signal (cycles from the object's previous hop):")
+	}
+	for _, n := range names {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	fmt.Printf("%-*s %8s %8s %8s %8s %10s\n", width, "signal", "hops", "p50", "p90", "p99", "mean")
+	for _, n := range names {
+		h := hists[n]
+		fmt.Printf("%-*s %8d %8d %8d %8d %10.1f\n",
+			width, n, h.N, h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.Mean())
 	}
 }
 

@@ -41,6 +41,17 @@ func (e *CrashError) Error() string {
 // Unwrap makes errors.Is(err, ErrPanic) true.
 func (e *CrashError) Unwrap() error { return ErrPanic }
 
+// FlightEvent is one entry of the crash flight recorder: something
+// the machine was doing shortly before it failed. The observability
+// layer (a span collector, typically) supplies them through
+// Simulator.SetFlightRecorder; core defines only the record so the
+// black box stays dependency-free.
+type FlightEvent struct {
+	Cycle int64  `json:"cycle"`
+	Kind  string `json:"kind"` // "span", "note", ...
+	What  string `json:"what"`
+}
+
 // CrashReport is the black-box record a failed run leaves behind:
 // enough to diagnose the failure without rerunning a multi-hour
 // simulation. Run builds one for every non-completion outcome except
@@ -54,6 +65,10 @@ type CrashReport struct {
 	Stack    string             `json:"stack,omitempty"`
 	Stats    map[string]float64 `json:"stats,omitempty"` // cumulative statistics at failure
 	Deadlock *DeadlockReport    `json:"deadlock,omitempty"`
+	// Flight is the flight recorder: the last span terminations and
+	// structured events before the failure, so the report shows what
+	// the machine was doing, not just where it stopped.
+	Flight []FlightEvent `json:"flight,omitempty"`
 }
 
 // WriteJSON serializes the report, indented for humans.
@@ -107,8 +122,20 @@ func (s *Simulator) buildCrashReport(err error) *CrashReport {
 	default:
 		return nil // configuration errors (binder validation) need no black box
 	}
+	if s.flight != nil {
+		r.Flight = s.flight(flightDepth)
+	}
 	return r
 }
+
+// flightDepth is how many flight-recorder events a crash report
+// embeds.
+const flightDepth = 64
+
+// SetFlightRecorder installs the flight-recorder source consulted
+// when a crash report is built: fn returns the last max events,
+// oldest first. Call before Run; nil clears it.
+func (s *Simulator) SetFlightRecorder(fn func(max int) []FlightEvent) { s.flight = fn }
 
 // Crash returns the black-box report of the most recent failed Run,
 // or nil after a clean completion (or plain cycle-limit exhaustion).

@@ -110,8 +110,9 @@ type Simulator struct {
 	boxCosts  map[string]float64
 	reshardAt int64
 
-	wd    *watchdog
-	crash *CrashReport
+	wd     *watchdog
+	crash  *CrashReport
+	flight func(max int) []FlightEvent // crash flight-recorder source
 
 	// Host-time attribution (SetClockObserver): on cycles where
 	// cycle%obsEvery == 0 every box clock is individually timed and

@@ -2,6 +2,7 @@ package gpu
 
 import (
 	"attila/internal/core"
+	"attila/internal/obsv/trace"
 )
 
 // workKind distinguishes shader work.
@@ -22,6 +23,12 @@ type ShaderWork struct {
 	Frag  *Quad
 	Regs  int  // physical registers reserved for the thread
 	VPool bool // reserved from the vertex register pool
+
+	// span traces a sampled work item's lifecycle (arrival → window
+	// admission → dispatch → shader completion → downstream routing).
+	// All hops are stamped by the FragmentFIFO, which owns the item at
+	// every stamping point.
+	span *trace.Span
 }
 
 // FragmentFIFO is the crossbar and scheduler between the fixed
@@ -57,6 +64,10 @@ type FragmentFIFO struct {
 	vtxRegs    int // vertex pool in use (non-unified)
 	rr         int
 
+	// Span tracing handles, one per work kind (nil: tracing off).
+	trVtx  *trace.Tracer
+	trFrag *trace.Tracer
+
 	statVtxThreads  core.Shadow
 	statFragThreads core.Shadow
 	statKilled      core.Shadow
@@ -85,6 +96,12 @@ func NewFragmentFIFO(sim *core.Simulator, cfg *Config, pool *pipePool, layout Su
 	return f
 }
 
+// SetTracers installs the per-kind span tracing handles (nil
+// disables). Call before Run.
+func (f *FragmentFIFO) SetTracers(vtx, frag *trace.Tracer) {
+	f.trVtx, f.trFrag = vtx, frag
+}
+
 // Clock implements core.Box.
 func (f *FragmentFIFO) Clock(cycle int64) {
 	f.collectCompletions(cycle)
@@ -102,6 +119,9 @@ func (f *FragmentFIFO) acceptInputs(cycle int64) {
 		w := f.pool.getWork()
 		w.DynObject = core.DynObject{ID: g.ID, Parent: g.Parent, Tag: "vwork"}
 		w.Batch, w.Kind, w.Vtx = g.Batch, workVertex, g
+		if f.trVtx != nil {
+			w.span = f.trVtx.Start(trace.KindVertex, cycle, 0)
+		}
 		f.vtxArrived.Push(w)
 	}
 	for _, obj := range f.fragIn.Recv(cycle) {
@@ -109,17 +129,28 @@ func (f *FragmentFIFO) acceptInputs(cycle int64) {
 		w := f.pool.getWork()
 		w.DynObject = core.DynObject{ID: q.ID, Parent: q.Parent, Tag: "fwork"}
 		w.Batch, w.Kind, w.Frag = q.Batch, workFragment, q
+		if f.trFrag != nil {
+			w.span = f.trFrag.Start(trace.KindFrag, cycle, 0)
+		}
 		f.fragArrived.Push(w)
 	}
 	// Admit into the window, vertices first (geometry starvation
 	// stalls the whole pipeline).
 	for f.windowUsed < f.cfg.WindowThreads && f.vtxArrived.Len() > 0 {
-		f.vtxPending.Push(f.vtxArrived.Pop())
+		w := f.vtxArrived.Pop()
+		if w.span != nil {
+			w.span.Enqueue = cycle
+		}
+		f.vtxPending.Push(w)
 		f.vtxIn.Release(1)
 		f.windowUsed++
 	}
 	for f.windowUsed < f.cfg.WindowThreads && f.fragArrived.Len() > 0 {
-		f.fragPending.Push(f.fragArrived.Pop())
+		w := f.fragArrived.Pop()
+		if w.span != nil {
+			w.span.Enqueue = cycle
+		}
+		f.fragPending.Push(w)
 		f.fragIn.Release(1)
 		f.windowUsed++
 	}
@@ -166,6 +197,9 @@ func (f *FragmentFIFO) dispatch(cycle int64) {
 		if w == nil {
 			continue
 		}
+		if w.span != nil {
+			w.span.Sched = cycle
+		}
 		f.shaderIn[s].Send(cycle, w)
 		if w.Kind == workVertex {
 			f.statVtxThreads.Inc()
@@ -208,6 +242,9 @@ func (f *FragmentFIFO) collectCompletions(cycle int64) {
 		for _, obj := range f.shaderOut[s].Recv(cycle) {
 			w := obj.(*ShaderWork)
 			f.shaderOut[s].Release(1)
+			if w.span != nil {
+				w.span.Complete = cycle
+			}
 			if w.VPool {
 				f.vtxRegs -= w.Regs
 			} else {
@@ -226,6 +263,10 @@ func (f *FragmentFIFO) drainOutbox(cycle int64) {
 		}
 		f.outbox.Pop()
 		f.windowUsed--
+		if sp := w.span; sp != nil {
+			w.span = nil
+			sp.Finish(cycle)
+		}
 		f.pool.putWork(w)
 	}
 }

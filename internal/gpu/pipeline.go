@@ -8,6 +8,7 @@ import (
 	"attila/internal/core"
 	"attila/internal/isa"
 	"attila/internal/mem"
+	"attila/internal/obsv/trace"
 )
 
 // Framebuffer owns the double-buffered color surface and the
@@ -75,7 +76,9 @@ type Pipeline struct {
 	ropcs    []*ColorWrite
 	shaders  []*ShaderUnit
 	tus      []*TextureUnit
+	ffifo    *FragmentFIFO
 	mc       *mem.Controller
+	spans    *trace.Collector
 
 	alloc *mem.Allocator
 	w, h  int
@@ -226,6 +229,7 @@ func New(cfg Config, width, height int) (*Pipeline, error) {
 	interp := NewInterpolator(sim, &cfg, interpIns, interpOut)
 	ffifo := NewFragmentFIFO(sim, &cfg, pool, p.FB.Z(), shadeOut, interpOut, vtxShaded,
 		ffifoEarly, ffifoLate, shaderIn, shaderOut)
+	p.ffifo = ffifo
 	p.shaders = make([]*ShaderUnit, nShaders)
 	for i := 0; i < nShaders; i++ {
 		vertexOnly := !cfg.UnifiedShaders && i < cfg.NumVertexShaders
@@ -300,6 +304,44 @@ func New(cfg Config, width, height int) (*Pipeline, error) {
 // TraceSignals installs a signal tracer on every wire; the produced
 // signal trace feeds the Signal Trace Visualizer (cmd/sigtrace).
 func (p *Pipeline) TraceSignals(t core.Tracer) { p.Sim.Binder.SetTracer(t) }
+
+// EnableSpanTracing attaches request-lifecycle tracing: every memory
+// port and the shader-work scheduler get a tracing handle, a sampled
+// fraction of their requests carry pooled span records through the
+// machine, and the returned collector folds terminations into
+// per-client latency histograms at the cycle barrier.
+//
+// Call after New and BEFORE attaching any barrier consumer that reads
+// the collector (the metrics bus): barrier hooks run in registration
+// order, and windowed percentiles must see the current cycle's
+// terminations. The collector also feeds the crash flight recorder.
+func (p *Pipeline) EnableSpanTracing(opts trace.Options) *trace.Collector {
+	col := trace.NewCollector(opts)
+	// Client registration order is the fold order and therefore part
+	// of the deterministic output; keep it fixed: the MC client list
+	// order, then the shader-work clients.
+	p.CP.port.SetTracer(col.Client("CP"))
+	p.streamer.fetch.SetTracer(col.Client("Streamer"))
+	p.DACBox.port.SetTracer(col.Client("DAC"))
+	for i, z := range p.ropzs {
+		z.cache.SetTracer(col.Client(nameIdx("ZCache", i)))
+	}
+	for i, c := range p.ropcs {
+		c.cache.SetTracer(col.Client(nameIdx("ColorCache", i)))
+	}
+	for i, t := range p.tus {
+		t.cache.SetTracer(col.Client(nameIdx("TexCache", i)))
+	}
+	p.ffifo.SetTracers(col.Client("FFIFO.vtx"), col.Client("FFIFO.frag"))
+	p.Sim.OnEndCycle(col.EndCycle)
+	p.Sim.SetFlightRecorder(col.Recent)
+	p.spans = col
+	return col
+}
+
+// Spans returns the span collector installed by EnableSpanTracing,
+// or nil when tracing is off.
+func (p *Pipeline) Spans() *trace.Collector { return p.spans }
 
 // Alloc reserves GPU memory for driver objects (buffers, textures).
 func (p *Pipeline) Alloc(n int, align uint32) (uint32, error) {

@@ -15,10 +15,12 @@ import (
 //	GET    /jobs/{ref}         one job by name or ID
 //	GET    /jobs/{ref}/progress  live cycle/checkpoint progress
 //	GET    /jobs/{ref}/crash   black-box report of the last failed attempt
+//	GET    /jobs/{ref}/spans   sampled request spans of a completed job (NDJSON)
 //	POST   /jobs/{ref}/cancel  cancel (also DELETE /jobs/{ref})
 //	POST   /sweeps             submit a sweep (SweepSpec JSON) → 202
 //	GET    /sweeps             list sweeps
 //	GET    /sweeps/{ref}       one sweep with per-job detail
+//	GET    /fleet/metrics      per-client latency histograms merged across jobs
 //
 // Admission control maps to status codes: a full queue is 429 with a
 // Retry-After hint, a draining server is 503, a duplicate name 409.
@@ -60,6 +62,19 @@ func (s *Server) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, crash)
 	})
+	mux.HandleFunc("GET /jobs/{ref}/spans", func(w http.ResponseWriter, r *http.Request) {
+		dump, err := s.JobSpans(r.PathValue("ref"))
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		if dump == nil {
+			s.writeError(w, fmt.Errorf("%w: job %q has no span dump (tracing off or not finished)", ErrNotFound, r.PathValue("ref")))
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Write(dump)
+	})
 	cancel := func(w http.ResponseWriter, r *http.Request) {
 		ref := r.PathValue("ref")
 		if err := s.CancelJob(ref); err != nil {
@@ -83,6 +98,9 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, s.SweepStatus(sw))
+	})
+	mux.HandleFunc("GET /fleet/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.FleetMetrics())
 	})
 	return mux
 }

@@ -21,6 +21,7 @@ import (
 	"attila/internal/experiments"
 	"attila/internal/gpu"
 	"attila/internal/obsv"
+	"attila/internal/obsv/trace"
 	"attila/internal/workload"
 )
 
@@ -66,6 +67,14 @@ type Options struct {
 	// JobTimeout bounds each attempt's wall clock; zero means no
 	// limit. JobSpec.TimeoutSec overrides.
 	JobTimeout time.Duration
+	// TraceSample, when > 0, turns on request tracing for every job:
+	// 1-in-N memory transactions and shader work items carry latency
+	// spans, folded into per-job histograms that /fleet/metrics merges
+	// across the fleet. Zero disables tracing.
+	TraceSample uint64
+	// TraceSeed seeds the deterministic span sampler; the same seed,
+	// rate, and workload select the same spans on every run.
+	TraceSeed uint64
 	// Chaos, when non-nil, arms the jobd-level fault plan (worker
 	// kills, injected box panics, output-directory yanks).
 	Chaos *chaos.ServerPlan
@@ -130,6 +139,9 @@ type Job struct {
 	fps         float64
 	stopFn      func()
 	sweep       *Sweep
+	spanHists   map[string]trace.Histogram // per-client total-latency histograms at completion
+	spanDump    []byte                     // retained sampled spans, NDJSON
+	spanTotal   uint64                     // sampled spans terminated by the job
 
 	// Written by the running simulation / cancel path.
 	progress  atomic.Int64
@@ -516,6 +528,75 @@ func (s *Server) statusLocked(j *Job) JobStatus {
 	return st
 }
 
+// JobSpans returns the sampled-span NDJSON dump retained by a
+// completed job, or nil when the job has not finished or ran with
+// tracing off.
+func (s *Server) JobSpans(ref string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobByRefLocked(ref)
+	if j == nil {
+		return nil, fmt.Errorf("%w: job %q", ErrNotFound, ref)
+	}
+	return j.spanDump, nil
+}
+
+// Draining reports whether the server has begun draining; the /readyz
+// probe answers 503 while it is true.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// FleetLatency is one client's merged latency across the fleet.
+type FleetLatency struct {
+	Count uint64          `json:"count"`
+	P50   int64           `json:"p50"`
+	P90   int64           `json:"p90"`
+	P99   int64           `json:"p99"`
+	Mean  float64         `json:"mean"`
+	Hist  trace.Histogram `json:"hist"`
+}
+
+// FleetMetrics is the fleet-level latency view: per-client histograms
+// merged across every completed job that ran with tracing on.
+type FleetMetrics struct {
+	SampleRate uint64                   `json:"sampleRate,omitempty"`
+	Jobs       int                      `json:"jobs"`  // completed jobs contributing
+	Spans      uint64                   `json:"spans"` // sampled spans across those jobs
+	Clients    map[string]*FleetLatency `json:"clients,omitempty"`
+}
+
+// FleetMetrics merges the per-job span histograms into the fleet view.
+// Histogram merging is bucket addition, so the result is independent of
+// job completion order.
+func (s *Server) FleetMetrics() FleetMetrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fm := FleetMetrics{SampleRate: s.opts.TraceSample}
+	merged := make(map[string]trace.Histogram)
+	for _, j := range s.order {
+		if j.spanHists == nil {
+			continue
+		}
+		fm.Jobs++
+		fm.Spans += j.spanTotal
+		for name, h := range j.spanHists {
+			m := merged[name]
+			m.Merge(&h)
+			merged[name] = m
+		}
+	}
+	if len(merged) > 0 {
+		fm.Clients = make(map[string]*FleetLatency, len(merged))
+		for name, h := range merged {
+			fm.Clients[name] = &FleetLatency{
+				Count: h.N,
+				P50:   h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
+				Mean: h.Mean(), Hist: h,
+			}
+		}
+	}
+	return fm
+}
+
 // Sweeps lists every sweep.
 func (s *Server) Sweeps() []SweepStatus {
 	s.mu.Lock()
@@ -804,6 +885,15 @@ func (s *Server) attempt(j *Job, attempt int) error {
 		return err
 	}
 
+	// Span tracing must attach before the checkpoint engine so the
+	// collector's fold hook runs before each quiesced capture.
+	var col *trace.Collector
+	var extra []chkpt.Snapshotter
+	if s.opts.TraceSample > 0 {
+		col = pipe.EnableSpanTracing(trace.Options{SampleRate: s.opts.TraceSample, Seed: s.opts.TraceSeed})
+		extra = append(extra, col)
+	}
+
 	ckptPath := s.ckptPath(j)
 	s.mu.Lock()
 	resumable := j.resumable
@@ -819,7 +909,7 @@ func (s *Server) attempt(j *Job, attempt int) error {
 		// an earlier life under the same name.
 		os.Remove(ckptPath)
 	}
-	eng := pipe.EnableCheckpoints(ckptPath, spec.Workload, s.opts.CheckpointInterval)
+	eng := pipe.EnableCheckpoints(ckptPath, spec.Workload, s.opts.CheckpointInterval, extra...)
 
 	// Chaos faults arm on the first attempt only, so a recovered job
 	// cannot re-hit its injected fault.
@@ -888,7 +978,7 @@ func (s *Server) attempt(j *Job, attempt int) error {
 	resumed := false
 	if attempt > 1 || resumable {
 		if snap, rerr := chkpt.ReadFile(ckptPath); rerr == nil && snap.Meta.Workload == spec.Workload {
-			if pipe.RestoreCheckpoint(snap, cmds) == nil {
+			if pipe.RestoreCheckpoint(snap, cmds, extra...) == nil {
 				resumed = true
 				s.logf("jobd: job %s resuming from checkpoint at cycle %d", spec.Name, snap.Meta.Cycle)
 			}
@@ -916,12 +1006,26 @@ func (s *Server) attempt(j *Job, attempt int) error {
 	if err := pipe.DumpCSV(&buf); err != nil {
 		return err
 	}
+	var spanHists map[string]trace.Histogram
+	var spanDump []byte
+	var spanTotal uint64
+	if col != nil {
+		spanHists = col.TotalHists(nil)
+		spanTotal = col.Snapshot().Spans
+		var sb bytes.Buffer
+		if err := col.WriteSpansNDJSON(&sb); err == nil {
+			spanDump = sb.Bytes()
+		}
+	}
 	s.mu.Lock()
 	j.csv = buf.Bytes()
 	j.cycles = pipe.Cycles()
 	j.fps = pipe.FPS()
 	j.crash = nil
 	j.progress.Store(pipe.Cycles())
+	j.spanHists = spanHists
+	j.spanDump = spanDump
+	j.spanTotal = spanTotal
 	s.mu.Unlock()
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"attila/internal/core"
+	"attila/internal/obsv/trace"
 )
 
 // CacheConfig describes one of the GPU's small caches (Table 2:
@@ -147,6 +148,10 @@ func NewCache(sim *core.Simulator, cfg CacheConfig, hooks Hooks) *Cache {
 	sim.Stats.ShadowCounter(&c.statStalled, cfg.Name+".missStalls")
 	return c
 }
+
+// SetTracer installs span tracing on the cache's memory port (nil
+// disables). Call before Run.
+func (c *Cache) SetTracer(t *trace.Tracer) { c.port.SetTracer(t) }
 
 // HitRate returns the cumulative hit ratio.
 func (c *Cache) HitRate() float64 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"attila/internal/core"
+	"attila/internal/obsv/trace"
 )
 
 // Op distinguishes read and write transactions.
@@ -30,6 +31,13 @@ type Request struct {
 	// recycling. Carries no simulation state; see the recycling notes
 	// on Controller.
 	spent *Reply
+
+	// span is the lifecycle trace record of a sampled transaction
+	// (nil for the unsampled rest). Like spent it carries no
+	// simulation state and rides the object through the signals, so
+	// whoever owns the transaction owns the span — the cycle barrier
+	// orders every cross-shard handoff.
+	span *trace.Span
 }
 
 // Reply carries read data (or a write acknowledgement) back to the
@@ -45,6 +53,10 @@ type Reply struct {
 	// spent piggybacks the completed Request back to its issuing port
 	// for recycling.
 	spent *Request
+
+	// span continues the request's trace record on the reply leg
+	// (moved off the request at completion).
+	span *trace.Span
 }
 
 // ControllerConfig is the GDDR3-style timing model (paper §2.2): four
@@ -268,6 +280,9 @@ func (c *Controller) Clock(cycle int64) {
 				}
 				c.freeReps = append(c.freeReps, sp)
 			}
+			if req.span != nil {
+				req.span.Enqueue = cycle
+			}
 			cl.queue.Push(req)
 			_ = ci
 		}
@@ -322,7 +337,11 @@ func (c *Controller) schedule(cycle int64, chIdx int, ch *channelState) {
 			// The request vanishes: the client's outstanding budget never
 			// drains, so the pipeline backs up and the watchdog reports a
 			// deadlock — the observable signature of a lost transaction.
+			// A span riding it leaks with it, like the request itself.
 			return
+		}
+		if req.span != nil {
+			req.span.Sched = cycle
 		}
 
 		dur := (req.Size + c.cfg.ChannelBW - 1) / c.cfg.ChannelBW
@@ -370,8 +389,14 @@ func (c *Controller) complete(cycle int64, fl *inflight) {
 		c.statReadBytes.Add(float64(req.Size))
 		c.clientRead[fl.client].Add(float64(req.Size))
 	}
-	// The completed request rides the reply back to its issuing port.
+	// The completed request rides the reply back to its issuing port,
+	// and a trace span moves to the reply leg with it.
 	reply.spent = req
+	if sp := req.span; sp != nil {
+		sp.Complete = cycle
+		reply.span = sp
+		req.span = nil
+	}
 	cl.reply.Write(cycle, reply)
 	if fl.dup {
 		// Injected duplicate: a second reply with a fresh ID for the
@@ -383,6 +408,7 @@ func (c *Controller) complete(cycle int64, fl *inflight) {
 		echo := *reply
 		echo.DynObject.ID = c.ids.Next()
 		echo.spent = nil
+		echo.span = nil
 		if reply.Data != nil {
 			echo.Data = append([]byte(nil), reply.Data...)
 		}
@@ -430,6 +456,7 @@ type Port struct {
 	ids         *core.IDSource
 	outstanding int
 	limit       int
+	tr          *trace.Tracer // nil: tracing off, one branch per issue
 
 	freeReqs []*Request
 	spentRep []*Reply // consumed replies awaiting a ride back
@@ -448,6 +475,11 @@ func NewPort(sim *core.Simulator, client string, limit int) *Port {
 	sim.Binder.Bind(client, "MC."+client+".Reply", &p.reply)
 	return p
 }
+
+// SetTracer installs the port's span tracing handle (nil disables).
+// Call before Run; the tracer's sampler decides per issue whether a
+// transaction carries a span.
+func (p *Port) SetTracer(t *trace.Tracer) { p.tr = t }
 
 // CanIssue reports whether another transaction fits in the client's
 // outstanding budget.
@@ -483,6 +515,9 @@ func (p *Port) Read(cycle int64, addr uint32, size int, parent uint64) uint64 {
 	req := p.getReq()
 	req.DynObject = core.DynObject{ID: p.ids.Next(), Parent: parent, Tag: "rd"}
 	req.Op, req.Addr, req.Size = OpRead, addr, size
+	if p.tr != nil {
+		req.span = p.tr.Start(trace.KindRead, cycle, addr)
+	}
 	p.req.Write(cycle, req)
 	p.outstanding++
 	return req.ID
@@ -496,6 +531,9 @@ func (p *Port) Write(cycle int64, addr uint32, data []byte, parent uint64) uint6
 	req.DynObject = core.DynObject{ID: p.ids.Next(), Parent: parent, Tag: "wr"}
 	req.Op, req.Addr, req.Size = OpWrite, addr, len(data)
 	req.Data = append(req.Data[:0], data...)
+	if p.tr != nil {
+		req.span = p.tr.Start(trace.KindWrite, cycle, addr)
+	}
 	p.req.Write(cycle, req)
 	p.outstanding++
 	return req.ID
@@ -520,6 +558,10 @@ func (p *Port) Replies(cycle int64) []*Reply {
 		if sp := rep.spent; sp != nil {
 			rep.spent = nil
 			p.freeReqs = append(p.freeReqs, sp)
+		}
+		if sp := rep.span; sp != nil {
+			rep.span = nil
+			sp.Finish(cycle)
 		}
 		p.out = append(p.out, rep)
 		p.outstanding--

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"attila/internal/core"
+	"attila/internal/obsv/trace"
 )
 
 // BusOptions configures the windowed metrics bus.
@@ -41,6 +42,21 @@ type BusOptions struct {
 	// Now overrides the wall-clock source, for deterministic tests.
 	// Nil selects time.Now.
 	Now func() time.Time
+	// Spans, when non-nil, is the span collector whose per-client
+	// latency histograms the bus diffs at each window boundary into
+	// windowed p50/p90/p99 summaries. The collector's EndCycle hook
+	// must be registered before the bus is built (fold-before-sample).
+	Spans *trace.Collector
+}
+
+// LatencyWindow is one client's span-latency summary for a single
+// window: how many sampled requests terminated and the percentile
+// upper bounds of their total (issue-to-retire) latency in cycles.
+type LatencyWindow struct {
+	Count uint64 `json:"count"`
+	P50   int64  `json:"p50"`
+	P90   int64  `json:"p90"`
+	P99   int64  `json:"p99"`
 }
 
 // WatchdogStatus is the watchdog fingerprint snapshot embedded in
@@ -57,18 +73,19 @@ type WatchdogStatus struct {
 // All fields except WallNs and CPS are functions of simulation state
 // only and therefore identical for any worker count.
 type WindowSample struct {
-	Seq      int64              `json:"seq"`
-	Cycle    int64              `json:"cycle"`  // last executed cycle of the window
-	Cycles   int64              `json:"cycles"` // cycles covered by the window
-	Frames   int64              `json:"frames,omitempty"`
-	WallNs   int64              `json:"wallNs"`            // host time spent in the window
-	CPS      float64            `json:"cps"`               // simulated cycles per host second
-	Final    bool               `json:"final,omitempty"`   // partial flush window at end of run
-	Stats    map[string]float64 `json:"stats,omitempty"`   // counter deltas; gauges by value
-	Busy     map[string]float64 `json:"busy,omitempty"`    // per-box busy fraction of the window
-	Queues   map[string]float64 `json:"queues,omitempty"`  // occupancy fraction (count when unbounded)
-	Signals  map[string]int64   `json:"signals,omitempty"` // in-flight objects per signal (nonzero only)
-	Watchdog *WatchdogStatus    `json:"watchdog,omitempty"`
+	Seq      int64                     `json:"seq"`
+	Cycle    int64                     `json:"cycle"`  // last executed cycle of the window
+	Cycles   int64                     `json:"cycles"` // cycles covered by the window
+	Frames   int64                     `json:"frames,omitempty"`
+	WallNs   int64                     `json:"wallNs"`            // host time spent in the window
+	CPS      float64                   `json:"cps"`               // simulated cycles per host second
+	Final    bool                      `json:"final,omitempty"`   // partial flush window at end of run
+	Stats    map[string]float64        `json:"stats,omitempty"`   // counter deltas; gauges by value
+	Busy     map[string]float64        `json:"busy,omitempty"`    // per-box busy fraction of the window
+	Queues   map[string]float64        `json:"queues,omitempty"`  // occupancy fraction (count when unbounded)
+	Signals  map[string]int64          `json:"signals,omitempty"` // in-flight objects per signal (nonzero only)
+	Lat      map[string]*LatencyWindow `json:"lat,omitempty"`     // per-client span latency percentiles
+	Watchdog *WatchdogStatus           `json:"watchdog,omitempty"`
 }
 
 // busyEntry pairs a BusyReporter box with its previous busy count for
@@ -101,6 +118,8 @@ type Bus struct {
 	busy  []busyEntry
 	stall []core.Box // boxes implementing StallReporter
 	sigs  []*core.Signal
+	spans *trace.Collector
+	hists map[string]trace.Histogram // per-client baselines at the last window
 
 	curCycle atomic.Int64 // latest cycle seen by the hook, readable anywhere
 	lastHook int64        // previous hooked cycle, for boundary crossing (-1 at start)
@@ -137,6 +156,10 @@ func NewBus(sim *core.Simulator, opts BusOptions) *Bus {
 		goal:   opts.Goal,
 		goalFr: opts.GoalFrames,
 		sigs:   sim.Binder.Signals(),
+		spans:  opts.Spans,
+	}
+	if b.spans != nil {
+		b.hists = make(map[string]trace.Histogram)
 	}
 	for _, name := range sim.Stats.Names() {
 		st := sim.Stats.Lookup(name)
@@ -254,6 +277,22 @@ func (b *Bus) sample(cycle int64, final bool) {
 	if b.frames != nil {
 		s.Frames = b.frames()
 	}
+	if b.spans != nil {
+		cur := b.spans.TotalHists(nil)
+		for name, h := range cur {
+			d := h.Sub(b.hists[name])
+			if d.N == 0 {
+				continue
+			}
+			if s.Lat == nil {
+				s.Lat = make(map[string]*LatencyWindow)
+			}
+			s.Lat[name] = &LatencyWindow{
+				Count: d.N, P50: d.Quantile(0.50), P90: d.Quantile(0.90), P99: d.Quantile(0.99),
+			}
+		}
+		b.hists = cur
+	}
 
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -291,6 +330,23 @@ func (b *Bus) Snapshot() []*WindowSample {
 // Cycle returns the most recent simulated cycle observed by the bus
 // (updated every cycle, safe from any goroutine).
 func (b *Bus) Cycle() int64 { return b.curCycle.Load() }
+
+// StatTotals returns every statistic's cumulative value as of the
+// last sampled window (counters monotonically non-decreasing, gauges
+// by value) and whether each is a gauge. Safe from any goroutine —
+// it reads only the barrier-published baselines, which is what makes
+// it usable from the status server mid-run.
+func (b *Bus) StatTotals() (vals map[string]float64, gauges map[string]bool) {
+	vals = make(map[string]float64, len(b.stats))
+	gauges = make(map[string]bool, len(b.stats))
+	b.mu.Lock()
+	for i, st := range b.stats {
+		vals[st.StatName()] = b.prev[i]
+		gauges[st.StatName()] = b.gauge[i]
+	}
+	b.mu.Unlock()
+	return vals, gauges
+}
 
 // WriteNDJSON writes every recorded window as one JSON object per
 // line (newline-delimited JSON), oldest first. Map keys are emitted

@@ -22,6 +22,10 @@ type Manifest struct {
 	Config string            `json:"config,omitempty"`
 	Seed   int64             `json:"seed,omitempty"`
 
+	// Tracing records the span-sampling configuration when request
+	// tracing was on, so a result directory says which spans it kept.
+	Tracing *TracingConfig `json:"tracing,omitempty"`
+
 	Version   string `json:"version,omitempty"` // VCS revision (+dirty)
 	GoVersion string `json:"goVersion"`
 	OS        string `json:"os"`
@@ -58,6 +62,15 @@ type Manifest struct {
 	// AttemptCounts records, for sweep drivers (cmd/experiments), how
 	// many attempts each named run took — >1 means a retry recovered it.
 	AttemptCounts map[string]int `json:"attemptCounts,omitempty"`
+}
+
+// TracingConfig is the span-sampling configuration recorded in the
+// manifest: the 1/N sample rate, the sampler seed, and the latency
+// histogram's fixed bucket count.
+type TracingConfig struct {
+	SampleRate uint64 `json:"sampleRate"` // 1-in-N spans kept
+	Seed       uint64 `json:"seed"`       // sampler hash seed
+	Buckets    int    `json:"buckets"`    // log2 histogram bucket count
 }
 
 // PreviousRun summarizes an earlier attempt of the same logical run:

@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"attila/internal/core"
+	"attila/internal/obsv/trace"
 )
 
 // The Perfetto exporter converts simulator activity into the Chrome
@@ -23,6 +24,8 @@ import (
 //     window.
 //   - pid 3 "rates":     counter tracks for host cycles/sec and
 //     frames from the metrics bus.
+//   - pid 4 "spans":     sampled request spans; each client gets a
+//     request lane and a service lane, joined by flow arrows.
 
 // perfettoEvent is one trace_event record. Ts and Dur are in
 // microseconds per the format.
@@ -34,6 +37,8 @@ type perfettoEvent struct {
 	Dur  int64          `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
+	ID   int64          `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -42,6 +47,7 @@ const (
 	pidSignals = 1
 	pidBoxes   = 2
 	pidRates   = 3
+	pidSpans   = 4
 )
 
 // Perfetto accumulates trace events and serializes them as a
@@ -59,6 +65,7 @@ func NewPerfetto() *Perfetto {
 		pidSignals: "signals",
 		pidBoxes:   "boxes",
 		pidRates:   "rates",
+		pidSpans:   "spans",
 	} {
 		p.events = append(p.events, perfettoEvent{
 			Name: "process_name", Ph: "M", Pid: pid,
@@ -169,6 +176,65 @@ func (p *Perfetto) AddWindows(ws []*WindowSample) {
 				Args: map[string]any{"frames": w.Frames},
 			})
 		}
+	}
+}
+
+// AddSpans renders sampled request spans (pid "spans"). Each client
+// gets a request lane — one slice per span covering issue to retire —
+// and a service lane covering the scheduled-to-complete service
+// window. A flow arrow (ph s/t/f) threads each span from its issue
+// point through the service slice back to retirement, so the UI draws
+// the request's path through the machine. Flow ids are assigned in
+// span order, which is deterministic because the collector retains
+// spans in fold order.
+func (p *Perfetto) AddSpans(spans []trace.Span) {
+	for i := range spans {
+		s := &spans[i]
+		if s.Retire < s.Issue {
+			continue // never retired (crash dump); nothing to draw
+		}
+		name := s.KindS
+		args := map[string]any{
+			"seq": s.Seq, "addr": s.Addr,
+			"enqueue": s.Enqueue, "sched": s.Sched,
+			"complete": s.Complete, "retire": s.Retire,
+		}
+		reqTid := p.tid(pidSpans, s.Client)
+		dur := s.Retire - s.Issue
+		if dur < 1 {
+			dur = 1
+		}
+		p.events = append(p.events, perfettoEvent{
+			Name: name, Cat: "span", Ph: "X", Ts: s.Issue, Dur: dur,
+			Pid: pidSpans, Tid: reqTid, Args: args,
+		})
+		id := int64(len(p.events)) // unique, deterministic flow id
+		p.events = append(p.events, perfettoEvent{
+			Name: name, Cat: "span", Ph: "s", Ts: s.Issue, Pid: pidSpans, Tid: reqTid, ID: id,
+		})
+		if s.Complete >= s.Sched && s.Sched >= s.Issue {
+			svcTid := p.tid(pidSpans, s.Client+" (service)")
+			svcDur := s.Complete - s.Sched
+			if svcDur < 1 {
+				svcDur = 1
+			}
+			p.events = append(p.events, perfettoEvent{
+				Name: name, Cat: "span", Ph: "X", Ts: s.Sched, Dur: svcDur,
+				Pid: pidSpans, Tid: svcTid,
+			})
+			p.events = append(p.events, perfettoEvent{
+				Name: name, Cat: "span", Ph: "t", Ts: s.Sched, Pid: pidSpans, Tid: svcTid, ID: id,
+			})
+		}
+		// The finish step binds to the enclosing request slice; back off
+		// one cycle from the slice boundary so it lands inside it.
+		fts := s.Retire
+		if fts > s.Issue {
+			fts--
+		}
+		p.events = append(p.events, perfettoEvent{
+			Name: name, Cat: "span", Ph: "f", BP: "e", Ts: fts, Pid: pidSpans, Tid: reqTid, ID: id,
+		})
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"strconv"
 
 	"attila/internal/core"
+	"attila/internal/obsv/trace"
 )
 
 // ServerOptions wires the status server to the run's observability
@@ -28,10 +29,18 @@ type ServerOptions struct {
 	// Checkpoint, when non-nil, is served under /checkpoint: the live
 	// checkpoint engine's progress and this run's restore provenance.
 	Checkpoint func() *CheckpointStatus
-	// Jobs, when non-nil, is mounted under /jobs and /sweeps: the job
-	// server's HTTP API (internal/jobd) for submitting, watching, and
-	// canceling supervised runs.
+	// Jobs, when non-nil, is mounted under /jobs, /sweeps and /fleet:
+	// the job server's HTTP API (internal/jobd) for submitting,
+	// watching, and canceling supervised runs, plus the fleet-level
+	// merged metrics.
 	Jobs http.Handler
+	// Spans, when non-nil, is the span collector: /spans serves the
+	// retained sampled spans as NDJSON, and /metrics.prom includes the
+	// latency histograms.
+	Spans *trace.Collector
+	// Ready, when non-nil, drives /readyz: false answers 503 (e.g. a
+	// draining job server). Nil means always ready.
+	Ready func() bool
 }
 
 // Server is the attilasim status server: a plain stdlib HTTP server
@@ -64,16 +73,21 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics.prom", s.handleMetricsProm)
 	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/spans", s.handleSpans)
 	mux.HandleFunc("/crash", s.handleCrash)
 	mux.HandleFunc("/profile", s.handleProfile)
 	mux.HandleFunc("/manifest", s.handleManifest)
 	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	if s.opts.Jobs != nil {
 		mux.Handle("/jobs", s.opts.Jobs)
 		mux.Handle("/jobs/", s.opts.Jobs)
 		mux.Handle("/sweeps", s.opts.Jobs)
 		mux.Handle("/sweeps/", s.opts.Jobs)
+		mux.Handle("/fleet/", s.opts.Jobs)
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -121,14 +135,19 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "attilasim status server")
 	fmt.Fprintln(w, "  /metrics      windowed metrics (NDJSON, ?last=N)")
+	fmt.Fprintln(w, "  /metrics.prom cumulative metrics, OpenMetrics text format")
 	fmt.Fprintln(w, "  /progress     cycle, frames, rates, watchdog, ETA")
+	fmt.Fprintln(w, "  /spans        sampled request spans (NDJSON)")
 	fmt.Fprintln(w, "  /crash        black-box report of a failed run")
 	fmt.Fprintln(w, "  /profile      per-box host-time attribution")
 	fmt.Fprintln(w, "  /manifest     run manifest")
 	fmt.Fprintln(w, "  /checkpoint   checkpoint engine progress and restore provenance")
+	fmt.Fprintln(w, "  /healthz      liveness probe")
+	fmt.Fprintln(w, "  /readyz       readiness probe (503 while draining)")
 	if s.opts.Jobs != nil {
 		fmt.Fprintln(w, "  /jobs         job server: submit/list/cancel supervised runs")
 		fmt.Fprintln(w, "  /sweeps       job server: submit/list sweeps")
+		fmt.Fprintln(w, "  /fleet        fleet-level merged job metrics")
 	}
 	fmt.Fprintln(w, "  /debug/pprof  Go profiling")
 }
@@ -151,6 +170,42 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	_ = writeNDJSON(w, samples)
+}
+
+func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Bus == nil && s.opts.Spans == nil {
+		http.Error(w, "no metrics bus or span collector attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+	_ = WriteOpenMetrics(w, s.opts.Bus, s.opts.Spans)
+}
+
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Spans == nil {
+		http.Error(w, "no span collector attached (run with -trace-sample)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = s.opts.Spans.WriteSpansNDJSON(w)
+}
+
+// handleHealthz is the liveness probe: the process is up and serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is the readiness probe: 503 while the Ready hook says
+// the process should not receive new work (a draining job server).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.opts.Ready != nil && !s.opts.Ready() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
 }
 
 func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {

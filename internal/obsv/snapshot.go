@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"attila/internal/chkpt"
+	"attila/internal/obsv/trace"
 )
 
 // This file makes the metrics bus checkpointable. The bus is host-side
@@ -40,6 +41,14 @@ func (b *Bus) SnapshotState(e *chkpt.Encoder) {
 		ring = []byte("[]")
 	}
 	e.Blob(ring)
+	// Span-latency baselines: the per-client histogram snapshots the
+	// next window will diff against. Serialized even when empty so the
+	// section layout is fixed.
+	hists, err := json.Marshal(b.hists)
+	if err != nil {
+		hists = []byte("null")
+	}
+	e.Blob(hists)
 }
 
 // RestoreState implements chkpt.Snapshotter. The bus must be attached
@@ -52,6 +61,7 @@ func (b *Bus) RestoreState(d *chkpt.Decoder) error {
 	prev := d.F64s()
 	busyPrev := d.F64s()
 	ring := d.Blob()
+	histBlob := d.Blob()
 	if err := d.Err(); err != nil {
 		return err
 	}
@@ -65,6 +75,10 @@ func (b *Bus) RestoreState(d *chkpt.Decoder) error {
 	if err := json.Unmarshal(ring, &samples); err != nil {
 		return fmt.Errorf("%w: bus ring: %v", chkpt.ErrCorrupt, err)
 	}
+	var hists map[string]trace.Histogram
+	if err := json.Unmarshal(histBlob, &hists); err != nil {
+		return fmt.Errorf("%w: bus latency baselines: %v", chkpt.ErrCorrupt, err)
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.seq = seq
@@ -77,6 +91,12 @@ func (b *Bus) RestoreState(d *chkpt.Decoder) error {
 	b.ring = samples
 	if len(b.ring) > b.depth {
 		b.ring = b.ring[len(b.ring)-b.depth:]
+	}
+	if b.spans != nil {
+		if hists == nil {
+			hists = make(map[string]trace.Histogram)
+		}
+		b.hists = hists
 	}
 	b.flushed = false
 	// Re-anchor the wall clock: host time starts over in this process.
