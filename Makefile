@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check lint bench bench-gate bench-parallel fuzz
+.PHONY: build test check lint bench bench-gate bench-parallel fuzz fleet-smoke
 
 build:
 	$(GO) build ./...
@@ -22,8 +22,12 @@ test:
 # raced), the span-tracing determinism suite (serial-vs-parallel and
 # checkpoint byte-identity of the sampled spans and latency windows),
 # the fleet-metrics merge under concurrent job completion, the
-# OpenMetrics self-lint over /metrics.prom, and a fuzz smoke over the
-# trace reader.
+# OpenMetrics self-lint over /metrics.prom, the multi-host fleet gate
+# (a seeded 3-peer fleet battered by killhost/pauseheart/leaseyank
+# must converge byte-identically to a clean single-host run, raced,
+# alongside the lease-protocol edge cases: steal races, clock-skewed
+# peers, fenced revived hosts), the cancel/complete terminal-state
+# race, and a fuzz smoke over the trace reader.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/core/... ./internal/mem/... ./internal/obsv/... ./internal/chkpt/... ./internal/chaos/...
@@ -31,7 +35,8 @@ check:
 	$(GO) test -race -run 'Checkpoint|Chaos' -count=1 .
 	$(GO) test -race -run '^TestParallelMatchesSerial$$' -count=1 .
 	$(GO) test -race -run '^TestTracing(SerialVsParallel|CheckpointRoundTrip)$$' -count=1 .
-	$(GO) test -race -run '^TestJobd(ChaosConvergence|SigtermDrainResume)$$|^TestFleetMetricsMergeAcrossJobs$$' -count=1 ./internal/jobd/
+	$(GO) test -race -run '^TestJobd(ChaosConvergence|SigtermDrainResume)$$|^TestFleetMetricsMergeAcrossJobs$$|^TestCancelCompleteStress$$|^TestStateFileTornWrite$$' -count=1 ./internal/jobd/
+	$(GO) test -race -run '^TestFleetChaosConvergence$$|^TestDoubleStealOneWinner$$|^TestClockSkewedPeers$$|^TestFencedRevivedHost$$|^TestLeaseYankKeepsEpoch$$' -count=1 ./internal/fleet/
 	BENCH_OBSV_OUT=$$(mktemp) $(GO) test -run '^TestBenchObsv$$' .
 	BENCH_HOTPATH_OUT=$$(mktemp) BENCH_HOTPATH_SMOKE=1 $(GO) test -run '^TestBenchHotpath$$' -count=1 .
 	$(GO) test -fuzz=FuzzReader -fuzztime=10s ./internal/trace
@@ -77,3 +82,11 @@ bench-gate:
 # bench-parallel reproduces the BENCH_parallel.json snapshot.
 bench-parallel:
 	$(GO) test -run '^$$' -bench 'BenchmarkTable1Baseline' -benchtime 3x .
+
+# fleet-smoke is the quick partial-failure drill: two in-process fleet
+# peers split a sweep, one is killed mid-job (all writes suppressed,
+# no farewell heartbeat), and the survivor must steal its leases,
+# resume from checkpoints, and finish with output bytes identical to a
+# clean single-host run.
+fleet-smoke:
+	$(GO) test -run '^TestFleetSmokeTwoPeers$$' -count=1 -v ./internal/fleet/

@@ -34,6 +34,7 @@ import (
 	"attila/internal/chaos"
 	"attila/internal/core"
 	"attila/internal/experiments"
+	"attila/internal/fleet"
 	"attila/internal/gpu"
 	"attila/internal/jobd"
 	"attila/internal/obsv"
@@ -72,9 +73,18 @@ func main() {
 	chaosServer := flag.String("chaos-server", "", "jobd-level fault plan: seed=N,kill=JOB@CYCLE,panic=JOB@CYCLE[:BOX],yank=JOB (see internal/chaos)")
 	traceSample := flag.String("trace-sample", "", "request tracing for -serve/-sweep jobs: keep 1/N spans (e.g. 1/64; off by default)")
 	traceSeed := flag.Uint64("trace-seed", 1, "seed for the deterministic span sampler")
+
+	// Fleet mode (internal/fleet): N peers share -fleet-dir and split
+	// the work via lease files; a dead peer's jobs are stolen and
+	// resumed from their checkpoints.
+	fleetDir := flag.String("fleet-dir", "", "join the fleet sharing this work directory (with -serve: long-lived peer; with -sweep: submit and wait)")
+	peerID := flag.String("peer-id", "", "this peer's fleet name (default HOSTNAME-PID)")
+	leaseTTL := flag.Duration("lease-ttl", 2*time.Second, "how long an unrenewed job lease survives before other peers steal it")
+	tenant := flag.String("tenant", "", "tenant class stamped onto submitted jobs (weighted fair-share scheduling)")
+	priority := flag.Int("priority", 0, "priority stamped onto submitted jobs (higher preempts lower at its next checkpoint)")
 	flag.Parse()
 
-	if *serveAddr != "" || *sweepFile != "" {
+	if *serveAddr != "" || *sweepFile != "" || *fleetDir != "" {
 		rate, err := trace.ParseSampleRate(*traceSample)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -89,6 +99,8 @@ func main() {
 			jobTimeout: *jobTimeout, drainTimeout: *drainTimeout,
 			chaosServer: *chaosServer,
 			traceSample: rate, traceSeed: *traceSeed,
+			fleetDir: *fleetDir, peerID: *peerID, leaseTTL: *leaseTTL,
+			tenant: *tenant, priority: *priority,
 		}))
 	}
 
@@ -335,13 +347,19 @@ type jobModeConfig struct {
 	drainTimeout                 time.Duration
 	chaosServer                  string
 	traceSample, traceSeed       uint64
+	fleetDir, peerID             string
+	leaseTTL                     time.Duration
+	tenant                       string
+	priority                     int
 }
 
 // runJobMode runs the supervised job server, either as a long-lived
 // service (-serve) or as a one-shot sweep (-sweep). Returns the
 // process exit code.
 func runJobMode(c jobModeConfig) int {
-	if c.outDir == "" {
+	if c.outDir == "" && c.fleetDir == "" {
+		// Fleet peers write into <fleet-dir>/out; everything else needs
+		// an explicit output directory.
 		fmt.Fprintln(os.Stderr, "experiments: -serve/-sweep need -job-out DIR")
 		return 4
 	}
@@ -375,12 +393,17 @@ func runJobMode(c jobModeConfig) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if c.fleetDir != "" {
+		return runFleetMode(ctx, c, opts, logger)
+	}
+
 	if c.sweepFile != "" {
 		spec, err := jobd.ParseSweepFile(c.sweepFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			return 4
 		}
+		stampSweep(&spec, c)
 		st, err := jobd.RunSweep(ctx, opts, spec)
 		for _, j := range st.Jobs {
 			fmt.Printf("%-24s %-10s attempts=%d cycles=%d\n", j.Name, j.State, j.Attempts, j.Cycles)
@@ -423,5 +446,95 @@ func runJobMode(c jobModeConfig) int {
 	status.Close()
 	srv.Close()
 	logger.Printf("jobd: drained; state saved, restart to resume")
+	return 0
+}
+
+// stampSweep applies the -tenant/-priority flags as sweep defaults.
+func stampSweep(spec *jobd.SweepSpec, c jobModeConfig) {
+	if c.tenant != "" && spec.Defaults.Tenant == "" {
+		spec.Defaults.Tenant = c.tenant
+	}
+	if c.priority != 0 && spec.Defaults.Priority == 0 {
+		spec.Defaults.Priority = c.priority
+	}
+}
+
+// runFleetMode joins the fleet sharing -fleet-dir. With -sweep the
+// sweep is published to the fleet's queue and this process waits for
+// it to finalize — any peer, including this one, may run the jobs.
+// With -serve the peer runs as a long-lived fleet member behind the
+// status server, which also exposes GET /fleet/peers.
+func runFleetMode(ctx context.Context, c jobModeConfig, opts jobd.Options, logger *log.Logger) int {
+	id := c.peerID
+	if id == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "peer"
+		}
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	peer, err := fleet.NewPeer(fleet.Options{
+		Dir: c.fleetDir, PeerID: id, LeaseTTL: c.leaseTTL,
+		Addr: c.serveAddr, Jobd: opts, Chaos: opts.Chaos,
+		Logf: logger.Printf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 4
+	}
+	if err := peer.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+	logger.Printf("fleet: peer %s joined %s (lease TTL %v)", id, c.fleetDir, peer.LeaseTTL())
+
+	if c.sweepFile != "" {
+		spec, err := jobd.ParseSweepFile(c.sweepFile)
+		if err != nil {
+			peer.Close()
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 4
+		}
+		stampSweep(&spec, c)
+		if err := peer.SubmitSweep(spec); err != nil {
+			peer.Close()
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 4
+		}
+		res, err := peer.WaitSweep(ctx, spec.Name)
+		if err != nil {
+			peer.Close()
+			fmt.Fprintf(os.Stderr, "experiments: sweep interrupted; surviving peers can still finish it\n")
+			return 3
+		}
+		for _, r := range res.Rows {
+			fmt.Printf("%-24s %-10s peer=%s epoch=%d cycles=%d\n", r.Name, r.State, r.Peer, r.Epoch, r.Cycles)
+		}
+		fmt.Printf("sweep %s: %d jobs; summary at %s\n",
+			spec.Name, len(res.Rows), filepath.Join(c.fleetDir, "out", spec.Name+"-summary.txt"))
+		peer.Close()
+		return 0
+	}
+
+	status := obsv.NewServer(c.serveAddr, obsv.ServerOptions{
+		Jobs:  peer.Handler(),
+		Ready: func() bool { return !peer.Server().Draining() },
+	})
+	if err := status.Start(); err != nil {
+		peer.Close()
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+	logger.Printf("fleet: serving on %s (GET /fleet/peers; SIGTERM drains)", status.Addr())
+	<-ctx.Done()
+	logger.Printf("fleet: signal received, draining (grace %v)", c.drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), c.drainTimeout)
+	defer cancel()
+	if err := peer.Server().Drain(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+	}
+	status.Close()
+	peer.Close()
+	logger.Printf("fleet: left the fleet; leases expire and peers take over")
 	return 0
 }

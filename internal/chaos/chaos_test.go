@@ -6,6 +6,7 @@ import (
 	"io"
 	"strings"
 	"testing"
+	"time"
 
 	"attila/internal/chaos"
 	"attila/internal/core"
@@ -321,5 +322,57 @@ func TestInjectorDisable(t *testing.T) {
 	}
 	if inj.Injected() != 0 {
 		t.Errorf("disabled injector recorded %d faults", inj.Injected())
+	}
+}
+
+// TestParseServerFleetFaults: the fleet-level faults (killhost,
+// pauseheart, leaseyank) parse, render, and answer their accessors;
+// malformed specs fail with a diagnostic.
+func TestParseServerFleetFaults(t *testing.T) {
+	spec := "seed=9,killhost=peer-2@5000,pauseheart=peer-1@3000:1500ms,leaseyank=conv-3"
+	p, err := chaos.ParseServer(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 9 {
+		t.Errorf("seed %d, want 9", p.Seed)
+	}
+	if f := p.KillHostFor("peer-2"); f == nil || f.Cycle != 5000 {
+		t.Errorf("killhost fault %+v, want peer-2@5000", f)
+	}
+	if p.KillHostFor("peer-1") != nil {
+		t.Error("killhost matched the wrong peer")
+	}
+	if f := p.PauseHeartFor("peer-1"); f == nil || f.Cycle != 3000 || f.Dur != 1500*time.Millisecond {
+		t.Errorf("pauseheart fault %+v, want peer-1@3000:1.5s", f)
+	}
+	if !p.LeaseYankFor("conv-3") || p.LeaseYankFor("conv-1") {
+		t.Error("leaseyank accessor wrong")
+	}
+	round, err := chaos.ParseServer(p.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", p.String(), err)
+	}
+	if round.String() != p.String() {
+		t.Errorf("round trip %q != %q", round.String(), p.String())
+	}
+
+	for _, bad := range []string{
+		"killhost=peer-2",          // no cycle
+		"killhost=@500",            // no peer
+		"pauseheart=peer-1@3000",   // no duration
+		"pauseheart=peer-1@x:1s",   // bad cycle
+		"pauseheart=peer-1@10:-1s", // negative duration
+		"leaseyank=",               // no job
+	} {
+		if _, err := chaos.ParseServer(bad); err == nil {
+			t.Errorf("spec %q parsed, want error", bad)
+		}
+	}
+
+	// A nil plan answers no on everything.
+	var nilPlan *chaos.ServerPlan
+	if nilPlan.KillHostFor("p") != nil || nilPlan.PauseHeartFor("p") != nil || nilPlan.LeaseYankFor("j") {
+		t.Error("nil plan reported a fault")
 	}
 }

@@ -71,8 +71,11 @@ type Snapshotter interface {
 
 // Format constants.
 const (
-	magic   = "ATTILACKPT"
-	version = 1
+	magic = "ATTILACKPT"
+	// version 2 added Meta.Epoch (the fleet lease fencing epoch);
+	// version-1 files still read back with Epoch 0.
+	version    = 2
+	minVersion = 1
 	// maxPayload caps the decompressed payload so a corrupt or
 	// malicious length field cannot balloon memory (the decoder is
 	// fuzzed against exactly that).
@@ -94,6 +97,12 @@ type Meta struct {
 	Cycle    int64
 	Config   string
 	Workload string
+	// Epoch is the fleet lease fencing epoch the owning host held when
+	// it wrote the checkpoint (0 outside fleet mode). It is provenance,
+	// not machine state: restores ignore it, but a host whose lease was
+	// stolen must never produce a file stamped with its stale epoch —
+	// the Engine's Gate hook enforces that before every write.
+	Epoch int64
 }
 
 // Snapshot is an in-memory checkpoint: meta plus named sections.
@@ -177,6 +186,7 @@ func (s *Snapshot) Encode(w io.Writer) error {
 	payload.I64(s.Meta.Cycle)
 	payload.Str(s.Meta.Config)
 	payload.Str(s.Meta.Workload)
+	payload.I64(s.Meta.Epoch)
 	payload.U32(uint32(len(s.order)))
 	for _, name := range s.order {
 		payload.Str(name)
@@ -269,8 +279,9 @@ func Read(r io.Reader) (*Snapshot, error) {
 	if string(hdr[:len(magic)]) != magic {
 		return nil, fmt.Errorf("%w: bad magic", ErrFormat)
 	}
-	if v := binary.LittleEndian.Uint32(hdr[len(magic):]); v != version {
-		return nil, fmt.Errorf("%w: unsupported version %d (want %d)", ErrFormat, v, version)
+	v := binary.LittleEndian.Uint32(hdr[len(magic):])
+	if v < minVersion || v > version {
+		return nil, fmt.Errorf("%w: unsupported version %d (want %d..%d)", ErrFormat, v, minVersion, version)
 	}
 	wantCRC := binary.LittleEndian.Uint32(hdr[len(magic)+4:])
 	size := binary.LittleEndian.Uint64(hdr[len(magic)+8:])
@@ -301,6 +312,9 @@ func Read(r io.Reader) (*Snapshot, error) {
 	snap.Meta.Cycle = d.I64()
 	snap.Meta.Config = d.Str()
 	snap.Meta.Workload = d.Str()
+	if v >= 2 {
+		snap.Meta.Epoch = d.I64()
+	}
 	n := d.U32()
 	if n > maxSections {
 		return nil, fmt.Errorf("%w: %d sections exceeds limit", ErrCorrupt, n)
@@ -552,6 +566,16 @@ type Engine struct {
 	// Capture serializes the machine. Called at the barrier only, and
 	// only when Quiesced returned true.
 	Capture func() (*Snapshot, error)
+	// Gate, when non-nil, is consulted immediately before a captured
+	// snapshot is written: a non-nil error refuses the write (surfaced
+	// via Err, the run continues). The fleet layer wires lease-ownership
+	// checks here so a host whose lease was stolen — paused, revived,
+	// still simulating — can never clobber the new owner's checkpoint
+	// with a stale-epoch file.
+	Gate func() error
+	// Epoch, when non-nil, stamps the current lease fencing epoch into
+	// Meta.Epoch of every capture.
+	Epoch func() int64
 
 	last      int64
 	force     atomic.Bool
@@ -582,6 +606,14 @@ func (e *Engine) EndCycle(cycle int64) {
 	}
 	e.last = cycle
 	snap, err := e.Capture()
+	if err == nil && e.Epoch != nil {
+		snap.Meta.Epoch = e.Epoch()
+	}
+	// The gate runs after capture, immediately before the write: the
+	// narrowest window between "lease still ours" and the rename.
+	if err == nil && e.Gate != nil {
+		err = e.Gate()
+	}
 	if err == nil {
 		err = snap.WriteFile(e.Path)
 	}

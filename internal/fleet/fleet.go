@@ -1,0 +1,508 @@
+// Package fleet is the coordinator-free multi-host layer on top of
+// the job server (internal/jobd): N peers share a work directory on a
+// common filesystem, claim jobs through lease files with a TTL and
+// seeded-jitter renewal, and steal work from peers whose leases stop
+// renewing. There is no leader and no election — the filesystem's
+// atomic link/rename primitives are the only consensus used.
+//
+// The safety argument has three legs:
+//
+//   - Liveness detection is observation-based and clock-free: lease
+//     and heartbeat files carry sequence numbers, never timestamps,
+//     and a peer measures staleness only as "unchanged for ≥ TTL of
+//     my own monotonic time". Hosts with arbitrarily skewed wall
+//     clocks interoperate.
+//
+//   - Mutual exclusion per epoch: the initial claim is an os.Link
+//     (exactly one winner), and a steal must first create an O_EXCL
+//     marker naming the next epoch — so for every (job, epoch) there
+//     is at most one owner ever.
+//
+//   - Fencing makes the exclusion durable: the lease epoch is stamped
+//     into every checkpoint and manifest, and the owner re-reads the
+//     lease immediately before every durable write (jobd's Fence
+//     hook). A host that was paused past its TTL and revived — the
+//     classic split-brain — finds another peer's name or a higher
+//     epoch in the lease file and aborts without writing a byte.
+//
+// Because the simulator is deterministic and checkpoint restore is
+// bit-identical, a stolen job resumed on another host converges to
+// the same stats CSV, byte for byte, as an undisturbed run; the
+// 3-peer chaos convergence suite asserts exactly that against a clean
+// single-host jobd run.
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"attila/internal/chaos"
+	"attila/internal/jobd"
+)
+
+// jobdErrFenced aliases the jobd sentinel so lease.go's fence errors
+// match errors.Is(err, jobd.ErrFenced).
+var jobdErrFenced = jobd.ErrFenced
+
+// Options configures one fleet peer.
+type Options struct {
+	// Dir is the shared fleet work directory (required). Layout:
+	//
+	//	sweeps/<name>.json   sweep specs, published once
+	//	queue/<job>.json     one normalized JobSpec per job
+	//	leases/<job>.json    claim records (owner, epoch, seq)
+	//	peers/<id>.json      heartbeats (id, seq, addr)
+	//	results/<job>.json   terminal outcomes, written by the owner
+	//	out/                 shared job outputs (CSVs, manifests, summary)
+	//	checkpoints/         shared checkpoint files jobs migrate through
+	Dir string
+	// PeerID uniquely names this peer in the fleet (required).
+	PeerID string
+	// LeaseTTL is how long a lease may go unrenewed before it is
+	// stealable, and the base of the heartbeat staleness thresholds.
+	// Default 2s. Renewals happen every TTL/3 with seeded jitter so a
+	// large fleet's renewals do not stampede in phase.
+	LeaseTTL time.Duration
+	// Addr, when non-empty, is this peer's status-server address,
+	// published in heartbeats for /healthz probing.
+	Addr string
+	// Jobd templates the local job server. OutDir/CkptDir/StatePath
+	// are overridden to the shared layout; everything else (workers,
+	// retries, checkpoint interval, tenants, chaos) applies as given.
+	Jobd jobd.Options
+	// Chaos arms fleet-level faults (killhost, pauseheart, leaseyank)
+	// in addition to whatever Jobd.Chaos injects locally.
+	Chaos *chaos.ServerPlan
+	// MaxClaims bounds how many unfinished jobs this peer holds at
+	// once; 0 defaults to 2× the local worker count, keeping work
+	// spread across the fleet instead of hoarded by whoever scans
+	// first.
+	MaxClaims int
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// ownedJob is a lease this peer currently holds.
+type ownedJob struct {
+	epoch     int64
+	published bool // result file written; lease no longer renewed
+}
+
+// Peer is one fleet member: a local jobd server plus the lease,
+// heartbeat, steal, and finalize loops.
+type Peer struct {
+	opts Options
+	srv  *jobd.Server
+	rng  *rand.Rand
+
+	mu     sync.Mutex
+	owned  map[string]*ownedJob
+	peers  map[string]*watchedPeer
+	leases map[string]*observation // per-lease staleness observers
+	hbSeq  int64
+
+	// Chaos latches.
+	killFired  bool
+	pauseFired bool
+	yankFired  bool
+	pausedTill time.Time
+
+	killed bool
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewPeer builds a peer; Start creates the directory layout and
+// begins the loop.
+func NewPeer(opts Options) (*Peer, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("fleet: Options.Dir is required")
+	}
+	if opts.PeerID == "" {
+		return nil, fmt.Errorf("fleet: Options.PeerID is required")
+	}
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = 2 * time.Second
+	}
+	jo := opts.Jobd
+	jo.OutDir = filepath.Join(opts.Dir, "out")
+	jo.CkptDir = filepath.Join(opts.Dir, "checkpoints")
+	// The state file is per peer: the output tree is shared, the
+	// server's private queue is not.
+	jo.StatePath = filepath.Join(opts.Dir, fmt.Sprintf("jobd-state-%s.json", opts.PeerID))
+	jo.PeerID = opts.PeerID
+	if opts.Logf != nil && jo.Logf == nil {
+		jo.Logf = opts.Logf
+	}
+	p := &Peer{
+		opts:   opts,
+		owned:  make(map[string]*ownedJob),
+		peers:  make(map[string]*watchedPeer),
+		leases: make(map[string]*observation),
+		stopCh: make(chan struct{}),
+	}
+	// Seeded jitter: the tick phase is deterministic per (chaos seed,
+	// peer ID), never wall-clock derived, so chaos runs reproduce.
+	seed := int64(1)
+	if opts.Chaos != nil {
+		seed = opts.Chaos.Seed
+	}
+	h := fnv.New64a()
+	h.Write([]byte(opts.PeerID))
+	p.rng = rand.New(rand.NewSource(seed + int64(h.Sum64()&0x7fffffff)))
+	jo.Fence = p.fenceCheck
+	jo.LeaseEpoch = p.leaseEpoch
+	p.srv = jobd.New(jo)
+	if opts.MaxClaims <= 0 {
+		p.opts.MaxClaims = 2 * workerCount(jo)
+	}
+	return p, nil
+}
+
+func workerCount(o jobd.Options) int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return 1
+}
+
+func (p *Peer) logf(format string, args ...any) {
+	if p.opts.Logf != nil {
+		p.opts.Logf(format, args...)
+	}
+}
+
+// Server exposes the local job server (for HTTP mounting and tests).
+func (p *Peer) Server() *jobd.Server { return p.srv }
+
+// LeaseTTL reports the effective lease TTL after defaulting.
+func (p *Peer) LeaseTTL() time.Duration { return p.opts.LeaseTTL }
+
+// Start creates the shared layout, starts the local job server, and
+// launches the peer loop.
+func (p *Peer) Start() error {
+	for _, sub := range []string{"sweeps", "queue", "leases", "peers", "results", "out", "checkpoints"} {
+		if err := os.MkdirAll(filepath.Join(p.opts.Dir, sub), 0o755); err != nil {
+			return err
+		}
+	}
+	if err := p.srv.Start(); err != nil {
+		return err
+	}
+	p.publishHeartbeat()
+	p.wg.Add(1)
+	go p.loop()
+	return nil
+}
+
+// Close stops the loop and the local job server. Leases this peer
+// holds are left in place: a restarted peer with the same ID resumes
+// them; otherwise they expire and are stolen.
+func (p *Peer) Close() error {
+	select {
+	case <-p.stopCh:
+	default:
+		close(p.stopCh)
+	}
+	p.wg.Wait()
+	return p.srv.Close()
+}
+
+// Kill simulates this host dying: the local job server halts with
+// every durable write suppressed (jobd.Server.Kill) and the peer loop
+// stops mid-beat — no farewell heartbeat, no lease release. The rest
+// of the fleet finds out the only way a real crash lets it: the
+// heartbeat and lease files stop changing. Chaos killhost and the
+// fleet-smoke test both use this.
+func (p *Peer) Kill() {
+	p.mu.Lock()
+	p.killed = true
+	p.mu.Unlock()
+	p.srv.Kill()
+	select {
+	case <-p.stopCh:
+	default:
+		close(p.stopCh)
+	}
+	p.wg.Wait()
+}
+
+// tick returns the next loop delay: TTL/3 with ±25% seeded jitter.
+func (p *Peer) tick() time.Duration {
+	base := p.opts.LeaseTTL / 3
+	jitter := time.Duration(p.rng.Int63n(int64(base)/2+1)) - base/4
+	return base + jitter
+}
+
+// loop is the peer's heartbeat-renew-observe-claim-steal cycle.
+func (p *Peer) loop() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.stopCh:
+			return
+		case <-time.After(p.tick()):
+		}
+		now := time.Now()
+		p.fireChaos(now)
+		p.mu.Lock()
+		paused := now.Before(p.pausedTill)
+		killed := p.killed
+		p.mu.Unlock()
+		if killed {
+			return
+		}
+		if paused {
+			// pauseheart: the whole control loop is stalled — no
+			// heartbeats, no renewals, no steals — while the local
+			// simulations keep running. The rest of the fleet sees a
+			// silent peer and takes its leases; the fence catches our
+			// writes in the meantime.
+			continue
+		}
+		p.publishHeartbeat()
+		p.renewOwned()
+		p.observePeers(now)
+		p.scanQueue(now)
+		p.publishResults()
+		p.finalizeSweeps()
+	}
+}
+
+// fireChaos checks the fleet-level fault triggers against local job
+// progress. Triggers key on deterministic simulation cycles, so a
+// fault lands at the same point in the workload every run (modulo the
+// polling cadence — which cannot affect final output bytes, because
+// recovery converges from checkpoints regardless of where the fault
+// lands).
+func (p *Peer) fireChaos(now time.Time) {
+	plan := p.opts.Chaos
+	if plan == nil {
+		return
+	}
+	statuses := p.srv.Jobs()
+	if f := plan.KillHostFor(p.opts.PeerID); f != nil {
+		p.mu.Lock()
+		fired := p.killFired
+		p.mu.Unlock()
+		if !fired {
+			for _, st := range statuses {
+				if st.State == jobd.StateRunning && st.Cycle >= f.Cycle {
+					p.mu.Lock()
+					p.killFired = true
+					p.killed = true
+					p.mu.Unlock()
+					p.logf("fleet: chaos: killing host %s at job %s cycle %d", p.opts.PeerID, st.Name, st.Cycle)
+					p.srv.Kill()
+					return
+				}
+			}
+		}
+	}
+	if f := plan.PauseHeartFor(p.opts.PeerID); f != nil {
+		p.mu.Lock()
+		fired := p.pauseFired
+		p.mu.Unlock()
+		if !fired {
+			for _, st := range statuses {
+				if st.State == jobd.StateRunning && st.Cycle >= f.Cycle {
+					p.mu.Lock()
+					p.pauseFired = true
+					p.pausedTill = now.Add(f.Dur)
+					p.mu.Unlock()
+					p.logf("fleet: chaos: pausing %s heartbeats for %v at job %s cycle %d",
+						p.opts.PeerID, f.Dur, st.Name, st.Cycle)
+					return
+				}
+			}
+		}
+	}
+	if plan.LeaseYank != nil {
+		job := plan.LeaseYank.Job
+		p.mu.Lock()
+		fired := p.yankFired
+		mine := p.owned[job] != nil
+		p.mu.Unlock()
+		if !fired && mine {
+			for _, st := range statuses {
+				if st.Name == job && st.State == jobd.StateRunning && st.Cycle > 0 {
+					p.mu.Lock()
+					p.yankFired = true
+					p.mu.Unlock()
+					p.logf("fleet: chaos: yanking lease of %s out from under %s", job, p.opts.PeerID)
+					if err := p.yankLease(job); err != nil {
+						p.logf("fleet: chaos: leaseyank failed: %v", err)
+					}
+					return
+				}
+			}
+		}
+	}
+}
+
+// renewOwned republishes every held lease; a lease that no longer
+// names this peer means we were fenced — the job aborts locally and
+// its new owner keeps the bytes.
+func (p *Peer) renewOwned() {
+	p.mu.Lock()
+	jobs := make(map[string]*ownedJob, len(p.owned))
+	for name, oj := range p.owned {
+		jobs[name] = oj
+	}
+	p.mu.Unlock()
+	for name, oj := range jobs {
+		if oj.published {
+			continue // done and recorded; let the lease age into a tombstone
+		}
+		if err := p.renewLease(name, oj.epoch); err != nil {
+			p.logf("fleet: %s: lost lease on %s: %v", p.opts.PeerID, name, err)
+			p.mu.Lock()
+			delete(p.owned, name)
+			p.mu.Unlock()
+			_ = p.srv.FenceJob(name)
+		}
+	}
+}
+
+// scanQueue claims unleased jobs and steals expired leases, up to the
+// claim budget.
+func (p *Peer) scanQueue(now time.Time) {
+	entries, err := os.ReadDir(filepath.Join(p.opts.Dir, "queue"))
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		job, ok := jobName(e.Name(), ".json")
+		if !ok {
+			continue
+		}
+		if p.resultExists(job) {
+			continue
+		}
+		p.mu.Lock()
+		_, mine := p.owned[job]
+		budget := p.claimBudgetLocked()
+		p.mu.Unlock()
+		if mine || budget <= 0 {
+			continue
+		}
+		l, lerr := readLease(p.leasePath(job))
+		switch {
+		case os.IsNotExist(lerr):
+			// Unclaimed: race for the initial lease.
+			epoch, cerr := p.tryClaim(job)
+			if cerr != nil {
+				continue
+			}
+			p.adopt(job, epoch, false)
+		case lerr == nil && l.Owner != p.opts.PeerID:
+			// Someone else's: steal only after observing it unrenewed
+			// for a full TTL on our own clock.
+			p.mu.Lock()
+			obs := p.leases[job]
+			if obs == nil {
+				obs = &observation{}
+				p.leases[job] = obs
+			}
+			stale := obs.observe(leaseKey(l), now)
+			p.mu.Unlock()
+			if stale < p.opts.LeaseTTL {
+				continue
+			}
+			epoch, serr := p.trySteal(job, l)
+			if serr != nil {
+				// Lost the steal race: back off and re-observe the
+				// winner's renewals from scratch.
+				p.mu.Lock()
+				delete(p.leases, job)
+				p.mu.Unlock()
+				continue
+			}
+			p.logf("fleet: %s: stole %s from %s at epoch %d", p.opts.PeerID, job, l.Owner, epoch)
+			p.adopt(job, epoch, true)
+		}
+	}
+}
+
+// claimBudgetLocked is how many more jobs this peer may hold.
+func (p *Peer) claimBudgetLocked() int {
+	held := 0
+	for _, oj := range p.owned {
+		if !oj.published {
+			held++
+		}
+	}
+	return p.opts.MaxClaims - held
+}
+
+// adopt records ownership and hands the job to the local jobd server.
+// A stolen job resumes from whatever checkpoint its previous owner
+// last managed to write (Resume=true keeps the shared checkpoint
+// file); a fresh claim starts clean.
+func (p *Peer) adopt(job string, epoch int64, stolen bool) {
+	spec, err := p.readJobSpec(job)
+	if err != nil {
+		p.logf("fleet: %s: claimed %s but cannot read spec: %v", p.opts.PeerID, job, err)
+		return
+	}
+	spec.Resume = stolen
+	p.mu.Lock()
+	p.owned[job] = &ownedJob{epoch: epoch}
+	delete(p.leases, job)
+	p.mu.Unlock()
+	if _, err := p.srv.ResubmitJob(spec); err != nil {
+		p.logf("fleet: %s: submitting claimed job %s: %v", p.opts.PeerID, job, err)
+	}
+}
+
+// publishResults records terminal outcomes of owned jobs in the
+// shared results directory. The write is fence-checked like every
+// other durable write; after it lands the lease stops being renewed
+// and becomes a tombstone (stealers check for the result first).
+func (p *Peer) publishResults() {
+	p.mu.Lock()
+	pending := make([]string, 0, len(p.owned))
+	for name, oj := range p.owned {
+		if !oj.published {
+			pending = append(pending, name)
+		}
+	}
+	p.mu.Unlock()
+	for _, name := range pending {
+		st, err := p.srv.JobStatus(name)
+		if err != nil || !terminalState(st.State) {
+			continue
+		}
+		if st.State == jobd.StateLost {
+			// We were fenced mid-run; the thief publishes, not us.
+			p.mu.Lock()
+			delete(p.owned, name)
+			p.mu.Unlock()
+			continue
+		}
+		if err := p.fenceCheck(name); err != nil {
+			p.logf("fleet: %s: result for %s refused: %v", p.opts.PeerID, name, err)
+			continue
+		}
+		if err := p.writeResult(name, st); err != nil {
+			p.logf("fleet: %s: result write for %s failed: %v", p.opts.PeerID, name, err)
+			continue
+		}
+		p.mu.Lock()
+		p.owned[name].published = true
+		p.mu.Unlock()
+	}
+}
+
+func terminalState(s jobd.State) bool {
+	switch s {
+	case jobd.StateDone, jobd.StateFailed, jobd.StateCanceled, jobd.StateLost:
+		return true
+	}
+	return false
+}

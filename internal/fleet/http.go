@@ -1,0 +1,30 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler wraps the local job server's HTTP API and adds the
+// fleet-level routes:
+//
+//	GET /fleet/peers   watched peers and their failure-detector states
+//
+// Everything else (/jobs, /sweeps, /fleet/metrics) is served by the
+// embedded jobd handler, so a fleet peer mounts exactly like a
+// single-host job server under the obsv status server.
+func (p *Peer) Handler() http.Handler {
+	jobs := p.srv.Handler()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /fleet/peers", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{
+			"self":  p.opts.PeerID,
+			"peers": p.Peers(),
+		})
+	})
+	mux.Handle("/", jobs)
+	return mux
+}

@@ -1,0 +1,276 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"attila/internal/jobd"
+)
+
+// sweepRecord is the published form of a sweep: its name and the
+// names of its jobs. Job specs live one-per-file in queue/ so claims
+// are per job.
+type sweepRecord struct {
+	Name string   `json:"name"`
+	Jobs []string `json:"jobs"`
+}
+
+// Result is one job's published terminal outcome — exactly the data
+// the deterministic sweep summary needs, and nothing volatile:
+// no timestamps, no attempt counts, no peer identity inside the
+// summarized fields. Epoch and Peer ride along for auditing only.
+type Result struct {
+	Name     string  `json:"name"`
+	Config   string  `json:"config"`
+	Workload string  `json:"workload"`
+	State    string  `json:"state"`
+	FailKind string  `json:"failKind,omitempty"`
+	Cycles   int64   `json:"cycles,omitempty"`
+	FPS      float64 `json:"fps,omitempty"`
+	Peer     string  `json:"peer,omitempty"`
+	Epoch    int64   `json:"epoch,omitempty"`
+}
+
+func (p *Peer) sweepPath(name string) string {
+	return filepath.Join(p.opts.Dir, "sweeps", name+".json")
+}
+
+func (p *Peer) queuePath(job string) string {
+	return filepath.Join(p.opts.Dir, "queue", job+".json")
+}
+
+func (p *Peer) resultPath(job string) string {
+	return filepath.Join(p.opts.Dir, "results", job+".json")
+}
+
+func (p *Peer) summaryPath(sweep string) string {
+	return filepath.Join(p.opts.Dir, "out", sweep+"-summary.txt")
+}
+
+func (p *Peer) resultExists(job string) bool {
+	_, err := os.Stat(p.resultPath(job))
+	return err == nil
+}
+
+// SubmitSweep publishes a sweep to the fleet: the normalized job
+// specs land one-per-file in the shared queue, then the sweep record
+// names them. Any peer may submit; every peer races to claim the
+// jobs. Resubmitting an identical sweep is a no-op, so a restarted
+// driver attaches instead of colliding.
+func (p *Peer) SubmitSweep(spec jobd.SweepSpec) error {
+	norm, err := jobd.NormalizeSweep(spec)
+	if err != nil {
+		return err
+	}
+	rec := sweepRecord{Name: spec.Name}
+	for _, js := range norm {
+		rec.Jobs = append(rec.Jobs, js.Name)
+	}
+	if prev, err := p.readSweepRecord(spec.Name); err == nil {
+		if len(prev.Jobs) != len(rec.Jobs) {
+			return fmt.Errorf("%w: sweep %s exists with different jobs", jobd.ErrDuplicate, spec.Name)
+		}
+		for i := range prev.Jobs {
+			if prev.Jobs[i] != rec.Jobs[i] {
+				return fmt.Errorf("%w: sweep %s exists with different jobs", jobd.ErrDuplicate, spec.Name)
+			}
+		}
+		return nil
+	}
+	for _, js := range norm {
+		data, err := json.MarshalIndent(js, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := writeFileAtomic(p.queuePath(js.Name), append(data, '\n')); err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(p.sweepPath(spec.Name), append(data, '\n'))
+}
+
+func (p *Peer) readSweepRecord(name string) (sweepRecord, error) {
+	data, err := os.ReadFile(p.sweepPath(name))
+	if err != nil {
+		return sweepRecord{}, err
+	}
+	var rec sweepRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return sweepRecord{}, err
+	}
+	return rec, nil
+}
+
+func (p *Peer) readJobSpec(job string) (jobd.JobSpec, error) {
+	data, err := os.ReadFile(p.queuePath(job))
+	if err != nil {
+		return jobd.JobSpec{}, err
+	}
+	var spec jobd.JobSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return jobd.JobSpec{}, err
+	}
+	return spec, nil
+}
+
+func (p *Peer) writeResult(job string, st jobd.JobStatus) error {
+	res := Result{
+		Name: st.Name, Config: st.Config, Workload: st.Workload,
+		State: string(st.State), FailKind: st.FailKind,
+		Cycles: st.Cycles, FPS: st.FPS,
+		Peer: p.opts.PeerID, Epoch: p.leaseEpoch(job),
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(p.resultPath(job), append(data, '\n'))
+}
+
+func (p *Peer) readResult(job string) (Result, error) {
+	data, err := os.ReadFile(p.resultPath(job))
+	if err != nil {
+		return Result{}, err
+	}
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// finalizeSweeps writes the summary of every sweep whose jobs all
+// have published results. The summary is rendered by the same
+// deterministic renderer jobd uses (sorted by job name, simulation
+// results only), so every peer that finalizes — and a clean
+// single-host run — produces identical bytes; the write is atomic and
+// idempotent, making the finalize race harmless.
+func (p *Peer) finalizeSweeps() {
+	entries, err := os.ReadDir(filepath.Join(p.opts.Dir, "sweeps"))
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name, ok := jobName(e.Name(), ".json")
+		if !ok {
+			continue
+		}
+		rows, done := p.sweepRows(name)
+		if !done {
+			continue
+		}
+		summary := jobd.RenderSummary(name, rows)
+		path := p.summaryPath(name)
+		if got, rerr := os.ReadFile(path); rerr == nil && bytes.Equal(got, summary) {
+			continue // already finalized with identical bytes
+		}
+		if werr := writeFileAtomic(path, summary); werr != nil {
+			p.logf("fleet: %s: sweep %s summary write failed: %v", p.opts.PeerID, name, werr)
+		} else {
+			p.logf("fleet: %s: sweep %s finalized", p.opts.PeerID, name)
+		}
+	}
+}
+
+// sweepRows collects a sweep's result rows; done is false until every
+// job has a published result.
+func (p *Peer) sweepRows(name string) ([]jobd.SummaryRow, bool) {
+	rec, err := p.readSweepRecord(name)
+	if err != nil {
+		return nil, false
+	}
+	rows := make([]jobd.SummaryRow, 0, len(rec.Jobs))
+	for _, job := range rec.Jobs {
+		res, rerr := p.readResult(job)
+		if rerr != nil {
+			return nil, false
+		}
+		rows = append(rows, jobd.SummaryRow{
+			Name: res.Name, Config: res.Config, Workload: res.Workload,
+			State: jobd.State(res.State), FailKind: res.FailKind,
+			Cycles: res.Cycles, FPS: res.FPS,
+		})
+	}
+	return rows, true
+}
+
+// SweepResult is the finalized view WaitSweep returns.
+type SweepResult struct {
+	Name    string
+	Rows    []Result
+	Summary []byte
+}
+
+// WaitSweep blocks until the named sweep is finalized (every job has
+// a result and the summary is on disk) or the context ends. Any
+// peer's WaitSweep works — finalization is a shared-filesystem fact,
+// not a peer's private state — which is what lets a fleet lose
+// all-but-one member mid-sweep and still finish.
+func (p *Peer) WaitSweep(ctx context.Context, name string) (SweepResult, error) {
+	tick := p.opts.LeaseTTL / 6
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	for {
+		rec, err := p.readSweepRecord(name)
+		if err == nil {
+			all := true
+			rows := make([]Result, 0, len(rec.Jobs))
+			for _, job := range rec.Jobs {
+				res, rerr := p.readResult(job)
+				if rerr != nil {
+					all = false
+					break
+				}
+				rows = append(rows, res)
+			}
+			if all {
+				if summary, serr := os.ReadFile(p.summaryPath(name)); serr == nil {
+					return SweepResult{Name: name, Rows: rows, Summary: summary}, nil
+				}
+			}
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return SweepResult{}, err
+		}
+		select {
+		case <-ctx.Done():
+			return SweepResult{}, ctx.Err()
+		case <-time.After(tick):
+		}
+	}
+}
+
+// writeFileAtomic is tmp+rename in the target directory.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -105,10 +105,30 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// maxSubmitBody bounds submit request bodies: no legitimate job or
+// sweep spec approaches 1 MiB, and an unbounded decoder would let one
+// client exhaust server memory.
+const maxSubmitBody = 1 << 20
+
+// decodeBody decodes a bounded JSON request body, distinguishing an
+// oversized body (413) from malformed JSON (400).
+func decodeBody(w http.ResponseWriter, r *http.Request, v any, what string) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxSubmitBody)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			http.Error(w, what+" too large", http.StatusRequestEntityTooLarge)
+			return false
+		}
+		http.Error(w, "bad "+what+": "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
-	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-		http.Error(w, "bad job spec: "+err.Error(), http.StatusBadRequest)
+	if !decodeBody(w, r, &spec, "job spec") {
 		return
 	}
 	j, err := s.SubmitJob(spec)
@@ -121,8 +141,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec SweepSpec
-	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-		http.Error(w, "bad sweep spec: "+err.Error(), http.StatusBadRequest)
+	if !decodeBody(w, r, &spec, "sweep spec") {
 		return
 	}
 	sw, err := s.SubmitSweep(spec)
@@ -139,6 +158,9 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterHint()))
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrRateLimited):
+		w.Header().Set("Retry-After", "1")
 		code = http.StatusTooManyRequests
 	case errors.Is(err, ErrDraining):
 		w.Header().Set("Retry-After", "30")

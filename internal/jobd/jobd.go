@@ -55,11 +55,15 @@ const (
 	StateFailed State = "failed"
 	// StateCanceled: canceled by the user.
 	StateCanceled State = "canceled"
+	// StateLost: the job's fleet lease was fenced — another peer stole
+	// it and owns the result now. Terminal on this server; the job
+	// wrote nothing after the fence.
+	StateLost State = "lost"
 )
 
 // terminal reports whether a state is final.
 func (s State) terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCanceled
+	return s == StateDone || s == StateFailed || s == StateCanceled || s == StateLost
 }
 
 // Failure kinds (JobStatus.FailKind) — the typed taxonomy of how a
@@ -71,6 +75,7 @@ const (
 	FailTimeout  = "timeout"  // per-job wall-clock budget exhausted
 	FailKilled   = "killed"   // worker killed mid-run (chaos)
 	FailError    = "error"    // any other simulation error
+	FailFenced   = "fenced"   // fleet lease lost; aborted without writes
 )
 
 // Typed submit failures the HTTP layer maps to status codes.
@@ -83,7 +88,16 @@ var (
 	ErrDuplicate = errors.New("jobd: duplicate job name")
 	// ErrNotFound: no such job or sweep (404).
 	ErrNotFound = errors.New("jobd: not found")
+	// ErrRateLimited: the tenant's submit token bucket is empty (429).
+	ErrRateLimited = errors.New("jobd: tenant rate limited")
 )
+
+// ErrFenced matches a fencing rejection: the job's fleet lease was
+// lost to another peer, so every durable write on the old owner's
+// behalf must be refused. The Fence hook (Options.Fence) returns an
+// error wrapping this; a fenced job parks as StateLost/FailFenced
+// having written nothing past the fence.
+var ErrFenced = errors.New("jobd: lease fenced")
 
 // ErrDisk matches (via errors.Is) a *DiskError: an output write that
 // kept failing after retries. Jobs degrade to StateFailed/FailDisk on
@@ -137,6 +151,40 @@ type JobSpec struct {
 	// Retries bounds re-attempts after a failure: 0 inherits the server
 	// default, negative means fail fast.
 	Retries int `json:"retries,omitempty"`
+
+	// Tenant names the fairness class the job is billed to. Empty means
+	// the default class. The scheduler shares workers between tenants by
+	// weight (Options.Tenants) instead of global FIFO.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority orders jobs within a tenant (higher first; default 0). A
+	// submission that outranks every running job while all workers are
+	// busy preempts the lowest-priority running job at its next
+	// checkpoint barrier.
+	Priority int `json:"priority,omitempty"`
+	// Resume asks the server to keep and use any checkpoint already on
+	// disk for this job name instead of starting from cycle zero. The
+	// fleet layer sets it when a stolen job migrates to a new peer; a
+	// plain fresh submit leaves it false and starts clean.
+	Resume bool `json:"resume,omitempty"`
+}
+
+// TenantClass configures one fairness class (Options.Tenants).
+type TenantClass struct {
+	// Weight is the tenant's share of dispatch slots relative to other
+	// tenants with queued work; 0 means 1. Scheduling is weighted fair
+	// queuing on virtual service time: each dispatch charges the tenant
+	// 1/Weight, and the tenant with the least accumulated charge goes
+	// next.
+	Weight int `json:"weight,omitempty"`
+	// MaxRunning caps the tenant's concurrently running jobs; 0 means
+	// no cap beyond the worker pool itself.
+	MaxRunning int `json:"maxRunning,omitempty"`
+	// SubmitRate > 0 arms a token-bucket limit on submissions (jobs per
+	// second); SubmitBurst is the bucket depth (0 means max(1,
+	// ceil(SubmitRate))). Submits past the bucket fail with
+	// ErrRateLimited (HTTP 429 + Retry-After).
+	SubmitRate  float64 `json:"submitRate,omitempty"`
+	SubmitBurst int     `json:"submitBurst,omitempty"`
 }
 
 // SweepSpec is a named set of jobs submitted and summarized together.
@@ -145,6 +193,38 @@ type SweepSpec struct {
 	// Defaults fills zero fields of every job in the sweep.
 	Defaults JobSpec `json:"defaults,omitempty"`
 	Jobs     []JobSpec `json:"jobs"`
+}
+
+// NormalizeSweep validates a sweep spec and returns its fully
+// normalized job specs (sweep defaults and package defaults applied),
+// without admitting anything. The fleet layer uses it to publish a
+// sweep's jobs to the shared work queue exactly as a local server
+// would admit them, so a fleet run and a single-host run execute
+// identical specs.
+func NormalizeSweep(spec SweepSpec) ([]JobSpec, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("jobd: sweep needs a name")
+	}
+	if spec.Name != sanitizeName(spec.Name) {
+		return nil, fmt.Errorf("jobd: sweep name %q: only [a-zA-Z0-9.-] allowed", spec.Name)
+	}
+	if len(spec.Jobs) == 0 {
+		return nil, fmt.Errorf("jobd: sweep %s has no jobs", spec.Name)
+	}
+	norm := make([]JobSpec, len(spec.Jobs))
+	seen := make(map[string]bool, len(spec.Jobs))
+	for i, js := range spec.Jobs {
+		n, err := js.normalize(spec.Defaults)
+		if err != nil {
+			return nil, err
+		}
+		if seen[n.Name] {
+			return nil, fmt.Errorf("%w: %s (within sweep %s)", ErrDuplicate, n.Name, spec.Name)
+		}
+		seen[n.Name] = true
+		norm[i] = n
+	}
+	return norm, nil
 }
 
 // withDefaults fills s's zero fields from d.
@@ -182,6 +262,12 @@ func (s JobSpec) withDefaults(d JobSpec) JobSpec {
 	if s.Retries == 0 {
 		s.Retries = d.Retries
 	}
+	if s.Tenant == "" {
+		s.Tenant = d.Tenant
+	}
+	if s.Priority == 0 {
+		s.Priority = d.Priority
+	}
 	return s
 }
 
@@ -209,6 +295,9 @@ func (s JobSpec) normalize(sweepDefaults JobSpec) (JobSpec, error) {
 	}
 	if s.Width <= 0 || s.Height <= 0 || s.Frames <= 0 {
 		return s, fmt.Errorf("jobd: job %s: width/height/frames must be positive", s.Name)
+	}
+	if s.Tenant != "" && s.Tenant != sanitizeName(s.Tenant) {
+		return s, fmt.Errorf("jobd: tenant %q: only [a-zA-Z0-9.-] allowed", s.Tenant)
 	}
 	return s, nil
 }

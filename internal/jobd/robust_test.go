@@ -1,0 +1,364 @@
+package jobd
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCancelAfterDoneKeepsTerminalState pins the cancel/complete
+// race: a cancel that lands after the job completed must not
+// overwrite the terminal state (and vice versa — a completion must
+// not overwrite a cancel).
+func TestCancelAfterDoneKeepsTerminalState(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Options{OutDir: dir, Workers: 1, Retries: -1})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.SubmitJob(testSpec("race-done")); err != nil {
+		t.Fatal(err)
+	}
+	st := waitState(t, s, "race-done", StateDone)
+	if err := s.CancelJob("race-done"); err != nil {
+		t.Fatalf("cancel of done job: %v", err)
+	}
+	st, _ = s.JobStatus("race-done")
+	if st.State != StateDone {
+		t.Fatalf("cancel overwrote terminal state: got %s, want done", st.State)
+	}
+	if _, err := os.Stat(dir + "/race-done.csv"); err != nil {
+		t.Fatalf("done job lost its CSV after late cancel: %v", err)
+	}
+}
+
+// TestCancelCompleteStress races CancelJob against completing jobs
+// under the race detector: whatever interleaving happens, each job
+// lands in exactly one terminal state and never leaves it.
+func TestCancelCompleteStress(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Options{OutDir: dir, Workers: 2, Retries: -1, CheckpointInterval: 50_000})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const jobs = 4
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		name := fmt.Sprintf("stress-%d", i)
+		if _, err := s.SubmitJob(testSpec(name)); err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Hammer cancel while the job runs and completes.
+			for {
+				st, err := s.JobStatus(name)
+				if err != nil {
+					return
+				}
+				if st.State.terminal() {
+					return
+				}
+				_ = s.CancelJob(name)
+				time.Sleep(2 * time.Millisecond)
+			}
+		}()
+	}
+	for i := 0; i < jobs; i++ {
+		name := fmt.Sprintf("stress-%d", i)
+		st := waitState(t, s, name, "")
+		if st.State != StateDone && st.State != StateCanceled {
+			t.Fatalf("job %s: unexpected terminal state %s (%s: %s)", name, st.State, st.FailKind, st.Error)
+		}
+		// Terminal states are sticky: re-read after the cancel goroutines
+		// have certainly fired a few more times.
+		time.Sleep(20 * time.Millisecond)
+		again, _ := s.JobStatus(name)
+		if again.State != st.State {
+			t.Fatalf("job %s flipped terminal state: %s -> %s", name, st.State, again.State)
+		}
+	}
+	wg.Wait()
+}
+
+// TestStateFileTornWrite pins the corrupt-state quarantine: a
+// half-written jobd-state.json must not brick startup — the bytes are
+// quarantined to .corrupt and the server starts fresh.
+func TestStateFileTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Options{OutDir: dir, Workers: 1, Retries: -1})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SubmitJob(testSpec("torn-1")); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, "torn-1", StateDone)
+	s.Close()
+
+	// Tear the state file mid-JSON, as a crash mid-write would.
+	statePath := dir + "/jobd-state.json"
+	data, err := os.ReadFile(statePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(statePath, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := New(Options{OutDir: dir, Workers: 1, Retries: -1})
+	lerr := s2.loadState()
+	if lerr == nil {
+		t.Fatal("loadState accepted a torn state file")
+	}
+	if !errors.Is(lerr, ErrStateCorrupt) {
+		t.Fatalf("torn state error = %v, want ErrStateCorrupt", lerr)
+	}
+	var sfe *StateFileError
+	if !errors.As(lerr, &sfe) || sfe.Quarantine == "" {
+		t.Fatalf("torn state error missing quarantine path: %v", lerr)
+	}
+	quarantined, err := os.ReadFile(sfe.Quarantine)
+	if err != nil {
+		t.Fatalf("quarantined bytes not preserved: %v", err)
+	}
+	if !bytes.Equal(quarantined, data[:len(data)/2]) {
+		t.Fatal("quarantined bytes differ from the torn file")
+	}
+	if _, err := os.Stat(statePath); !os.IsNotExist(err) {
+		t.Fatal("torn state file still in place after quarantine")
+	}
+
+	// A fresh server over the same directory starts clean.
+	s3 := New(Options{OutDir: dir, Workers: 1, Retries: -1})
+	if err := s3.Start(); err != nil {
+		t.Fatalf("Start after quarantine: %v", err)
+	}
+	if len(s3.Jobs()) != 0 {
+		t.Fatalf("expected fresh state after quarantine, got %d jobs", len(s3.Jobs()))
+	}
+	s3.Close()
+}
+
+// TestTenantWeightedScheduling drives nextJobLocked directly: tenants
+// share dispatch slots by weight, ties break deterministically, and
+// priority orders jobs within a tenant.
+func TestTenantWeightedScheduling(t *testing.T) {
+	s := New(Options{
+		OutDir: t.TempDir(),
+		Tenants: map[string]TenantClass{
+			"heavy": {Weight: 2},
+			"light": {Weight: 1},
+		},
+	})
+	submit := func(name, tenant string, pri int) {
+		spec := testSpec(name)
+		spec.Tenant = tenant
+		spec.Priority = pri
+		if _, err := s.submitLocked(spec, nil, JobSpec{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	submit("l1", "light", 0)
+	submit("l2", "light", 0)
+	submit("l3", "light", 5) // outranks l2 within its tenant
+	submit("h1", "heavy", 0)
+	submit("h2", "heavy", 0)
+	submit("h3", "heavy", 0)
+
+	var got []string
+	for {
+		j := s.nextJobLocked()
+		if j == nil {
+			break
+		}
+		got = append(got, j.Spec.Name)
+	}
+	// Both tenants start at served=0; "heavy" < "light" breaks the tie,
+	// and each dispatch charges 1/weight of virtual time: heavy pays 0.5,
+	// light pays 1.0, so heavy gets two dispatches for every light one.
+	// Within light, l3's priority 5 outranks submission order.
+	//
+	//	h1 (heavy .5) → l3 (light 1) → h2 (heavy 1, tie→heavy) →
+	//	h3 (heavy 1.5) → l1 (light 2) → l2
+	want := []string{"h1", "l3", "h2", "h3", "l1", "l2"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("dispatch order = %v, want %v", got, want)
+	}
+}
+
+// TestTenantMaxRunningCap: a tenant at its running cap is skipped
+// even when its jobs head the queue.
+func TestTenantMaxRunningCap(t *testing.T) {
+	s := New(Options{
+		OutDir:  t.TempDir(),
+		Tenants: map[string]TenantClass{"capped": {MaxRunning: 1}},
+	})
+	for i := 0; i < 2; i++ {
+		spec := testSpec(fmt.Sprintf("cap-%d", i))
+		spec.Tenant = "capped"
+		if _, err := s.submitLocked(spec, nil, JobSpec{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spec := testSpec("other")
+	if _, err := s.submitLocked(spec, nil, JobSpec{}); err != nil {
+		t.Fatal(err)
+	}
+	// The tenant is already at its running limit: both its queued jobs
+	// must be skipped in favor of the default tenant's job, then starve
+	// until the slot frees.
+	s.tenantLocked("capped").running = 1
+	j := s.nextJobLocked()
+	if j == nil || j.Spec.Name != "other" {
+		t.Fatalf("dispatch under cap = %v, want other", j)
+	}
+	if j := s.nextJobLocked(); j != nil {
+		t.Fatalf("capped tenant dispatched past its limit: %s", j.Spec.Name)
+	}
+	s.tenantLocked("capped").running = 0
+	for _, want := range []string{"cap-0", "cap-1"} {
+		j = s.nextJobLocked()
+		if j == nil || j.Spec.Name != want {
+			t.Fatalf("dispatch after slot freed = %v, want %s", j, want)
+		}
+	}
+}
+
+// TestSubmitRateLimit: the tenant token bucket rejects submits past
+// the burst with ErrRateLimited, and the HTTP layer maps it to 429.
+func TestSubmitRateLimit(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Options{
+		OutDir: dir, Workers: 1, Retries: -1,
+		Tenants: map[string]TenantClass{"metered": {SubmitRate: 0.001, SubmitBurst: 1}},
+	})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	mkspec := func(name string) JobSpec {
+		spec := testSpec(name)
+		spec.Tenant = "metered"
+		return spec
+	}
+	if _, err := s.SubmitJob(mkspec("metered-1")); err != nil {
+		t.Fatalf("first submit within burst: %v", err)
+	}
+	_, err := s.SubmitJob(mkspec("metered-2"))
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("second submit = %v, want ErrRateLimited", err)
+	}
+
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/jobs", "application/json",
+		strings.NewReader(`{"name":"metered-3","tenant":"metered"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("rate-limited submit status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 missing Retry-After")
+	}
+}
+
+// TestSubmitBodyLimit: an oversized submit body is rejected with 413
+// instead of being buffered into memory.
+func TestSubmitBodyLimit(t *testing.T) {
+	s := New(Options{OutDir: t.TempDir(), Workers: 1})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	huge := `{"name":"big","workload":"` + strings.Repeat("x", maxSubmitBody) + `"}`
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized submit status = %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestPriorityPreemption: with every worker busy, a higher-priority
+// submission checkpoints the lowest-priority running job at its next
+// barrier and takes its worker; the victim resumes afterwards and
+// both finish with correct results.
+func TestPriorityPreemption(t *testing.T) {
+	total, wantCSV := cleanRun(t)
+	dir := t.TempDir()
+	s := New(Options{
+		OutDir: dir, Workers: 1, Retries: -1,
+		CheckpointInterval: total / 20,
+	})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	low := testSpec("low-pri")
+	low.Priority = 1
+	if _, err := s.SubmitJob(low); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, "low-pri", StateRunning)
+	// Let it get past the first checkpoint so preemption has a barrier
+	// to land on.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		st, _ := s.JobStatus("low-pri")
+		if st.CheckpointCycle > 0 || st.State.terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("low-pri never checkpointed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	high := testSpec("high-pri")
+	high.Priority = 10
+	if _, err := s.SubmitJob(high); err != nil {
+		t.Fatal(err)
+	}
+	hst := waitState(t, s, "high-pri", StateDone)
+	lst, _ := s.JobStatus("low-pri")
+	if lst.State == StateDone {
+		// The low job finished before the preemption barrier was
+		// reached — possible only if it was nearly done; the scheduling
+		// property below still must hold for the common case.
+		t.Logf("low-pri finished before preemption could land")
+	} else if lst.Preemptions == 0 {
+		t.Fatalf("high-pri done but low-pri was never preempted (state %s)", lst.State)
+	}
+	lst = waitState(t, s, "low-pri", StateDone)
+	if hst.Cycles != total || lst.Cycles != total {
+		t.Fatalf("cycles after preemption: high=%d low=%d want %d", hst.Cycles, lst.Cycles, total)
+	}
+	got, err := os.ReadFile(dir + "/low-pri.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, wantCSV) {
+		t.Fatal("preempted-and-resumed job CSV differs from clean run")
+	}
+}

@@ -78,6 +78,26 @@ type Options struct {
 	// Chaos, when non-nil, arms the jobd-level fault plan (worker
 	// kills, injected box panics, output-directory yanks).
 	Chaos *chaos.ServerPlan
+	// Tenants configures the fairness classes jobs bill to
+	// (JobSpec.Tenant). Tenants absent from the map get Weight 1, no
+	// running cap, and no rate limit — so a server with a nil map
+	// schedules exactly like the old global FIFO when every job shares
+	// one tenant. Rate limits apply to direct job submissions; sweeps
+	// are admitted as a unit under QueueLimit.
+	Tenants map[string]TenantClass
+	// Fence, when non-nil, is consulted before every durable write on a
+	// job's behalf (checkpoint, stats CSV, manifest): a non-nil error
+	// (wrapping ErrFenced) means the job's fleet lease was lost and the
+	// write must be refused; the job parks as StateLost. Nil means no
+	// fencing (single-host operation).
+	Fence func(job string) error
+	// LeaseEpoch, when non-nil, returns the fencing epoch the job's
+	// lease currently holds; it is stamped into every checkpoint and
+	// manifest the job writes so competing writes are orderable.
+	LeaseEpoch func(job string) int64
+	// PeerID names this server's fleet peer in manifests; empty for
+	// single-host operation.
+	PeerID string
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -117,6 +137,8 @@ const (
 	causeDrain
 	causeKilled
 	causeTimeout
+	causeFenced // fleet lease lost; abort without writing anything
+	causeHalt   // host killed (chaos killhost); vanish without a trace
 )
 
 // Job is one supervised run. Mutable fields are guarded by the
@@ -148,6 +170,12 @@ type Job struct {
 	ckptCycle atomic.Int64
 	cause     atomic.Int32
 	cancelReq atomic.Bool
+	// fencedReq: the fleet layer lost this job's lease; stop at the
+	// next barrier and park as lost without writing anything.
+	fencedReq atomic.Bool
+	// preemptHint: a higher-priority submission wants this job's
+	// worker; checkpoint at the next barrier and requeue.
+	preemptHint atomic.Bool
 }
 
 // takeCause consumes the stop cause recorded by whoever stopped the
@@ -208,6 +236,8 @@ type JobStatus struct {
 	Cycles          int64   `json:"cycles,omitempty"`
 	FPS             float64 `json:"fps,omitempty"`
 	Sweep           string  `json:"sweep,omitempty"`
+	Tenant          string  `json:"tenant,omitempty"`
+	Priority        int     `json:"priority,omitempty"`
 }
 
 // SweepStatus is the API view of a sweep.
@@ -221,9 +251,53 @@ type SweepStatus struct {
 	Done      int         `json:"done"`
 	Failed    int         `json:"failed"`
 	Canceled  int         `json:"canceled"`
+	Lost      int         `json:"lost,omitempty"`
 	Finalized bool        `json:"finalized"`
 	Summary   string      `json:"summary,omitempty"`
 	Jobs      []JobStatus `json:"jobs"`
+}
+
+// tenantState is one fairness class's live scheduling state.
+type tenantState struct {
+	class TenantClass
+	// served is the tenant's weighted virtual service time: each
+	// dispatch adds 1/Weight, and the scheduler always picks the
+	// eligible tenant with the least served. Guarded by Server.mu.
+	served  float64
+	running int
+	// Token bucket for submit rate limiting.
+	tokens     float64
+	lastRefill time.Time
+}
+
+// weight returns the effective scheduling weight (>= 1).
+func (ts *tenantState) weight() float64 {
+	if ts.class.Weight > 0 {
+		return float64(ts.class.Weight)
+	}
+	return 1
+}
+
+// allowSubmit consumes one submit token, refilling by elapsed time.
+func (ts *tenantState) allowSubmit(now time.Time) bool {
+	rate := ts.class.SubmitRate
+	if rate <= 0 {
+		return true
+	}
+	burst := float64(ts.class.SubmitBurst)
+	if burst < 1 {
+		burst = float64(int(rate) + 1)
+	}
+	ts.tokens += now.Sub(ts.lastRefill).Seconds() * rate
+	ts.lastRefill = now
+	if ts.tokens > burst {
+		ts.tokens = burst
+	}
+	if ts.tokens < 1 {
+		return false
+	}
+	ts.tokens--
+	return true
 }
 
 // Server is the supervised sweep job server.
@@ -237,12 +311,18 @@ type Server struct {
 	order    []*Job
 	queue    []*Job
 	sweeps   []*Sweep
+	tenants  map[string]*tenantState
+	runningN int
 	nextID   int64
 	closed   bool
 	yanked   bool
 	stopOnce sync.Once
 
 	draining atomic.Bool
+	// killed: the host "died" (chaos killhost): every durable write
+	// path is a no-op and running simulations halt without a state
+	// transition, exactly as if the process had vanished.
+	killed   atomic.Bool
 	queueLen atomic.Int64
 	stopCh   chan struct{}
 	wg       sync.WaitGroup
@@ -253,10 +333,11 @@ type Server struct {
 func New(opts Options) *Server {
 	opts.norm()
 	s := &Server{
-		opts:   opts,
-		jobs:   make(map[string]*Job),
-		byID:   make(map[int64]*Job),
-		stopCh: make(chan struct{}),
+		opts:    opts,
+		jobs:    make(map[string]*Job),
+		byID:    make(map[int64]*Job),
+		tenants: make(map[string]*tenantState),
+		stopCh:  make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
@@ -300,10 +381,50 @@ func (s *Server) Start() error {
 	return nil
 }
 
+// tenantLocked returns (creating on demand) the live state for a
+// tenant name. Caller holds mu.
+func (s *Server) tenantLocked(name string) *tenantState {
+	ts := s.tenants[name]
+	if ts == nil {
+		ts = &tenantState{class: s.opts.Tenants[name], lastRefill: time.Now()}
+		// A tenant arriving late must not owe less virtual time than
+		// everyone else and starve them; it joins at the floor of the
+		// currently known tenants.
+		floor := 0.0
+		first := true
+		for _, other := range s.tenants {
+			if first || other.served < floor {
+				floor = other.served
+				first = false
+			}
+		}
+		ts.served = floor
+		if b := float64(ts.class.SubmitBurst); b >= 1 {
+			ts.tokens = b
+		} else if ts.class.SubmitRate > 0 {
+			ts.tokens = float64(int(ts.class.SubmitRate) + 1)
+		}
+		s.tenants[name] = ts
+	}
+	return ts
+}
+
 // SubmitJob queues one job.
 func (s *Server) SubmitJob(spec JobSpec) (*Job, error) {
 	s.mu.Lock()
-	j, err := s.submitLocked(spec, nil, JobSpec{})
+	norm, err := spec.normalize(JobSpec{})
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	if !s.tenantLocked(norm.Tenant).allowSubmit(time.Now()) {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: tenant %q", ErrRateLimited, norm.Tenant)
+	}
+	j, err := s.submitLocked(norm, nil, JobSpec{})
+	if err == nil {
+		s.maybePreemptForLocked(j)
+	}
 	s.mu.Unlock()
 	if err != nil {
 		return nil, err
@@ -313,33 +434,47 @@ func (s *Server) SubmitJob(spec JobSpec) (*Job, error) {
 	return j, nil
 }
 
+// maybePreemptForLocked arms priority preemption for a fresh
+// submission: when every worker is busy and the new job outranks the
+// lowest-priority running job, that victim is asked to checkpoint at
+// its next barrier and requeue, freeing its worker for the higher
+// priority. Caller holds mu.
+func (s *Server) maybePreemptForLocked(newJob *Job) {
+	if s.runningN < s.opts.Workers {
+		return // a free worker will dispatch it without violence
+	}
+	var victim *Job
+	for _, j := range s.order {
+		if j.state != StateRunning || j.preemptHint.Load() {
+			continue
+		}
+		if victim == nil ||
+			j.Spec.Priority < victim.Spec.Priority ||
+			(j.Spec.Priority == victim.Spec.Priority && j.ID > victim.ID) {
+			victim = j
+		}
+	}
+	if victim == nil || victim.Spec.Priority >= newJob.Spec.Priority {
+		return
+	}
+	victim.preemptHint.Store(true)
+	s.logf("jobd: job %s (priority %d) preempting %s (priority %d)",
+		newJob.Spec.Name, newJob.Spec.Priority, victim.Spec.Name, victim.Spec.Priority)
+}
+
 // SubmitSweep queues a named set of jobs atomically: either every job
 // is admitted or none is. Resubmitting a sweep whose name and job
 // names match an existing one returns the existing sweep — that is how
 // a restarted one-shot invocation attaches to the persisted state
 // instead of colliding with it.
 func (s *Server) SubmitSweep(spec SweepSpec) (*Sweep, error) {
-	if spec.Name == "" {
-		return nil, fmt.Errorf("jobd: sweep needs a name")
+	norm, err := NormalizeSweep(spec)
+	if err != nil {
+		return nil, err
 	}
-	if spec.Name != sanitizeName(spec.Name) {
-		return nil, fmt.Errorf("jobd: sweep name %q: only [a-zA-Z0-9.-] allowed", spec.Name)
-	}
-	if len(spec.Jobs) == 0 {
-		return nil, fmt.Errorf("jobd: sweep %s has no jobs", spec.Name)
-	}
-	norm := make([]JobSpec, len(spec.Jobs))
-	seen := make(map[string]bool, len(spec.Jobs))
-	for i, js := range spec.Jobs {
-		n, err := js.normalize(spec.Defaults)
-		if err != nil {
-			return nil, err
-		}
-		if seen[n.Name] {
-			return nil, fmt.Errorf("%w: %s (within sweep %s)", ErrDuplicate, n.Name, spec.Name)
-		}
+	seen := make(map[string]bool, len(norm))
+	for _, n := range norm {
 		seen[n.Name] = true
-		norm[i] = n
 	}
 
 	s.mu.Lock()
@@ -403,7 +538,9 @@ func (s *Server) submitLocked(spec JobSpec, sw *Sweep, defaults JobSpec) (*Job, 
 		return nil, fmt.Errorf("%w: %s", ErrDuplicate, spec.Name)
 	}
 	s.nextID++
-	j := &Job{ID: s.nextID, Spec: spec, state: StateQueued, sweep: sw}
+	// Resume asks to keep and use an on-disk checkpoint under this name
+	// (a stolen fleet job migrating here); plain submits start clean.
+	j := &Job{ID: s.nextID, Spec: spec, state: StateQueued, sweep: sw, resumable: spec.Resume}
 	s.jobs[spec.Name] = j
 	s.byID[j.ID] = j
 	s.order = append(s.order, j)
@@ -416,11 +553,43 @@ func (s *Server) pushQueueLocked(j *Job) {
 	s.queueLen.Store(int64(len(s.queue)))
 }
 
-func (s *Server) popQueueLocked() *Job {
-	j := s.queue[0]
-	s.queue = s.queue[1:]
+// nextJobLocked picks the next dispatchable job, or nil: the eligible
+// tenant with the least weighted virtual service goes first (ties
+// break on tenant name for determinism); within a tenant, the highest
+// priority, then submission order. Tenants at their MaxRunning cap
+// are skipped. Caller holds mu.
+func (s *Server) nextJobLocked() *Job {
+	var best *Job
+	var bestTS *tenantState
+	bestIdx := -1
+	for idx, j := range s.queue {
+		ts := s.tenantLocked(j.Spec.Tenant)
+		if cap := ts.class.MaxRunning; cap > 0 && ts.running >= cap {
+			continue
+		}
+		switch {
+		case best == nil:
+		case ts != bestTS:
+			if ts.served > bestTS.served ||
+				(ts.served == bestTS.served && j.Spec.Tenant >= best.Spec.Tenant) {
+				continue
+			}
+		default:
+			// Same tenant: queue order is submission order, so the first
+			// job seen at the top priority wins.
+			if j.Spec.Priority <= best.Spec.Priority {
+				continue
+			}
+		}
+		best, bestTS, bestIdx = j, ts, idx
+	}
+	if best == nil {
+		return nil
+	}
+	s.queue = append(s.queue[:bestIdx], s.queue[bestIdx+1:]...)
 	s.queueLen.Store(int64(len(s.queue)))
-	return j
+	bestTS.served += 1 / bestTS.weight()
+	return best
 }
 
 func (s *Server) removeQueuedLocked(j *Job) bool {
@@ -432,6 +601,55 @@ func (s *Server) removeQueuedLocked(j *Job) bool {
 		}
 	}
 	return false
+}
+
+// ResubmitJob requeues a job that previously reached a terminal state
+// on this server under the same name. The fleet layer uses it when a
+// peer re-acquires the lease on a job it had lost (or finished
+// locally but must redo after a yank): the spec replaces the old one
+// and attempt/result bookkeeping resets. A non-terminal job under the
+// name is a duplicate error; an unknown name submits fresh.
+func (s *Server) ResubmitJob(spec JobSpec) (*Job, error) {
+	norm, err := spec.normalize(JobSpec{})
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	j, ok := s.jobs[norm.Name]
+	if !ok {
+		j, err = s.submitLocked(norm, nil, JobSpec{})
+		s.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		s.cond.Signal()
+		s.saveState()
+		return j, nil
+	}
+	if !j.state.terminal() {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s still %s", ErrDuplicate, norm.Name, j.state)
+	}
+	if s.draining.Load() || s.closed {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	j.Spec = norm
+	j.state = StateQueued
+	j.failKind, j.errMsg = "", ""
+	j.attempts, j.preemptions = 0, 0
+	j.resumable = norm.Resume
+	j.crash, j.csv = nil, nil
+	j.cycles, j.fps = 0, 0
+	j.cancelReq.Store(false)
+	j.fencedReq.Store(false)
+	j.preemptHint.Store(false)
+	j.cause.Store(causeNone)
+	s.pushQueueLocked(j)
+	s.mu.Unlock()
+	s.cond.Signal()
+	s.saveState()
+	return j, nil
 }
 
 // CancelJob cancels a job by name or numeric ID: a queued job is
@@ -521,6 +739,7 @@ func (s *Server) statusLocked(j *Job) JobStatus {
 		Resumable: j.resumable,
 		Cycle:     j.progress.Load(), CheckpointCycle: j.ckptCycle.Load(),
 		Cycles: j.cycles, FPS: j.fps,
+		Tenant: j.Spec.Tenant, Priority: j.Spec.Priority,
 	}
 	if j.sweep != nil {
 		st.Sweep = j.sweep.Name
@@ -643,6 +862,8 @@ func (s *Server) SweepStatus(sw *Sweep) SweepStatus {
 			st.Failed++
 		case StateCanceled:
 			st.Canceled++
+		case StateLost:
+			st.Lost++
 		}
 	}
 	return st
@@ -723,21 +944,35 @@ func (s *Server) Close() error {
 }
 
 // worker pulls jobs off the queue until the server closes or drains.
+// A non-empty queue can still yield no job when every queued tenant is
+// at its MaxRunning cap; the worker then waits for a slot to free.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
 		s.mu.Lock()
-		for len(s.queue) == 0 && !s.closed && !s.draining.Load() {
+		var j *Job
+		for {
+			if s.closed || s.draining.Load() {
+				s.mu.Unlock()
+				return
+			}
+			if j = s.nextJobLocked(); j != nil {
+				break
+			}
 			s.cond.Wait()
 		}
-		if s.closed || s.draining.Load() {
-			s.mu.Unlock()
-			return
-		}
-		j := s.popQueueLocked()
 		j.state = StateRunning
+		ts := s.tenantLocked(j.Spec.Tenant)
+		ts.running++
+		s.runningN++
 		s.mu.Unlock()
 		s.supervise(j)
+		s.mu.Lock()
+		ts.running--
+		s.runningN--
+		s.mu.Unlock()
+		// The freed slot may unblock a capped tenant on another worker.
+		s.cond.Broadcast()
 	}
 }
 
@@ -763,6 +998,11 @@ func (s *Server) supervise(j *Job) {
 			s.finishJob(j, StateCanceled, "", nil)
 			return
 		}
+		if j.fencedReq.Load() {
+			s.mu.Unlock()
+			s.markLost(j, nil)
+			return
+		}
 		j.state = StateRunning
 		j.attempts++
 		attempt := j.attempts
@@ -771,8 +1011,18 @@ func (s *Server) supervise(j *Job) {
 		runErr := s.attempt(j, attempt)
 		cause := j.takeCause()
 
+		if s.killed.Load() || cause == causeHalt {
+			// The host "died": no state transition, no writes. A
+			// surviving peer steals the lease and resumes from the last
+			// checkpoint this host managed to write.
+			return
+		}
 		if runErr == nil {
 			s.completeJob(j)
+			return
+		}
+		if cause == causeFenced {
+			s.markLost(j, runErr)
 			return
 		}
 		switch cause {
@@ -786,6 +1036,7 @@ func (s *Server) supervise(j *Job) {
 			}
 			j.state = StatePreempted
 			j.resumable = true
+			j.preemptHint.Store(false)
 			s.pushQueueLocked(j)
 			s.mu.Unlock()
 			s.stampManifest(j, string(StatePreempted), nil)
@@ -910,6 +1161,18 @@ func (s *Server) attempt(j *Job, attempt int) error {
 		os.Remove(ckptPath)
 	}
 	eng := pipe.EnableCheckpoints(ckptPath, spec.Workload, s.opts.CheckpointInterval, extra...)
+	// Fencing: every checkpoint write consults the fleet lease first
+	// and stamps its epoch, so a host that lost its lease (stolen,
+	// yanked, or paused past TTL) can never publish a stale-epoch
+	// checkpoint over the new owner's.
+	if s.opts.Fence != nil {
+		name := spec.Name
+		eng.Gate = func() error { return s.opts.Fence(name) }
+	}
+	if s.opts.LeaseEpoch != nil {
+		name := spec.Name
+		eng.Epoch = func() int64 { return s.opts.LeaseEpoch(name) }
+	}
 
 	// Chaos faults arm on the first attempt only, so a recovered job
 	// cannot re-hit its injected fault.
@@ -955,9 +1218,18 @@ func (s *Server) attempt(j *Job, attempt int) error {
 			pipe.Sim.Stop()
 			return
 		}
+		if j.fencedReq.Load() {
+			// Lease lost: stop now; nothing written past this barrier.
+			j.cause.CompareAndSwap(causeNone, causeFenced)
+			pipe.Sim.Stop()
+			return
+		}
 		want := causeNone
 		if s.draining.Load() {
 			want = causeDrain
+		} else if j.preemptHint.Load() && s.queueLen.Load() > 0 {
+			// A higher-priority submission wants this worker.
+			want = causePreempt
 		} else if q := s.opts.PreemptCycles; q > 0 && cycle-dispatchStart >= q && s.queueLen.Load() > 0 {
 			want = causePreempt
 		}
@@ -1035,6 +1307,12 @@ func (s *Server) attempt(j *Job, attempt int) error {
 // result bytes stay in memory, so a later sweep convergence pass can
 // still recover the file if the disk comes back.
 func (s *Server) completeJob(j *Job) {
+	// Last fence before the result becomes durable: a host whose lease
+	// was stolen while the final cycles ran must not publish the CSV.
+	if err := s.fence(j); err != nil {
+		s.markLost(j, err)
+		return
+	}
 	s.mu.Lock()
 	data := j.csv
 	s.mu.Unlock()
@@ -1043,9 +1321,16 @@ func (s *Server) completeJob(j *Job) {
 		return
 	}
 	s.mu.Lock()
+	if j.state.terminal() {
+		// A cancel (or anything else) that raced the completion already
+		// parked the job; terminal states are sticky.
+		s.mu.Unlock()
+		return
+	}
 	j.state = StateDone
 	j.failKind, j.errMsg = "", ""
 	j.resumable = false
+	j.preemptHint.Store(false)
 	sw := j.sweep
 	s.mu.Unlock()
 	os.Remove(s.ckptPath(j))
@@ -1058,14 +1343,21 @@ func (s *Server) completeJob(j *Job) {
 	s.saveState()
 }
 
-// finishJob moves a job to a terminal state.
+// finishJob moves a job to a terminal state. Terminal states are
+// sticky: a cancel racing a completion (or any other double finish)
+// must not overwrite the first outcome.
 func (s *Server) finishJob(j *Job, st State, kind string, err error) {
 	s.mu.Lock()
+	if j.state.terminal() {
+		s.mu.Unlock()
+		return
+	}
 	j.state = st
 	j.failKind = kind
 	if err != nil {
 		j.errMsg = err.Error()
 	}
+	j.preemptHint.Store(false)
 	sw := j.sweep
 	s.mu.Unlock()
 	if st == StateFailed {
@@ -1077,6 +1369,98 @@ func (s *Server) finishJob(j *Job, st State, kind string, err error) {
 	}
 	s.saveState()
 }
+
+// fence consults the fleet lease gate for a job; nil without a hook.
+func (s *Server) fence(j *Job) error {
+	if s.opts.Fence == nil {
+		return nil
+	}
+	return s.opts.Fence(j.Spec.Name)
+}
+
+// markLost parks a job whose fleet lease was lost: terminal
+// StateLost/FailFenced, no manifest, no CSV, no checkpoint — the new
+// lease owner owns every durable byte from here on.
+func (s *Server) markLost(j *Job, err error) {
+	s.mu.Lock()
+	if j.state.terminal() {
+		s.mu.Unlock()
+		return
+	}
+	j.state = StateLost
+	j.failKind = FailFenced
+	if err != nil {
+		j.errMsg = err.Error()
+	} else {
+		j.errMsg = ErrFenced.Error()
+	}
+	j.resumable = false
+	j.preemptHint.Store(false)
+	sw := j.sweep
+	s.mu.Unlock()
+	s.logf("jobd: job %s lost its lease; aborted without writes", j.Spec.Name)
+	if sw != nil {
+		s.maybeFinalize(sw)
+	}
+	s.saveState()
+}
+
+// FenceJob aborts a job whose fleet lease was lost to another peer: a
+// queued job parks as lost immediately; a running one stops at its
+// next cycle barrier and then parks, writing nothing on the way down.
+// Terminal jobs are left untouched (nil error).
+func (s *Server) FenceJob(ref string) error {
+	s.mu.Lock()
+	j := s.jobByRefLocked(ref)
+	if j == nil {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: job %q", ErrNotFound, ref)
+	}
+	if j.state.terminal() {
+		s.mu.Unlock()
+		return nil
+	}
+	j.fencedReq.Store(true)
+	if s.removeQueuedLocked(j) {
+		s.mu.Unlock()
+		s.markLost(j, nil)
+		return nil
+	}
+	if j.stopFn != nil {
+		j.cause.CompareAndSwap(causeNone, causeFenced)
+		j.stopFn()
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Kill hard-stops the server in place, simulating the host dying
+// (chaos killhost): running simulations halt mid-cycle, every durable
+// write path — checkpoints, CSVs, manifests, the state file — is
+// suppressed from this instant, and no state transitions are
+// recorded. Nothing is cleaned up, exactly like a power cut; the
+// fleet's surviving peers must detect the silence and steal the dead
+// host's leases.
+func (s *Server) Kill() {
+	if !s.killed.CompareAndSwap(false, true) {
+		return
+	}
+	s.mu.Lock()
+	s.closed = true
+	for _, j := range s.order {
+		if j.state == StateRunning && j.stopFn != nil {
+			j.cause.Store(causeHalt)
+			j.stopFn()
+		}
+	}
+	s.mu.Unlock()
+	s.stopOnce.Do(func() { close(s.stopCh) })
+	s.cond.Broadcast()
+	s.logf("jobd: host killed (chaos); all writes suppressed")
+}
+
+// Killed reports whether Kill has run.
+func (s *Server) Killed() bool { return s.killed.Load() }
 
 // maybeYank applies the chaos output-directory yank after the named
 // job completes.
@@ -1145,27 +1529,52 @@ func (s *Server) maybeFinalize(sw *Sweep) {
 	s.saveState()
 }
 
-// buildSummary renders the sweep summary: deterministic — only job
+// SummaryRow is one job line of a sweep summary.
+type SummaryRow struct {
+	Name     string
+	Config   string
+	Workload string
+	State    State
+	FailKind string
+	Cycles   int64
+	FPS      float64
+}
+
+// RenderSummary renders the deterministic sweep summary: only job
 // specs and simulation results, sorted by job name, no wall-clock or
-// attempt counts — so a chaos-battered server run is byte-identical to
-// a clean one-shot.
-func (s *Server) buildSummary(sw *Sweep, jobs []*Job) []byte {
-	sorted := append([]*Job(nil), jobs...)
-	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Spec.Name < sorted[b].Spec.Name })
+// attempt counts — so a chaos-battered run (and a fleet run that
+// migrated jobs between peers) is byte-identical to a clean one-shot.
+// The fleet finalizer uses it to converge to the same bytes jobd
+// writes.
+func RenderSummary(sweep string, rows []SummaryRow) []byte {
+	sorted := append([]SummaryRow(nil), rows...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Name < sorted[b].Name })
 	var buf bytes.Buffer
-	fmt.Fprintf(&buf, "sweep %s: %d jobs\n", sw.Name, len(sorted))
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, j := range sorted {
-		if j.state == StateDone {
+	fmt.Fprintf(&buf, "sweep %s: %d jobs\n", sweep, len(sorted))
+	for _, r := range sorted {
+		if r.State == StateDone {
 			fmt.Fprintf(&buf, "%s config=%s workload=%s cycles=%d fps=%.2f\n",
-				j.Spec.Name, j.Spec.Config, j.Spec.Workload, j.cycles, j.fps)
+				r.Name, r.Config, r.Workload, r.Cycles, r.FPS)
 		} else {
 			fmt.Fprintf(&buf, "%s config=%s workload=%s state=%s kind=%s\n",
-				j.Spec.Name, j.Spec.Config, j.Spec.Workload, j.state, j.failKind)
+				r.Name, r.Config, r.Workload, r.State, r.FailKind)
 		}
 	}
 	return buf.Bytes()
+}
+
+// buildSummary renders the sweep summary via RenderSummary.
+func (s *Server) buildSummary(sw *Sweep, jobs []*Job) []byte {
+	s.mu.Lock()
+	rows := make([]SummaryRow, 0, len(jobs))
+	for _, j := range jobs {
+		rows = append(rows, SummaryRow{
+			Name: j.Spec.Name, Config: j.Spec.Config, Workload: j.Spec.Workload,
+			State: j.state, FailKind: j.failKind, Cycles: j.cycles, FPS: j.fps,
+		})
+	}
+	s.mu.Unlock()
+	return RenderSummary(sw.Name, rows)
 }
 
 func (s *Server) csvPath(j *Job) string {
@@ -1187,11 +1596,27 @@ func (s *Server) summaryPath(sw *Sweep) string {
 // stampManifest writes the job's provenance manifest. Its loss never
 // fails the job — the manifest is audit metadata, not the result.
 func (s *Server) stampManifest(j *Job, state string, cause error) {
+	if s.killed.Load() {
+		return
+	}
+	// A manifest is a durable write on the job's behalf: it carries the
+	// same fence as checkpoints and CSVs, so a revived host that lost
+	// its lease cannot even overwrite the audit trail.
+	if err := s.fence(j); err != nil {
+		s.logf("jobd: manifest for %s refused: %v", j.Spec.Name, err)
+		return
+	}
 	m := obsv.NewManifest("jobd", nil)
 	m.State = state
 	m.Config = j.Spec.Config
 	m.Trace = j.Spec.Workload
 	m.Seed = j.Spec.Seed
+	m.Tenant = j.Spec.Tenant
+	m.Priority = j.Spec.Priority
+	m.FleetPeer = s.opts.PeerID
+	if s.opts.LeaseEpoch != nil {
+		m.LeaseEpoch = s.opts.LeaseEpoch(j.Spec.Name)
+	}
 	s.mu.Lock()
 	m.Attempt = j.attempts
 	m.Cycles = j.progress.Load()
@@ -1225,6 +1650,10 @@ func (s *Server) stampManifest(j *Job, state string, cause error) {
 // try (healing a yanked output tree), retried a few times, and a
 // typed *DiskError on persistent failure instead of a crash.
 func (s *Server) writeDurable(op, path string, data []byte) error {
+	if s.killed.Load() {
+		// A dead host writes nothing.
+		return &DiskError{Op: op, Path: path, Err: errors.New("host killed")}
+	}
 	var err error
 	for i := 0; i < 3; i++ {
 		if i > 0 {

@@ -2,8 +2,37 @@ package jobd
 
 import (
 	"encoding/json"
+	"errors"
+	"fmt"
 	"os"
 )
+
+// ErrStateCorrupt matches (via errors.Is) a *StateFileError: the
+// durable state file exists but cannot be parsed (torn write, disk
+// corruption). The server quarantines the file and starts fresh
+// instead of refusing to start.
+var ErrStateCorrupt = errors.New("jobd: corrupt state file")
+
+// StateFileError reports an unusable jobd-state.json. Quarantine is
+// the path the corrupt bytes were preserved at for post-mortem ("":
+// the rename itself failed).
+type StateFileError struct {
+	Path       string
+	Quarantine string
+	Err        error
+}
+
+func (e *StateFileError) Error() string {
+	if e.Quarantine != "" {
+		return fmt.Sprintf("jobd: state file %s corrupt (quarantined to %s): %v", e.Path, e.Quarantine, e.Err)
+	}
+	return fmt.Sprintf("jobd: state file %s corrupt: %v", e.Path, e.Err)
+}
+
+func (e *StateFileError) Unwrap() error { return e.Err }
+
+// Is makes errors.Is(err, ErrStateCorrupt) hold for every StateFileError.
+func (e *StateFileError) Is(target error) bool { return target == ErrStateCorrupt }
 
 // The state file is what makes the server itself crash-tolerant: every
 // submit, completion, and drain persists the queue and job states, and
@@ -34,7 +63,7 @@ type persistedState struct {
 // log line: losing the state file costs resumability, never the
 // running jobs.
 func (s *Server) saveState() {
-	if s.opts.StatePath == "" {
+	if s.opts.StatePath == "" || s.killed.Load() {
 		return
 	}
 	s.mu.Lock()
@@ -82,7 +111,15 @@ func (s *Server) loadState() error {
 	}
 	var st persistedState
 	if err := json.Unmarshal(data, &st); err != nil {
-		return err
+		// Torn write or corruption: quarantine the bytes for post-mortem
+		// and start fresh rather than refusing to start. The rename is
+		// what makes restarting safe — the corrupt file can never be
+		// half-loaded twice.
+		q := s.opts.StatePath + ".corrupt"
+		if rerr := os.Rename(s.opts.StatePath, q); rerr != nil {
+			q = ""
+		}
+		return &StateFileError{Path: s.opts.StatePath, Quarantine: q, Err: err}
 	}
 
 	s.mu.Lock()
@@ -124,8 +161,9 @@ func (s *Server) loadState() error {
 				s.pushQueueLocked(j)
 				requeued++
 			}
-		case StateFailed, StateCanceled:
-			// Terminal; kept for the record.
+		case StateFailed, StateCanceled, StateLost:
+			// Terminal; kept for the record. (A lost job belongs to
+			// whichever peer stole its lease — never requeue it here.)
 		default:
 			// queued, running, or preempted when the previous life
 			// ended: requeue. A job that was mid-run has a checkpoint

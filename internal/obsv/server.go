@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"time"
 
 	"attila/internal/core"
 	"attila/internal/obsv/trace"
@@ -64,7 +65,14 @@ type Server struct {
 // Start to begin serving; Handler is independently usable in tests.
 func NewServer(addr string, opts ServerOptions) *Server {
 	s := &Server{opts: opts}
-	s.srv = &http.Server{Addr: addr, Handler: s.Handler()}
+	s.srv = &http.Server{
+		Addr:    addr,
+		Handler: s.Handler(),
+		// A client that dribbles its request header one byte at a time
+		// (slow loris) must not be able to pin a connection — and with
+		// it a draining server — open forever.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
 	return s
 }
 
@@ -201,6 +209,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if s.opts.Ready != nil && !s.opts.Ready() {
+		// Load balancers and fleet peers polling readiness get a hint
+		// for when to try again instead of hammering a draining server.
+		w.Header().Set("Retry-After", "30")
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "draining")
 		return
