@@ -22,12 +22,14 @@ test:
 # raced), the span-tracing determinism suite (serial-vs-parallel and
 # checkpoint byte-identity of the sampled spans and latency windows),
 # the fleet-metrics merge under concurrent job completion, the
-# OpenMetrics self-lint over /metrics.prom, the multi-host fleet gate
-# (a seeded 3-peer fleet battered by killhost/pauseheart/leaseyank
-# must converge byte-identically to a clean single-host run, raced,
-# alongside the lease-protocol edge cases: steal races, clock-skewed
-# peers, fenced revived hosts), the cancel/complete terminal-state
-# race, and a fuzz smoke over the trace reader.
+# OpenMetrics self-lint over /metrics.prom (simulator and fleet
+# families), the multi-host fleet gate (a seeded 3-peer fleet battered
+# by killhost/pauseheart/leaseyank must converge byte-identically to a
+# clean single-host run, raced, alongside the lease-protocol edge
+# cases: steal races, clock-skewed peers, fenced revived hosts,
+# epoch-floor recovery over torn leases, and the raced drain-handoff
+# takeover), the cancel/complete terminal-state race, and a fuzz smoke
+# over the trace reader.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/core/... ./internal/mem/... ./internal/obsv/... ./internal/chkpt/... ./internal/chaos/...
@@ -36,7 +38,7 @@ check:
 	$(GO) test -race -run '^TestParallelMatchesSerial$$' -count=1 .
 	$(GO) test -race -run '^TestTracing(SerialVsParallel|CheckpointRoundTrip)$$' -count=1 .
 	$(GO) test -race -run '^TestJobd(ChaosConvergence|SigtermDrainResume)$$|^TestFleetMetricsMergeAcrossJobs$$|^TestCancelCompleteStress$$|^TestStateFileTornWrite$$' -count=1 ./internal/jobd/
-	$(GO) test -race -run '^TestFleetChaosConvergence$$|^TestDoubleStealOneWinner$$|^TestClockSkewedPeers$$|^TestFencedRevivedHost$$|^TestLeaseYankKeepsEpoch$$' -count=1 ./internal/fleet/
+	$(GO) test -race -run '^TestFleetChaosConvergence$$|^TestFleetDrainHandoff$$|^TestDoubleStealOneWinner$$|^TestClockSkewedPeers$$|^TestFencedRevivedHost$$|^TestLeaseYankKeepsEpoch$$|^TestStealCorruptLeaseRecoversEpochFloor$$' -count=1 ./internal/fleet/
 	BENCH_OBSV_OUT=$$(mktemp) $(GO) test -run '^TestBenchObsv$$' .
 	BENCH_HOTPATH_OUT=$$(mktemp) BENCH_HOTPATH_SMOKE=1 $(GO) test -run '^TestBenchHotpath$$' -count=1 .
 	$(GO) test -fuzz=FuzzReader -fuzztime=10s ./internal/trace
@@ -83,10 +85,13 @@ bench-gate:
 bench-parallel:
 	$(GO) test -run '^$$' -bench 'BenchmarkTable1Baseline' -benchtime 3x .
 
-# fleet-smoke is the quick partial-failure drill: two in-process fleet
-# peers split a sweep, one is killed mid-job (all writes suppressed,
-# no farewell heartbeat), and the survivor must steal its leases,
-# resume from checkpoints, and finish with output bytes identical to a
-# clean single-host run.
+# fleet-smoke is the quick partial-failure drill, one crash and one
+# graceful exit: two in-process fleet peers split a sweep, one is
+# killed mid-job (all writes suppressed, no farewell heartbeat), and
+# the survivor must steal its leases, resume from checkpoints, and
+# finish with output bytes identical to a clean single-host run; then
+# a three-peer fleet drains one member mid-job and the handoff record
+# must move its lease to a live peer in under one TTL, again
+# converging byte-identically.
 fleet-smoke:
-	$(GO) test -run '^TestFleetSmokeTwoPeers$$' -count=1 -v ./internal/fleet/
+	$(GO) test -run '^TestFleetSmokeTwoPeers$$|^TestFleetDrainHandoff$$' -count=1 -v ./internal/fleet/

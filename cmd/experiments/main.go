@@ -80,6 +80,7 @@ func main() {
 	fleetDir := flag.String("fleet-dir", "", "join the fleet sharing this work directory (with -serve: long-lived peer; with -sweep: submit and wait)")
 	peerID := flag.String("peer-id", "", "this peer's fleet name (default HOSTNAME-PID)")
 	leaseTTL := flag.Duration("lease-ttl", 2*time.Second, "how long an unrenewed job lease survives before other peers steal it")
+	maxClaims := flag.Int("max-claims", 0, "max unfinished jobs this peer holds at once (0 = 2x workers)")
 	tenant := flag.String("tenant", "", "tenant class stamped onto submitted jobs (weighted fair-share scheduling)")
 	priority := flag.Int("priority", 0, "priority stamped onto submitted jobs (higher preempts lower at its next checkpoint)")
 	flag.Parse()
@@ -100,6 +101,7 @@ func main() {
 			chaosServer: *chaosServer,
 			traceSample: rate, traceSeed: *traceSeed,
 			fleetDir: *fleetDir, peerID: *peerID, leaseTTL: *leaseTTL,
+			maxClaims: *maxClaims,
 			tenant: *tenant, priority: *priority,
 		}))
 	}
@@ -349,6 +351,7 @@ type jobModeConfig struct {
 	traceSample, traceSeed       uint64
 	fleetDir, peerID             string
 	leaseTTL                     time.Duration
+	maxClaims                    int
 	tenant                       string
 	priority                     int
 }
@@ -476,7 +479,8 @@ func runFleetMode(ctx context.Context, c jobModeConfig, opts jobd.Options, logge
 	peer, err := fleet.NewPeer(fleet.Options{
 		Dir: c.fleetDir, PeerID: id, LeaseTTL: c.leaseTTL,
 		Addr: c.serveAddr, Jobd: opts, Chaos: opts.Chaos,
-		Logf: logger.Printf,
+		MaxClaims: c.maxClaims,
+		Logf:      logger.Printf,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -519,6 +523,7 @@ func runFleetMode(ctx context.Context, c jobModeConfig, opts jobd.Options, logge
 	status := obsv.NewServer(c.serveAddr, obsv.ServerOptions{
 		Jobs:  peer.Handler(),
 		Ready: func() bool { return !peer.Server().Draining() },
+		Fleet: peer.FleetStats,
 	})
 	if err := status.Start(); err != nil {
 		peer.Close()
@@ -530,11 +535,15 @@ func runFleetMode(ctx context.Context, c jobModeConfig, opts jobd.Options, logge
 	logger.Printf("fleet: signal received, draining (grace %v)", c.drainTimeout)
 	dctx, cancel := context.WithTimeout(context.Background(), c.drainTimeout)
 	defer cancel()
-	if err := peer.Server().Drain(dctx); err != nil {
+	// Peer.Drain checkpoints and parks the local jobs while the lease
+	// loop keeps renewing, then offers every still-held lease to a live
+	// peer via a handoff record — takeover in one tick instead of a
+	// full TTL of dead air.
+	if err := peer.Drain(dctx); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 	}
 	status.Close()
 	peer.Close()
-	logger.Printf("fleet: left the fleet; leases expire and peers take over")
+	logger.Printf("fleet: left the fleet; remaining leases were handed off or expire for stealing")
 	return 0
 }

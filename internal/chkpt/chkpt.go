@@ -351,6 +351,61 @@ func ReadFile(path string) (*Snapshot, error) {
 	return snap, nil
 }
 
+// metaPrefix bounds how much decompressed payload ReadMeta inspects.
+// The meta block is a cycle count, two fingerprint strings, and an
+// epoch — well under this even for elaborate configs.
+const metaPrefix = 64 << 10
+
+// ReadMeta decodes only the Meta block (cycle, config, workload,
+// epoch) of a checkpoint file, without reading sections or verifying
+// the payload CRC. It exists for the fleet's epoch-floor recovery: a
+// peer stealing over a torn lease must learn the highest epoch any
+// previous owner durably stamped, and the v2 container records it at
+// the head of the payload. Because the CRC is not checked, callers
+// must treat the result as advisory — a damaged file yields either an
+// error or a stale-but-valid floor, never an inflated one (epochs are
+// stamped before the data they fence).
+func ReadMeta(path string) (Meta, error) {
+	var meta Meta
+	f, err := os.Open(path)
+	if err != nil {
+		return meta, err
+	}
+	defer f.Close()
+	var hdr [len(magic) + 4 + 4 + 8]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return meta, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	if string(hdr[:len(magic)]) != magic {
+		return meta, fmt.Errorf("%w: bad magic", ErrFormat)
+	}
+	v := binary.LittleEndian.Uint32(hdr[len(magic):])
+	if v < minVersion || v > version {
+		return meta, fmt.Errorf("%w: unsupported version %d (want %d..%d)", ErrFormat, v, minVersion, version)
+	}
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return meta, fmt.Errorf("%w: gzip: %v", ErrCorrupt, err)
+	}
+	defer zr.Close()
+	prefix := make([]byte, metaPrefix)
+	n, err := io.ReadFull(zr, prefix)
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		return meta, fmt.Errorf("%w: gzip payload: %v", ErrCorrupt, err)
+	}
+	d := NewDecoder(prefix[:n])
+	meta.Cycle = d.I64()
+	meta.Config = d.Str()
+	meta.Workload = d.Str()
+	if v >= 2 {
+		meta.Epoch = d.I64()
+	}
+	if err := d.Err(); err != nil {
+		return Meta{}, err
+	}
+	return meta, nil
+}
+
 func min64(a uint64, b int) int {
 	if a < uint64(b) {
 		return int(a)

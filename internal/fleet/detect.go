@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"time"
+
+	"attila/internal/fsatomic"
 )
 
 // PeerState is a watched peer's position in the failure-detection
@@ -73,7 +75,10 @@ func (p *Peer) heartbeatPath(id string) string {
 	return filepath.Join(p.opts.Dir, "peers", id+".json")
 }
 
-// publishHeartbeat bumps and rewrites this peer's heartbeat file.
+// publishHeartbeat bumps and rewrites this peer's heartbeat file
+// through the common fsync'd atomic writer: the heartbeat had the
+// same torn-write exposure the lease file did (a fixed-name temp and
+// no fsync), and a corrupt heartbeat reads as a silent peer.
 func (p *Peer) publishHeartbeat() {
 	p.hbSeq++
 	hb := heartbeat{ID: p.opts.PeerID, Seq: p.hbSeq, Addr: p.opts.Addr}
@@ -81,36 +86,35 @@ func (p *Peer) publishHeartbeat() {
 	if err != nil {
 		return
 	}
-	path := p.heartbeatPath(p.opts.PeerID)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	if err := fsatomic.WriteFile(p.heartbeatPath(p.opts.PeerID), append(data, '\n')); err != nil {
 		p.logf("fleet: %s: heartbeat write failed: %v", p.opts.PeerID, err)
-		return
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		p.logf("fleet: %s: heartbeat rename failed: %v", p.opts.PeerID, err)
 	}
 }
 
-// observePeers scans the peers directory and advances each watched
-// peer's state machine. now is the caller's local clock.
-func (p *Peer) observePeers(now time.Time) {
-	entries, err := os.ReadDir(filepath.Join(p.opts.Dir, "peers"))
+// readHeartbeat loads one heartbeat file (for the index; the loop
+// itself never re-reads unchanged heartbeats).
+func readHeartbeat(path string) (heartbeat, error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
-		return
+		return heartbeat{}, err
 	}
-	leaseCounts := p.leaseCountsByOwner()
-	for _, e := range entries {
-		name, ok := jobName(e.Name(), ".json")
-		if !ok || name == p.opts.PeerID {
-			continue
-		}
-		data, err := os.ReadFile(p.heartbeatPath(name))
-		if err != nil {
-			continue
-		}
-		var hb heartbeat
-		if err := json.Unmarshal(data, &hb); err != nil {
+	var hb heartbeat
+	if err := json.Unmarshal(data, &hb); err != nil {
+		return heartbeat{}, err
+	}
+	return hb, nil
+}
+
+// observePeers advances each watched peer's state machine from the
+// index's cached heartbeats. A heartbeat file that changed was
+// re-read by the refresh; one that did not reads as the same sequence
+// number, which is exactly what lets the observation clock accumulate
+// staleness without touching the file. now is the caller's local
+// clock.
+func (p *Peer) observePeers(now time.Time) {
+	leaseCounts := p.idx.ownerCounts()
+	for name, hb := range p.idx.beats {
+		if name == p.opts.PeerID {
 			continue
 		}
 		p.mu.Lock()
@@ -126,6 +130,9 @@ func (p *Peer) observePeers(now time.Time) {
 		p.advancePeerLocked(wp, stale, held, now)
 		p.mu.Unlock()
 	}
+	p.mu.Lock()
+	p.lastOwnerCounts = leaseCounts
+	p.mu.Unlock()
 }
 
 // advancePeerLocked runs one step of the state machine. Caller holds
@@ -195,7 +202,11 @@ func probeHealthz(addr string) bool {
 	return resp.StatusCode == http.StatusOK
 }
 
-// leaseCountsByOwner counts live leases per owner (for dead→reclaimed).
+// leaseCountsByOwner counts live leases per owner (for
+// dead→reclaimed) by scanning the lease directory directly. The peer
+// loop never calls this — it uses the index's cached ownerCounts —
+// but the on-demand HTTP path falls back here when the loop has not
+// published a snapshot yet.
 func (p *Peer) leaseCountsByOwner() map[string]int {
 	counts := make(map[string]int)
 	entries, err := os.ReadDir(filepath.Join(p.opts.Dir, "leases"))
@@ -220,10 +231,17 @@ func (p *Peer) leaseCountsByOwner() map[string]int {
 }
 
 // Peers returns the watched peers' states (self excluded), sorted by
-// ID for stable output.
+// ID for stable output. Lease counts come from the loop's last
+// published snapshot when available (the HTTP goroutine must not
+// touch the loop-owned index).
 func (p *Peer) Peers() []PeerInfo {
 	now := time.Now()
-	counts := p.leaseCountsByOwner()
+	p.mu.Lock()
+	counts := p.lastOwnerCounts
+	p.mu.Unlock()
+	if counts == nil {
+		counts = p.leaseCountsByOwner()
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	out := make([]PeerInfo, 0, len(p.peers))

@@ -33,16 +33,19 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"attila/internal/chaos"
 	"attila/internal/jobd"
+	"attila/internal/obsv"
 )
 
 // jobdErrFenced aliases the jobd sentinel so lease.go's fence errors
@@ -100,11 +103,40 @@ type Peer struct {
 	srv  *jobd.Server
 	rng  *rand.Rand
 
+	// idx is the incremental control-plane index; owned exclusively
+	// by the loop goroutine (and by tests that drive scanQueue
+	// directly, single-threaded).
+	idx *fleetIndex
+	// finalized remembers sweeps whose summary this peer has verified
+	// on disk, so steady-state finalize passes cost zero I/O. Loop
+	// goroutine only.
+	finalized map[string]bool
+
 	mu     sync.Mutex
 	owned  map[string]*ownedJob
 	peers  map[string]*watchedPeer
 	leases map[string]*observation // per-lease staleness observers
 	hbSeq  int64
+	// lastOwnerCounts is the loop's last per-owner live-lease tally,
+	// published for the HTTP Peers() view.
+	lastOwnerCounts map[string]int
+	// stats is the mu-guarded gauge snapshot the loop republishes each
+	// tick for FleetStats (HTTP goroutines must not touch idx).
+	stats struct {
+		peersByState map[string]int
+		owned        int
+		queued       int
+		finalized    int
+		fresh        bool
+	}
+
+	// Cumulative counters (atomics: bumped from loop and jobd worker
+	// goroutines, read by HTTP).
+	ctrSteals          atomic.Int64
+	ctrHandoffsOffered atomic.Int64
+	ctrHandoffsAdopted atomic.Int64
+	ctrFenceRefusals   atomic.Int64
+	scanReads          atomic.Int64 // control-plane file-content reads
 
 	// Chaos latches.
 	killFired  bool
@@ -112,9 +144,10 @@ type Peer struct {
 	yankFired  bool
 	pausedTill time.Time
 
-	killed bool
-	stopCh chan struct{}
-	wg     sync.WaitGroup
+	killed   bool
+	draining bool
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
 }
 
 // NewPeer builds a peer; Start creates the directory layout and
@@ -146,6 +179,8 @@ func NewPeer(opts Options) (*Peer, error) {
 		leases: make(map[string]*observation),
 		stopCh: make(chan struct{}),
 	}
+	p.idx = newFleetIndex(p)
+	p.finalized = make(map[string]bool)
 	// Seeded jitter: the tick phase is deterministic per (chaos seed,
 	// peer ID), never wall-clock derived, so chaos runs reproduce.
 	seed := int64(1)
@@ -200,16 +235,29 @@ func (p *Peer) Start() error {
 	return nil
 }
 
-// Close stops the loop and the local job server. Leases this peer
-// holds are left in place: a restarted peer with the same ID resumes
+// drainGrace bounds the implicit drain Close performs when the caller
+// has not drained explicitly: long enough for a checkpoint barrier,
+// short enough that shutdown never hangs on a wedged job.
+const drainGrace = 30 * time.Second
+
+// Close gracefully stops the peer. Unless the peer was killed (or
+// already drained), Close first runs the drain path: the local jobd
+// checkpoints and parks its jobs, then every still-held lease is
+// offered to a live peer via a handoff record (see handoff.go), so
+// takeover costs one tick instead of a full TTL. Leases with no live
+// target are left in place: a restarted peer with the same ID resumes
 // them; otherwise they expire and are stolen.
 func (p *Peer) Close() error {
-	select {
-	case <-p.stopCh:
-	default:
-		close(p.stopCh)
+	p.mu.Lock()
+	skip := p.killed || p.draining
+	p.mu.Unlock()
+	if skip {
+		p.stopLoop()
+	} else {
+		ctx, cancel := context.WithTimeout(context.Background(), drainGrace)
+		_ = p.Drain(ctx)
+		cancel()
 	}
-	p.wg.Wait()
 	return p.srv.Close()
 }
 
@@ -265,12 +313,16 @@ func (p *Peer) loop() {
 			// writes in the meantime.
 			continue
 		}
+		p.idx.refresh(now)
 		p.publishHeartbeat()
 		p.renewOwned()
 		p.observePeers(now)
+		p.adoptHandoffs(now)
+		p.gcLeaseDir(now)
 		p.scanQueue(now)
 		p.publishResults()
 		p.finalizeSweeps()
+		p.publishStats()
 	}
 }
 
@@ -370,18 +422,21 @@ func (p *Peer) renewOwned() {
 }
 
 // scanQueue claims unleased jobs and steals expired leases, up to the
-// claim budget.
+// claim budget. It runs entirely against the incremental index — no
+// directory listing, no content reads; per tick it costs O(queue
+// entries in memory) map work plus I/O only for the claims and steals
+// actually attempted. The index is refreshed once per tick by the
+// loop before this runs.
 func (p *Peer) scanQueue(now time.Time) {
-	entries, err := os.ReadDir(filepath.Join(p.opts.Dir, "queue"))
-	if err != nil {
-		return
-	}
-	for _, e := range entries {
-		job, ok := jobName(e.Name(), ".json")
-		if !ok {
+	for job := range p.idx.queueJobs {
+		if !p.idx.sweepJobs[job] {
+			// Orphan spec no sweep record names — a crashed submit (or
+			// stray file). Claiming it would burn cycles on work nothing
+			// will ever summarize; the resubmitted sweep record is what
+			// makes it claimable.
 			continue
 		}
-		if p.resultExists(job) {
+		if _, done := p.idx.results[job]; done {
 			continue
 		}
 		p.mu.Lock()
@@ -391,18 +446,23 @@ func (p *Peer) scanQueue(now time.Time) {
 		if mine || budget <= 0 {
 			continue
 		}
-		l, lerr := readLease(p.leasePath(job))
+		l, known := p.idx.leases[job]
 		switch {
-		case os.IsNotExist(lerr):
-			// Unclaimed: race for the initial lease.
+		case !known:
+			// Unclaimed (as of this tick's view): race for the initial
+			// lease. A lease created since the refresh just makes the
+			// os.Link lose with ErrExist.
 			epoch, cerr := p.tryClaim(job)
 			if cerr != nil {
 				continue
 			}
 			p.adopt(job, epoch, false)
-		case lerr == nil && l.Owner != p.opts.PeerID:
+		case l.Owner != p.opts.PeerID:
 			// Someone else's: steal only after observing it unrenewed
-			// for a full TTL on our own clock.
+			// for a full TTL on our own clock. The observation folds the
+			// cached tuple — renewals changed the file, so the index
+			// re-read it; an unchanged file is exactly an unrenewed
+			// lease.
 			p.mu.Lock()
 			obs := p.leases[job]
 			if obs == nil {
@@ -423,6 +483,7 @@ func (p *Peer) scanQueue(now time.Time) {
 				p.mu.Unlock()
 				continue
 			}
+			p.ctrSteals.Add(1)
 			p.logf("fleet: %s: stole %s from %s at epoch %d", p.opts.PeerID, job, l.Owner, epoch)
 			p.adopt(job, epoch, true)
 		}
@@ -497,6 +558,60 @@ func (p *Peer) publishResults() {
 		p.owned[name].published = true
 		p.mu.Unlock()
 	}
+}
+
+// publishStats recomputes the gauge snapshot from the loop's index
+// and publishes it under mu for FleetStats (which HTTP goroutines
+// call and must not race the index).
+func (p *Peer) publishStats() {
+	queued := 0
+	for job := range p.idx.queueJobs {
+		if _, done := p.idx.results[job]; !done && p.idx.sweepJobs[job] {
+			queued++
+		}
+	}
+	finalized := len(p.idx.results)
+	byState := make(map[string]int)
+	p.mu.Lock()
+	for _, wp := range p.peers {
+		byState[string(wp.state)]++
+	}
+	ownedN := 0
+	for _, oj := range p.owned {
+		if !oj.published {
+			ownedN++
+		}
+	}
+	p.stats.peersByState = byState
+	p.stats.owned = ownedN
+	p.stats.queued = queued
+	p.stats.finalized = finalized
+	p.stats.fresh = true
+	p.mu.Unlock()
+}
+
+// FleetStats snapshots this peer's control-plane view for the
+// /metrics.prom fleet families. Gauges come from the loop's last
+// published snapshot; counters are live atomics.
+func (p *Peer) FleetStats() *obsv.FleetStats {
+	f := &obsv.FleetStats{
+		Peer:         p.opts.PeerID,
+		PeersByState: make(map[string]int),
+	}
+	p.mu.Lock()
+	for k, v := range p.stats.peersByState {
+		f.PeersByState[k] = v
+	}
+	f.OwnedJobs = p.stats.owned
+	f.QueuedJobs = p.stats.queued
+	f.FinalizedJobs = p.stats.finalized
+	p.mu.Unlock()
+	f.Steals = p.ctrSteals.Load()
+	f.HandoffsOffered = p.ctrHandoffsOffered.Load()
+	f.HandoffsAdopted = p.ctrHandoffsAdopted.Load()
+	f.FenceRefusals = p.ctrFenceRefusals.Load()
+	f.ScanReads = p.scanReads.Load()
+	return f
 }
 
 func terminalState(s jobd.State) bool {

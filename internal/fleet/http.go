@@ -8,11 +8,14 @@ import (
 // Handler wraps the local job server's HTTP API and adds the
 // fleet-level routes:
 //
-//	GET /fleet/peers   watched peers and their failure-detector states
+//	GET /fleet/peers   watched peers, detector states, and this
+//	                   peer's control-plane stats (gauges + counters)
 //
 // Everything else (/jobs, /sweeps, /fleet/metrics) is served by the
 // embedded jobd handler, so a fleet peer mounts exactly like a
-// single-host job server under the obsv status server.
+// single-host job server under the obsv status server. The same
+// stats render as OpenMetrics families when the status server is
+// given ServerOptions.Fleet = peer.FleetStats.
 func (p *Peer) Handler() http.Handler {
 	jobs := p.srv.Handler()
 	mux := http.NewServeMux()
@@ -23,6 +26,7 @@ func (p *Peer) Handler() http.Handler {
 		enc.Encode(map[string]any{
 			"self":  p.opts.PeerID,
 			"peers": p.Peers(),
+			"stats": p.FleetStats(),
 		})
 	})
 	mux.Handle("/", jobs)

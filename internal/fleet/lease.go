@@ -8,6 +8,9 @@ import (
 	"path/filepath"
 	"strings"
 	"time"
+
+	"attila/internal/chkpt"
+	"attila/internal/fsatomic"
 )
 
 // Lease files are how peers claim jobs without a coordinator. Each
@@ -51,6 +54,14 @@ type lease struct {
 // mismatch.
 const yankedOwner = "(yanked)"
 
+// corruptOwner is the sentinel readLease reports for a lease file
+// whose JSON does not parse — a torn write surfaced by a crash. It
+// carries Epoch 0, which is why the steal path must recover the real
+// epoch floor from checkpoint metadata before rewriting (see
+// trySteal): restarting the fencing chain at 1 would let the fenced
+// old owner's higher-epoch stamps pass later checks.
+const corruptOwner = "(corrupt)"
+
 // errLeaseHeld distinguishes "someone else owns it" from I/O errors.
 var errLeaseHeld = errors.New("fleet: lease held")
 
@@ -73,31 +84,23 @@ func readLease(path string) (lease, error) {
 		// A torn lease write is indistinguishable from a dead owner:
 		// report it held by nobody so the observation clock runs and the
 		// steal path eventually recovers it.
-		return lease{Owner: "(corrupt)", Epoch: 0, Seq: -1}, nil
+		return lease{Owner: corruptOwner, Epoch: 0, Seq: -1}, nil
 	}
 	return l, nil
 }
 
-// writeLease atomically replaces a lease file (tmp + rename). Only
-// the owner (or a steal winner holding the epoch marker) may call it.
+// writeLease atomically and durably replaces a lease file. Only the
+// owner (or a steal winner holding the epoch marker) may call it.
+// Durability matters as much as atomicity here: an un-fsynced rename
+// can, after a power cut, surface an empty lease that readLease
+// treats as corrupt — and corrupt means stealable, so the still-live
+// owner would lose its jobs to a crash that never happened.
 func writeLease(path string, l lease) error {
 	data, err := json.Marshal(l)
 	if err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(append(data, '\n')); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return fsatomic.WriteFile(path, append(data, '\n'))
 }
 
 // tryClaim attempts the initial claim of an unleased job. The
@@ -117,6 +120,13 @@ func (p *Peer) tryClaim(job string) (int64, error) {
 	}
 	defer os.Remove(tmp.Name())
 	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	// fsync before the link: the link is the claim, and a claim whose
+	// content can vanish in a power cut is a torn lease waiting to be
+	// mis-stolen.
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		return 0, err
 	}
@@ -153,8 +163,22 @@ func (p *Peer) renewLease(job string, epoch int64) error {
 // one creates leases/<job>.steal.<epoch+1> and rewrites the lease;
 // everyone else gets errLeaseHeld and backs off to re-observe the new
 // owner's renewals.
+//
+// When the observed lease is the corrupt sentinel its epoch is 0 —
+// the torn file no longer says how far the fencing chain had
+// advanced. Writing epoch 1 would hand the old owner a free pass: its
+// checkpoints and manifests carry the real (higher) epoch and would
+// sail through later epoch checks. So for corrupt leases the new
+// epoch is recovered as one past the floor: the highest epoch any
+// previous owner durably stamped into the job's checkpoint, or left
+// behind as a surviving steal marker.
 func (p *Peer) trySteal(job string, observed lease) (int64, error) {
 	newEpoch := observed.Epoch + 1
+	if observed.Owner == corruptOwner {
+		if floor := p.epochFloor(job); floor >= newEpoch {
+			newEpoch = floor + 1
+		}
+	}
 	marker := p.stealMarkerPath(job, newEpoch)
 	f, err := os.OpenFile(marker, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
@@ -163,8 +187,18 @@ func (p *Peer) trySteal(job string, observed lease) (int64, error) {
 		}
 		return 0, err
 	}
-	fmt.Fprintf(f, "%s\n", p.opts.PeerID)
-	f.Close()
+	// The marker content is advisory (who tried), but a failed write
+	// means this filesystem is in trouble — do not build a takeover on
+	// it. Remove the marker so the epoch is not blocked by our debris.
+	if _, werr := fmt.Fprintf(f, "%s\n", p.opts.PeerID); werr != nil {
+		f.Close()
+		os.Remove(marker)
+		return 0, werr
+	}
+	if cerr := f.Close(); cerr != nil {
+		os.Remove(marker)
+		return 0, cerr
+	}
 	// Re-verify under the marker: if the lease advanced between our
 	// observation and the marker (the owner woke up, or a prior-epoch
 	// steal landed), stand down and let the marker age out.
@@ -179,6 +213,31 @@ func (p *Peer) trySteal(job string, observed lease) (int64, error) {
 	}
 	os.Remove(marker)
 	return newEpoch, nil
+}
+
+// epochFloor reconstructs the highest epoch known to have existed for
+// a job whose lease file is torn: the epoch stamped in the job's
+// checkpoint (v2 container metadata — stamped before any data it
+// fences, so never inflated) and the highest surviving steal marker
+// (a marker at epoch E means E was claimed by some thief). Zero when
+// neither source exists; errors are treated as "no evidence" since
+// the floor only ever raises the new epoch, never lowers it.
+func (p *Peer) epochFloor(job string) int64 {
+	var floor int64
+	if meta, err := chkpt.ReadMeta(filepath.Join(p.opts.Dir, "checkpoints", job+".ckpt")); err == nil && meta.Epoch > floor {
+		floor = meta.Epoch
+	}
+	entries, err := os.ReadDir(filepath.Join(p.opts.Dir, "leases"))
+	if err != nil {
+		return floor
+	}
+	for _, e := range entries {
+		j, epoch, ok := parseMarkerName(e.Name())
+		if ok && j == job && epoch > floor {
+			floor = epoch
+		}
+	}
+	return floor
 }
 
 // yankLease implements the chaos leaseyank fault: the lease is
@@ -234,13 +293,16 @@ func (p *Peer) fenceCheck(job string) error {
 	oj := p.owned[job]
 	p.mu.Unlock()
 	if oj == nil {
+		p.ctrFenceRefusals.Add(1)
 		return fmt.Errorf("%w: %s not owned by %s", jobdErrFenced, job, p.opts.PeerID)
 	}
 	l, err := readLease(p.leasePath(job))
 	if err != nil {
+		p.ctrFenceRefusals.Add(1)
 		return fmt.Errorf("%w: %s lease unreadable: %v", jobdErrFenced, job, err)
 	}
 	if l.Owner != p.opts.PeerID || l.Epoch != oj.epoch {
+		p.ctrFenceRefusals.Add(1)
 		return fmt.Errorf("%w: %s owned by %s@%d, not %s@%d",
 			jobdErrFenced, job, l.Owner, l.Epoch, p.opts.PeerID, oj.epoch)
 	}

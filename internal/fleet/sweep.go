@@ -6,19 +6,30 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"time"
 
+	"attila/internal/fsatomic"
 	"attila/internal/jobd"
 )
 
 // sweepRecord is the published form of a sweep: its name and the
 // names of its jobs. Job specs live one-per-file in queue/ so claims
 // are per job.
+//
+// Pending marks a record whose job specs may not all be on disk yet:
+// SubmitSweep publishes the record first (so a crash mid-publish
+// leaves a named intent, not orphan specs), writes the specs, then
+// republishes with Pending cleared. Peers claim a job as soon as its
+// spec exists and any sweep record — pending or not — names it; the
+// flag exists so an attaching driver can tell "publish in progress or
+// torn" from "fully published".
 type sweepRecord struct {
-	Name string   `json:"name"`
-	Jobs []string `json:"jobs"`
+	Name    string   `json:"name"`
+	Jobs    []string `json:"jobs"`
+	Pending bool     `json:"pending,omitempty"`
 }
 
 // Result is one job's published terminal outcome — exactly the data
@@ -41,7 +52,24 @@ func (p *Peer) sweepPath(name string) string {
 	return filepath.Join(p.opts.Dir, "sweeps", name+".json")
 }
 
+// queueShard buckets a job into one of 256 shard directories by a
+// 2-hex-digit fnv1a prefix. Sharding is what keeps the incremental
+// queue scan O(changed): a shard directory's mtime moves only when an
+// entry is added or removed, so unchanged shards are skipped without
+// even listing them.
+func queueShard(job string) string {
+	h := fnv.New32a()
+	h.Write([]byte(job))
+	return fmt.Sprintf("%02x", h.Sum32()&0xff)
+}
+
 func (p *Peer) queuePath(job string) string {
+	return filepath.Join(p.opts.Dir, "queue", queueShard(job), job+".json")
+}
+
+// legacyQueuePath is the pre-sharding flat layout; readJobSpec falls
+// back to it so a fleet upgraded mid-sweep keeps draining old queues.
+func (p *Peer) legacyQueuePath(job string) string {
 	return filepath.Join(p.opts.Dir, "queue", job+".json")
 }
 
@@ -58,11 +86,18 @@ func (p *Peer) resultExists(job string) bool {
 	return err == nil
 }
 
-// SubmitSweep publishes a sweep to the fleet: the normalized job
-// specs land one-per-file in the shared queue, then the sweep record
-// names them. Any peer may submit; every peer races to claim the
-// jobs. Resubmitting an identical sweep is a no-op, so a restarted
-// driver attaches instead of colliding.
+// SubmitSweep publishes a sweep to the fleet. Order matters for crash
+// safety: the sweep record is published FIRST, marked pending, then
+// the normalized job specs land one-per-file in the sharded queue,
+// then the record is republished final. A crash at any point leaves
+// either a pending record (a named intent the resubmit heals — specs
+// without a naming record can never exist, so peers never burn cycles
+// on work nothing will summarize) or a completed publish. Any peer
+// may submit; every peer races to claim the jobs. Resubmitting an
+// identical sweep heals missing specs and finalizes the record, so a
+// restarted driver attaches instead of colliding; a sweep with the
+// same name but different jobs is ErrDuplicate — and is rejected
+// before any spec is written, so nothing is stranded.
 func (p *Peer) SubmitSweep(spec jobd.SweepSpec) error {
 	norm, err := jobd.NormalizeSweep(spec)
 	if err != nil {
@@ -72,7 +107,8 @@ func (p *Peer) SubmitSweep(spec jobd.SweepSpec) error {
 	for _, js := range norm {
 		rec.Jobs = append(rec.Jobs, js.Name)
 	}
-	if prev, err := p.readSweepRecord(spec.Name); err == nil {
+	prev, perr := p.readSweepRecord(spec.Name)
+	if perr == nil {
 		if len(prev.Jobs) != len(rec.Jobs) {
 			return fmt.Errorf("%w: sweep %s exists with different jobs", jobd.ErrDuplicate, spec.Name)
 		}
@@ -81,22 +117,39 @@ func (p *Peer) SubmitSweep(spec jobd.SweepSpec) error {
 				return fmt.Errorf("%w: sweep %s exists with different jobs", jobd.ErrDuplicate, spec.Name)
 			}
 		}
-		return nil
+		// Identical resubmit: fall through to heal any specs a crashed
+		// publish left missing and to clear a pending marker.
+	} else {
+		pending := rec
+		pending.Pending = true
+		if err := p.writeSweepRecord(pending); err != nil {
+			return err
+		}
 	}
 	for _, js := range norm {
+		if _, serr := os.Stat(p.queuePath(js.Name)); serr == nil {
+			continue // spec already on disk (immutable once written)
+		}
 		data, err := json.MarshalIndent(js, "", "  ")
 		if err != nil {
 			return err
 		}
-		if err := writeFileAtomic(p.queuePath(js.Name), append(data, '\n')); err != nil {
+		if err := fsatomic.WriteFile(p.queuePath(js.Name), append(data, '\n')); err != nil {
 			return err
 		}
 	}
+	if perr == nil && !prev.Pending {
+		return nil // record already final and specs verified present
+	}
+	return p.writeSweepRecord(rec)
+}
+
+func (p *Peer) writeSweepRecord(rec sweepRecord) error {
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		return err
 	}
-	return writeFileAtomic(p.sweepPath(spec.Name), append(data, '\n'))
+	return fsatomic.WriteFile(p.sweepPath(rec.Name), append(data, '\n'))
 }
 
 func (p *Peer) readSweepRecord(name string) (sweepRecord, error) {
@@ -113,6 +166,9 @@ func (p *Peer) readSweepRecord(name string) (sweepRecord, error) {
 
 func (p *Peer) readJobSpec(job string) (jobd.JobSpec, error) {
 	data, err := os.ReadFile(p.queuePath(job))
+	if os.IsNotExist(err) {
+		data, err = os.ReadFile(p.legacyQueuePath(job))
+	}
 	if err != nil {
 		return jobd.JobSpec{}, err
 	}
@@ -154,15 +210,13 @@ func (p *Peer) readResult(job string) (Result, error) {
 // deterministic renderer jobd uses (sorted by job name, simulation
 // results only), so every peer that finalizes — and a clean
 // single-host run — produces identical bytes; the write is atomic and
-// idempotent, making the finalize race harmless.
+// idempotent, making the finalize race harmless. Sweep records and
+// results come from the incremental index (each read once, when its
+// file appears or changes), and a sweep already finalized with
+// identical bytes is remembered so the steady-state cost is zero I/O.
 func (p *Peer) finalizeSweeps() {
-	entries, err := os.ReadDir(filepath.Join(p.opts.Dir, "sweeps"))
-	if err != nil {
-		return
-	}
-	for _, e := range entries {
-		name, ok := jobName(e.Name(), ".json")
-		if !ok {
+	for name := range p.idx.sweeps {
+		if p.finalized[name] {
 			continue
 		}
 		rows, done := p.sweepRows(name)
@@ -172,27 +226,29 @@ func (p *Peer) finalizeSweeps() {
 		summary := jobd.RenderSummary(name, rows)
 		path := p.summaryPath(name)
 		if got, rerr := os.ReadFile(path); rerr == nil && bytes.Equal(got, summary) {
+			p.finalized[name] = true
 			continue // already finalized with identical bytes
 		}
 		if werr := writeFileAtomic(path, summary); werr != nil {
 			p.logf("fleet: %s: sweep %s summary write failed: %v", p.opts.PeerID, name, werr)
 		} else {
+			p.finalized[name] = true
 			p.logf("fleet: %s: sweep %s finalized", p.opts.PeerID, name)
 		}
 	}
 }
 
-// sweepRows collects a sweep's result rows; done is false until every
-// job has a published result.
+// sweepRows collects a sweep's result rows from the index; done is
+// false until every job has a published result.
 func (p *Peer) sweepRows(name string) ([]jobd.SummaryRow, bool) {
-	rec, err := p.readSweepRecord(name)
-	if err != nil {
+	rec, ok := p.idx.sweeps[name]
+	if !ok {
 		return nil, false
 	}
 	rows := make([]jobd.SummaryRow, 0, len(rec.Jobs))
 	for _, job := range rec.Jobs {
-		res, rerr := p.readResult(job)
-		if rerr != nil {
+		res, have := p.idx.results[job]
+		if !have {
 			return nil, false
 		}
 		rows = append(rows, jobd.SummaryRow{
@@ -250,27 +306,8 @@ func (p *Peer) WaitSweep(ctx context.Context, name string) (SweepResult, error) 
 	}
 }
 
-// writeFileAtomic is tmp+rename in the target directory.
+// writeFileAtomic delegates to the repo-wide fsync'd implementation;
+// kept as a named wrapper so every fleet write site reads the same.
 func writeFileAtomic(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return fsatomic.WriteFile(path, data)
 }

@@ -1,0 +1,79 @@
+// Package fsatomic provides the single durable atomic-write primitive
+// every control-plane file in this repository goes through: lease
+// files, heartbeats, queue specs, sweep records, results, and the jobd
+// state file. The sequence is write-to-temp, fsync the temp, rename
+// over the target, then fsync the parent directory so the rename
+// itself survives a power cut. Skipping either fsync reintroduces the
+// torn-lease bug this package exists to close: after a crash the
+// rename can surface an empty or partial file that readers then treat
+// as corrupt — and a corrupt lease is stealable, so a live owner loses
+// its jobs to a failure that never happened.
+//
+// The checkpoint container (internal/chkpt) keeps its own copy of this
+// sequence because it streams gzip through the temp file rather than
+// buffering the payload; both implementations must stay semantically
+// identical.
+package fsatomic
+
+import (
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// WriteFile atomically and durably replaces path with data. The parent
+// directory is created if missing. On any error the temp file is
+// removed and the previous contents of path (if any) are untouched.
+func WriteFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory so a preceding rename is durable. Some
+// filesystems (and some CI sandboxes) refuse fsync on directories with
+// EINVAL or ENOTSUP; that is tolerated — the rename is still atomic,
+// just not guaranteed durable, which matches the behavior of the
+// checkpoint writer on the same filesystem.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		if pe, ok := err.(*os.PathError); ok {
+			if errno, ok := pe.Err.(syscall.Errno); ok && (errno == syscall.EINVAL || errno == syscall.ENOTSUP) {
+				return nil
+			}
+		}
+		return err
+	}
+	return nil
+}

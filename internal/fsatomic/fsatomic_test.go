@@ -1,0 +1,58 @@
+package fsatomic
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "nested", "deeper", "state.json")
+
+	if err := WriteFile(path, []byte("v1")); err != nil {
+		t.Fatalf("WriteFile (create): %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || !bytes.Equal(got, []byte("v1")) {
+		t.Fatalf("after create: got %q err %v", got, err)
+	}
+
+	if err := WriteFile(path, []byte("v2 longer")); err != nil {
+		t.Fatalf("WriteFile (replace): %v", err)
+	}
+	got, err = os.ReadFile(path)
+	if err != nil || !bytes.Equal(got, []byte("v2 longer")) {
+		t.Fatalf("after replace: got %q err %v", got, err)
+	}
+}
+
+func TestWriteFileLeavesNoTempDebris(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 5; i++ {
+		if err := WriteFile(filepath.Join(dir, "f.json"), []byte("x")); err != nil {
+			t.Fatalf("WriteFile: %v", err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "f.json" {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("want exactly [f.json], got %v", names)
+	}
+}
+
+func TestSyncDirOnRealDir(t *testing.T) {
+	if err := SyncDir(t.TempDir()); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	if err := SyncDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatalf("SyncDir on missing dir: want error, got nil")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"attila/internal/chkpt"
 	"attila/internal/core"
 	"attila/internal/experiments"
+	"attila/internal/fsatomic"
 	"attila/internal/gpu"
 	"attila/internal/obsv"
 	"attila/internal/obsv/trace"
@@ -1666,27 +1667,11 @@ func (s *Server) writeDurable(op, path string, data []byte) error {
 	return &DiskError{Op: op, Path: path, Err: err}
 }
 
+// writeFileAtomic delegates to the repo-wide fsync'd atomic writer
+// (temp + fsync + rename + parent-dir fsync), the same implementation
+// the fleet's lease and heartbeat files go through.
 func writeFileAtomic(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	_, err = tmp.Write(data)
-	if err == nil {
-		err = tmp.Sync()
-	}
-	if cerr := tmp.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return fsatomic.WriteFile(path, data)
 }
 
 // RunSweep is the one-shot mode: run the sweep to completion on a

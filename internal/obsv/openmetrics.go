@@ -42,10 +42,63 @@ func fmtFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// WriteOpenMetrics renders the bus's cumulative statistics and the
-// span collector's latency histograms (either may be nil) as an
-// OpenMetrics text page terminated by # EOF.
-func WriteOpenMetrics(w io.Writer, bus *Bus, spans *trace.Collector) error {
+// FleetStats is one fleet peer's point-in-time view of the multi-host
+// control plane, rendered into /metrics.prom alongside the simulator
+// families. Gauges describe the current state (peers by detector
+// state, jobs by phase); counters are cumulative since peer start.
+// The producer is internal/fleet; obsv only renders, so the
+// dependency stays one-way.
+type FleetStats struct {
+	Peer string `json:"peer"`
+	// PeersByState counts watched peers per failure-detector state
+	// (alive/suspect/dead/reclaimed), self excluded.
+	PeersByState map[string]int `json:"peersByState"`
+	// Jobs by phase: owned (unpublished leases this peer holds),
+	// queued (published jobs without a result yet, fleet-wide),
+	// finalized (published results, fleet-wide).
+	OwnedJobs     int `json:"ownedJobs"`
+	QueuedJobs    int `json:"queuedJobs"`
+	FinalizedJobs int `json:"finalizedJobs"`
+	// Cumulative counters.
+	Steals          int64 `json:"steals"`
+	HandoffsOffered int64 `json:"handoffsOffered"`
+	HandoffsAdopted int64 `json:"handoffsAdopted"`
+	FenceRefusals   int64 `json:"fenceRefusals"`
+	// ScanReads counts control-plane file-content reads by the peer
+	// loop — the number the incremental index keeps O(changed) per
+	// tick instead of O(jobs).
+	ScanReads int64 `json:"scanReads"`
+}
+
+// fleetPeerStates fixes the exposition order of the peer-state gauge
+// so pages are deterministic and every state is always present.
+var fleetPeerStates = []string{"alive", "suspect", "dead", "reclaimed"}
+
+// writeFleetStats renders the fleet families. All series carry the
+// full state/phase label sets even when zero, so dashboards never see
+// series flap in and out.
+func writeFleetStats(w io.Writer, f *FleetStats) {
+	fmt.Fprintln(w, "# TYPE attila_fleet_peers gauge")
+	for _, st := range fleetPeerStates {
+		fmt.Fprintf(w, "attila_fleet_peers{state=%q} %d\n", st, f.PeersByState[st])
+	}
+	fmt.Fprintln(w, "# TYPE attila_fleet_jobs gauge")
+	fmt.Fprintf(w, "attila_fleet_jobs{phase=\"owned\"} %d\n", f.OwnedJobs)
+	fmt.Fprintf(w, "attila_fleet_jobs{phase=\"queued\"} %d\n", f.QueuedJobs)
+	fmt.Fprintf(w, "attila_fleet_jobs{phase=\"finalized\"} %d\n", f.FinalizedJobs)
+	fmt.Fprintf(w, "# TYPE attila_fleet_steals_total counter\nattila_fleet_steals_total %d\n", f.Steals)
+	fmt.Fprintln(w, "# TYPE attila_fleet_handoffs_total counter")
+	fmt.Fprintf(w, "attila_fleet_handoffs_total{role=\"offered\"} %d\n", f.HandoffsOffered)
+	fmt.Fprintf(w, "attila_fleet_handoffs_total{role=\"adopted\"} %d\n", f.HandoffsAdopted)
+	fmt.Fprintf(w, "# TYPE attila_fleet_fence_refusals_total counter\nattila_fleet_fence_refusals_total %d\n", f.FenceRefusals)
+	fmt.Fprintf(w, "# TYPE attila_fleet_scan_reads_total counter\nattila_fleet_scan_reads_total %d\n", f.ScanReads)
+}
+
+// WriteOpenMetrics renders the bus's cumulative statistics, the span
+// collector's latency histograms, and the fleet peer's control-plane
+// view (any may be nil) as an OpenMetrics text page terminated by
+// # EOF.
+func WriteOpenMetrics(w io.Writer, bus *Bus, spans *trace.Collector, fleet *FleetStats) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	if bus != nil {
 		fmt.Fprintf(bw, "# TYPE attila_run_cycles gauge\nattila_run_cycles %d\n", bus.Cycle())
@@ -75,6 +128,9 @@ func WriteOpenMetrics(w io.Writer, bus *Bus, spans *trace.Collector) error {
 				fmt.Fprintf(bw, "attila_gauge{stat=%q} %s\n", escapeLabel(n), fmtFloat(vals[n]))
 			}
 		}
+	}
+	if fleet != nil {
+		writeFleetStats(bw, fleet)
 	}
 	if spans != nil {
 		sum := spans.Snapshot()

@@ -42,6 +42,10 @@ type ServerOptions struct {
 	// Ready, when non-nil, drives /readyz: false answers 503 (e.g. a
 	// draining job server). Nil means always ready.
 	Ready func() bool
+	// Fleet, when non-nil, snapshots the fleet peer's control-plane
+	// view for the /metrics.prom fleet families (peers by state, jobs
+	// by phase, steal/handoff/fence counters).
+	Fleet func() *FleetStats
 }
 
 // Server is the attilasim status server: a plain stdlib HTTP server
@@ -181,12 +185,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
-	if s.opts.Bus == nil && s.opts.Spans == nil {
-		http.Error(w, "no metrics bus or span collector attached", http.StatusNotFound)
+	if s.opts.Bus == nil && s.opts.Spans == nil && s.opts.Fleet == nil {
+		http.Error(w, "no metrics bus, span collector, or fleet peer attached", http.StatusNotFound)
 		return
 	}
+	var fleet *FleetStats
+	if s.opts.Fleet != nil {
+		fleet = s.opts.Fleet()
+	}
 	w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
-	_ = WriteOpenMetrics(w, s.opts.Bus, s.opts.Spans)
+	_ = WriteOpenMetrics(w, s.opts.Bus, s.opts.Spans, fleet)
 }
 
 func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
